@@ -1,0 +1,73 @@
+// Ablation (paper Section 4.2 design choices): number of bins b and patch
+// size.
+//
+// The paper fixes b = 4 ("not more than 4 levels of refinement is an
+// extended practice in the AMR literature") and 16x16 patches ("larger
+// patch sizes do not offer enough granularity"). We quantify both choices
+// on the trained scorer's channel map: active cells of the resulting
+// composite mesh and the modelled decoder memory as b varies, and the
+// granularity (refined fraction) as the patch size varies for the
+// AMR-criterion map.
+#include "common.hpp"
+
+#include "adarnet/ranker.hpp"
+#include "amr/criteria.hpp"
+
+int main() {
+  using namespace adarnet;
+
+  auto trained = bench::trained_model();
+  core::AdarNet& model = *trained.model;
+
+  const auto spec = data::channel_case(2.5e3, bench::wall_preset());
+  const auto lr = data::solve_lr(spec, {});
+  const auto input = data::to_tensor(lr, model.stats());
+  auto scored = model.scorer().forward(input, false);
+
+  // --- bin count sweep --------------------------------------------------------
+  util::Table bins_table({"bins b", "max level", "active cells",
+                          "vs uniform finest", "decoder MB (modeled)"});
+  for (int b = 2; b <= 5; ++b) {
+    const auto map = core::rank_to_map(scored.scores, b);
+    const long long active = map.active_cells(spec.ph, spec.pw);
+    const long long uniform_finest =
+        static_cast<long long>(spec.base_ny * spec.base_nx) *
+        (1LL << (2 * (b - 1)));
+    std::int64_t dec_bytes = 0;
+    for (int level = 0; level < b; ++level) {
+      const int count = map.count_at_level(level);
+      if (count == 0) continue;
+      const auto est = model.decoder().estimate_memory(
+          count, spec.ph << level, spec.pw << level);
+      dec_bytes += est.input_bytes + est.sum_activations;
+    }
+    bins_table.add_row(
+        {std::to_string(b), std::to_string(b - 1), std::to_string(active),
+         util::fmt(100.0 * active / uniform_finest, 3) + "%",
+         util::fmt(dec_bytes / double(1 << 20), 4)});
+  }
+  std::printf("Ablation: bin count b on the channel map "
+              "(paper fixes b = 4)\n\n");
+  bench::emit(bins_table, "ablation_bins");
+
+  // --- patch size sweep -------------------------------------------------------
+  util::Table patch_table({"patch (LR cells)", "patches N", "refined %",
+                           "active cells"});
+  for (int p = 2; p <= spec.base_ny / 2; p *= 2) {
+    if (spec.base_ny % p != 0 || spec.base_nx % p != 0) continue;
+    const auto energy = amr::patch_gradient_energy_lr(lr, p, p);
+    mesh::RefinementMap map(lr.ny() / p, lr.nx() / p, 0);
+    for (int level = 0; level < mesh::kMaxLevel; ++level) {
+      amr::mark_by_fraction(energy, map, 0.3, level + 1);
+    }
+    patch_table.add_row({std::to_string(p) + "x" + std::to_string(p),
+                         std::to_string(map.count()),
+                         util::fmt(100.0 * map.refined_fraction(), 3),
+                         std::to_string(map.active_cells(p, p))});
+  }
+  std::printf("\nAblation: patch size on the AMR-criterion channel map "
+              "(paper fixes 16x16; smaller patches follow features more "
+              "tightly, fewer active cells)\n\n");
+  bench::emit(patch_table, "ablation_patches");
+  return 0;
+}

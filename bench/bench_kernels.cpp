@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// convolution forward/backward, a SIMPLE outer iteration, composite ghost
+// exchange, bicubic resampling, and the PDE-residual adjoint. These back
+// the timing numbers in the table benches and catch performance
+// regressions.
+#include <benchmark/benchmark.h>
+
+#include "adarnet/pde_loss.hpp"
+#include "data/cases.hpp"
+#include "field/interp.hpp"
+#include "mesh/composite.hpp"
+#include "nn/conv2d.hpp"
+#include "solver/rans.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace adarnet;
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const int hw = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  nn::Conv2D conv(16, 16, 3, rng);
+  nn::Tensor in(1, 16, hw, hw);
+  for (std::size_t k = 0; k < in.numel(); ++k) in[k] = 0.01f * (k % 97);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(in, false));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(hw) * hw *
+                          16 * 16 * 9);
+}
+BENCHMARK(BM_Conv2DForward)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  const int hw = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  nn::Conv2D conv(16, 16, 3, rng);
+  nn::Tensor in(1, 16, hw, hw);
+  nn::Tensor out = conv.forward(in, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(out));
+  }
+}
+BENCHMARK(BM_Conv2DBackward)->Arg(16)->Arg(64);
+
+void BM_SimpleOuterIteration(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  auto spec = data::channel_case(2.5e3, data::GridPreset{16, 64, 8, 8});
+  mesh::CompositeMesh mesh(spec,
+                           mesh::RefinementMap(spec.npy(), spec.npx(), level));
+  solver::SolverConfig cfg;
+  solver::RansSolver solver(mesh, cfg);
+  auto f = mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  for (auto _ : state) {
+    solver.iterate(f, 1);
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.active_cells());
+}
+BENCHMARK(BM_SimpleOuterIteration)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_GhostExchange(benchmark::State& state) {
+  auto spec = data::channel_case(2.5e3, data::GridPreset{32, 128, 8, 8});
+  mesh::RefinementMap map(spec.npy(), spec.npx(), 0);
+  for (int pj = 0; pj < spec.npx(); ++pj) map.set_level(0, pj, 2);
+  mesh::CompositeMesh mesh(spec, map);
+  auto s = mesh::make_scalar(mesh);
+  for (auto _ : state) {
+    mesh::exchange_ghosts(s, mesh);
+  }
+}
+BENCHMARK(BM_GhostExchange);
+
+void BM_BicubicUpsample(benchmark::State& state) {
+  const int factor = static_cast<int>(state.range(0));
+  field::Grid2Dd src(16, 16);
+  for (std::size_t k = 0; k < src.size(); ++k) src[k] = 0.1 * (k % 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        field::upsample(src, factor, field::Interp::kBicubic));
+  }
+}
+BENCHMARK(BM_BicubicUpsample)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PdeResidualAdjoint(benchmark::State& state) {
+  const int hw = static_cast<int>(state.range(0));
+  field::FlowField f(hw, hw);
+  for (int i = 0; i < hw; ++i) {
+    for (int j = 0; j < hw; ++j) {
+      f.U(i, j) = 0.01 * i + 0.02 * j;
+      f.V(i, j) = 0.005 * i;
+      f.p(i, j) = -0.01 * j;
+      f.nuTilda(i, j) = 1e-4;
+    }
+  }
+  const core::PdeOptions opt{1.5e-5, 0.01, 0.01};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pde_residual_loss(f, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * hw * hw);
+}
+BENCHMARK(BM_PdeResidualAdjoint)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Table 2: ADARNet vs SURFNet (uniform super-resolution) — inference
+// memory (with reduction factor) and end-to-end time (inf + ps, with
+// speedup) for the seven test cases at 64x SR.
+//
+// The paper reports 7x - 28.5x speedups and 4.4x - 7.65x memory
+// reductions. The shape to reproduce: SURFNet's memory is case-independent
+// (uniform SR always touches every HR pixel) while ADARNet's varies with
+// each case's refined fraction; ADARNet wins both metrics everywhere, with
+// the smallest speedup on the cylinder (largest refined region).
+#include "common.hpp"
+
+#include "adarnet/pipeline.hpp"
+#include "baseline/surfnet.hpp"
+
+int main() {
+  using namespace adarnet;
+
+  auto trained = bench::trained_model();
+  core::AdarNet& model = *trained.model;
+  util::Rng rng(99);
+  baseline::SurfNet surfnet(rng);
+
+  constexpr int kLevel = mesh::kMaxLevel;  // 64x SR
+
+  util::Table table({"case", "SURFNet MB", "ADARNet MB", "mem rf",
+                     "SURFNet inf+ps (s)", "ADARNet inf+ps (s)", "speedup"});
+
+  for (const auto& spec : bench::paper_test_cases()) {
+    std::fprintf(stderr, "[table2] %s\n", spec.name.c_str());
+
+    // Shared LR solve (identical for both pipelines; Table 2 compares the
+    // inference + physics-solve stages, like the paper's inf + ps column).
+    solver::SolverConfig lr_cfg = bench::bench_solver_config();
+    solver::SolveStats lr_stats;
+    const auto lr = data::solve_lr(spec, lr_cfg, &lr_stats);
+
+    const auto surf = baseline::run_surfnet_pipeline(
+        surfnet, spec, kLevel, model.stats(), bench::bench_solver_config(),
+        lr, 0.0);
+
+    core::PipelineConfig pcfg;
+    pcfg.ps_solver = bench::bench_solver_config();
+    const auto adar =
+        core::run_adarnet_pipeline(model, spec, pcfg, lr, 0.0, 0);
+
+    const double surf_mb =
+        static_cast<double>(surf.inference_modeled_bytes) / (1 << 20);
+    const double adar_mb =
+        static_cast<double>(adar.inference_modeled_bytes) / (1 << 20);
+    const double surf_time = surf.inf_seconds + surf.ps_seconds;
+    const double adar_time = adar.inf_seconds + adar.ps_seconds;
+
+    table.add_row({spec.name, util::fmt(surf_mb, 4), util::fmt(adar_mb, 4),
+                   util::fmt_speedup(surf_mb / adar_mb),
+                   util::fmt(surf_time, 4), util::fmt(adar_time, 4),
+                   util::fmt_speedup(surf_time / adar_time)});
+  }
+
+  std::printf("Table 2: ADARNet vs SURFNet at 64x SR "
+              "(paper: 7x - 28.5x time, 4.4x - 7.65x memory)\n\n");
+  bench::emit(table, "table2_surfnet");
+  return 0;
+}

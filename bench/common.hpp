@@ -1,0 +1,163 @@
+// Shared infrastructure for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures at a
+// laptop-scale grid (the paper presets divided by ADARNET_BENCH_SHRINK,
+// default 4: channel 16x64, bodies 32x32, patches 4x4, N = 64 patches — the
+// patch count and bin count match the paper exactly).
+//
+// A trained model is required by most benches; the first bench to run
+// trains one and caches the weights + normalisation stats next to the
+// binaries, later benches reload the cache. Environment knobs:
+//   ADARNET_BENCH_SHRINK   grid divisor (default 4)
+//   ADARNET_BENCH_SAMPLES  dataset samples per flow family (default 3)
+//   ADARNET_BENCH_EPOCHS   training epochs (default 30)
+//   ADARNET_BENCH_RETRAIN  set to 1 to ignore the cache
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adarnet/model.hpp"
+#include "solver/rans.hpp"
+#include "adarnet/trainer.hpp"
+#include "data/cases.hpp"
+#include "data/dataset.hpp"
+#include "nn/serialize.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace adarnet::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline int shrink_factor() { return env_int("ADARNET_BENCH_SHRINK", 4); }
+
+inline data::GridPreset wall_preset() {
+  return data::shrink(data::paper_wall_preset(), shrink_factor());
+}
+
+inline data::GridPreset body_preset() {
+  return data::shrink(data::paper_body_preset(), shrink_factor());
+}
+
+/// Solver settings used by every bench solve: a slightly relaxed residual
+/// target and an iteration cap so a single stubborn case cannot stall the
+/// harness (ADARNET_BENCH_MAX_OUTER overrides the cap).
+inline solver::SolverConfig bench_solver_config() {
+  solver::SolverConfig cfg;
+  cfg.tol = 5e-4;
+  cfg.max_outer = env_int("ADARNET_BENCH_MAX_OUTER", 2000);
+  return cfg;
+}
+
+/// The paper's seven test configurations (Section 5), at bench scale.
+inline std::vector<mesh::CaseSpec> paper_test_cases() {
+  return {
+      data::channel_case(2.5e3, wall_preset()),    // interpolated BC
+      data::channel_case(1.5e4, wall_preset()),    // extrapolated BC
+      data::flat_plate_case(2.5e5, wall_preset()),
+      data::flat_plate_case(1.35e6, wall_preset()),
+      data::cylinder_case(1e5, body_preset()),     // unseen geometry
+      data::naca0012_case(2.5e4, body_preset()),   // unseen geometry
+      data::naca1412_case(2.5e4, body_preset()),   // unseen geometry
+  };
+}
+
+/// A trained model plus the dataset stats it was fitted on.
+struct TrainedModel {
+  std::unique_ptr<core::AdarNet> model;
+  bool from_cache = false;
+  double train_seconds = 0.0;
+};
+
+namespace detail {
+
+inline bool save_stats(const data::NormStats& stats, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(stats.lo.data()),
+            sizeof(double) * stats.lo.size());
+  out.write(reinterpret_cast<const char*>(stats.hi.data()),
+            sizeof(double) * stats.hi.size());
+  return static_cast<bool>(out);
+}
+
+inline bool load_stats(data::NormStats& stats, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.read(reinterpret_cast<char*>(stats.lo.data()),
+          sizeof(double) * stats.lo.size());
+  in.read(reinterpret_cast<char*>(stats.hi.data()),
+          sizeof(double) * stats.hi.size());
+  return static_cast<bool>(in);
+}
+
+}  // namespace detail
+
+/// Trains (or loads from cache) the bench model.
+inline TrainedModel trained_model() {
+  const int shrink_k = shrink_factor();
+  const auto preset = wall_preset();
+
+  util::Rng rng(2023);
+  core::AdarNetConfig mcfg;
+  mcfg.ph = preset.ph;
+  mcfg.pw = preset.pw;
+  TrainedModel out;
+  out.model = std::make_unique<core::AdarNet>(mcfg, rng);
+
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "adarnet_bench_s%d", shrink_k);
+  const std::string weights = std::string(prefix) + ".weights.bin";
+  const std::string stats_path = std::string(prefix) + ".stats.bin";
+
+  if (env_int("ADARNET_BENCH_RETRAIN", 0) == 0 &&
+      nn::load_parameters(out.model->parameters(), weights) &&
+      detail::load_stats(out.model->stats(), stats_path)) {
+    out.from_cache = true;
+    std::fprintf(stderr, "[bench] loaded cached model %s\n", weights.c_str());
+    return out;
+  }
+
+  const int per_flow = env_int("ADARNET_BENCH_SAMPLES", 3);
+  const int epochs = env_int("ADARNET_BENCH_EPOCHS", 30);
+  std::fprintf(stderr,
+               "[bench] training cache miss: %d samples/flow, %d epochs\n",
+               per_flow, epochs);
+  data::DatasetConfig dcfg;
+  dcfg.channel_samples = per_flow;
+  dcfg.plate_samples = per_flow;
+  dcfg.ellipse_samples = per_flow;
+  dcfg.wall_preset = preset;
+  dcfg.body_preset = body_preset();
+  util::WallTimer timer;
+  const auto dataset = data::generate_dataset(dcfg);
+  core::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.log_every = 10;
+  core::train(*out.model, dataset, tcfg, rng);
+  out.train_seconds = timer.seconds();
+  nn::save_parameters(out.model->parameters(), weights);
+  detail::save_stats(out.model->stats(), stats_path);
+  std::fprintf(stderr, "[bench] trained in %.1fs, cached to %s\n",
+               out.train_seconds, weights.c_str());
+  return out;
+}
+
+/// Prints a table to stdout and writes its CSV next to the binary.
+inline void emit(const util::Table& table, const std::string& name) {
+  std::printf("%s\n", table.to_string().c_str());
+  const std::string csv = name + ".csv";
+  if (table.write_csv(csv)) {
+    std::printf("(csv written to %s)\n", csv.c_str());
+  }
+}
+
+}  // namespace adarnet::bench

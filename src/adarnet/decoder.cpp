@@ -1,0 +1,46 @@
+#include "adarnet/decoder.hpp"
+
+namespace adarnet::core {
+
+Decoder::Decoder(util::Rng& rng, int patch_channels)
+    : patch_channels_(patch_channels) {
+  // Paper Fig 5: filters 8, 16, 64 (conv) then 64, 16, 4 (deconv), kernel
+  // 3x3, stride 1, spatial extent preserved throughout. ReLU between
+  // layers; the final deconv is linear (regression output).
+  const int pc = patch_channels_;
+  net_.emplace<nn::Conv2D>(pc + 2, 8, 3, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Conv2D>(8, 16, 3, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Conv2D>(16, 64, 3, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Deconv2D>(64, 64, 3, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Deconv2D>(64, 16, 3, rng);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Deconv2D>(16, pc, 3, rng);
+  // Residual head: zero-init the last layer so the initial decoder output
+  // equals the bicubic-refined input (see forward()).
+  auto* last = dynamic_cast<nn::Deconv2D*>(&net_.layer(net_.size() - 1));
+  last->weight().value.fill(0.0f);
+  last->bias().value.fill(0.0f);
+}
+
+nn::Tensor Decoder::forward(const nn::Tensor& input, bool train) {
+  nn::Tensor out = net_.forward(input, train);
+  // Skip connection from the flow channels of the refined input.
+  const std::size_t plane =
+      static_cast<std::size_t>(input.h()) * input.w();
+  for (int s = 0; s < input.n(); ++s) {
+    for (int c = 0; c < patch_channels_; ++c) {
+      float* o = out.data() +
+                 (static_cast<std::size_t>(s) * out.c() + c) * plane;
+      const float* in = input.data() +
+                        (static_cast<std::size_t>(s) * input.c() + c) * plane;
+      for (std::size_t k = 0; k < plane; ++k) o[k] += in[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace adarnet::core

@@ -1,0 +1,145 @@
+#include "adarnet/model.hpp"
+
+#include <stdexcept>
+
+#include "field/interp.hpp"
+#include "util/timer.hpp"
+
+namespace adarnet::core {
+
+using field::Grid2Df;
+
+AdarNet::AdarNet(AdarNetConfig config, util::Rng& rng)
+    : config_(config),
+      scorer_(field::kNumFlowVars, config.ph, config.pw, rng),
+      decoder_(rng, field::kNumFlowVars) {}
+
+std::vector<nn::Parameter*> AdarNet::parameters() {
+  std::vector<nn::Parameter*> out = scorer_.parameters();
+  for (nn::Parameter* p : decoder_.parameters()) out.push_back(p);
+  return out;
+}
+
+nn::Tensor AdarNet::make_decoder_batch(const nn::Tensor& lr_norm,
+                                       const std::vector<int>& patch_ids,
+                                       int level, int npx, int npy) const {
+  const int ph = config_.ph;
+  const int pw = config_.pw;
+  const int hh = ph << level;
+  const int ww = pw << level;
+  const int h_total = lr_norm.h();
+  const int w_total = lr_norm.w();
+  nn::Tensor batch(static_cast<int>(patch_ids.size()),
+                   field::kNumFlowVars + 2, hh, ww);
+  for (std::size_t s = 0; s < patch_ids.size(); ++s) {
+    const int id = patch_ids[s];
+    const int pi = id / npx;
+    const int pj = id % npx;
+    if (pi >= npy) throw std::out_of_range("make_decoder_batch: patch id");
+    // Flow channels: extract the LR patch and refine bicubically.
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      Grid2Df patch(ph, pw);
+      for (int i = 0; i < ph; ++i) {
+        for (int j = 0; j < pw; ++j) {
+          patch(i, j) = lr_norm.at(0, c, pi * ph + i, pj * pw + j);
+        }
+      }
+      const Grid2Df up = (level == 0)
+                             ? patch
+                             : field::resize(patch, hh, ww,
+                                             field::Interp::kBicubic);
+      for (int i = 0; i < hh; ++i) {
+        for (int j = 0; j < ww; ++j) {
+          batch.at(static_cast<int>(s), c, i, j) = up(i, j);
+        }
+      }
+    }
+    // Coordinate channels: global cell-centre position in [0, 1].
+    const double inv_l = 1.0 / (1 << level);
+    for (int i = 0; i < hh; ++i) {
+      const float y =
+          static_cast<float>((pi * ph + (i + 0.5) * inv_l) / h_total);
+      for (int j = 0; j < ww; ++j) {
+        const float x =
+            static_cast<float>((pj * pw + (j + 0.5) * inv_l) / w_total);
+        batch.at(static_cast<int>(s), field::kNumFlowVars, i, j) = x;
+        batch.at(static_cast<int>(s), field::kNumFlowVars + 1, i, j) = y;
+      }
+    }
+  }
+  return batch;
+}
+
+InferenceResult AdarNet::infer(const field::FlowField& lr) {
+  util::WallTimer timer;
+  nn::memory::reset_peak();
+  const std::int64_t base_bytes = nn::memory::peak_bytes();
+
+  const int npy = lr.ny() / config_.ph;
+  const int npx = lr.nx() / config_.pw;
+  InferenceResult result;
+  result.patches.resize(static_cast<std::size_t>(npy) * npx);
+
+  const nn::Tensor input = data::to_tensor(lr, stats_);
+  ScorerOutput scored = scorer_.forward(input, /*train=*/false);
+  const std::vector<Bin> bins = rank(scored.scores, config_.bins);
+  result.map = to_refinement_map(bins, npy, npx);
+
+  std::int64_t modeled = scorer_.estimate_memory(1, lr.ny(), lr.nx()).total();
+  for (const Bin& bin : bins) {
+    if (bin.patch_ids.empty()) continue;
+    nn::Tensor batch =
+        make_decoder_batch(input, bin.patch_ids, bin.level, npx, npy);
+    modeled += decoder_
+                   .estimate_memory(batch.n(), batch.h(), batch.w())
+                   .total();
+    nn::Tensor out = decoder_.forward(batch, /*train=*/false);
+    for (std::size_t s = 0; s < bin.patch_ids.size(); ++s) {
+      PatchPrediction pred;
+      pred.id = bin.patch_ids[s];
+      pred.level = bin.level;
+      pred.values = data::from_tensor_sample(out, static_cast<int>(s), stats_);
+      result.patches[pred.id] = std::move(pred);
+    }
+  }
+
+  result.seconds = timer.seconds();
+  result.measured_peak_bytes = nn::memory::peak_bytes() - base_bytes;
+  result.modeled_bytes = modeled;
+  return result;
+}
+
+std::pair<std::unique_ptr<mesh::CompositeMesh>, mesh::CompositeField>
+AdarNet::to_composite(const InferenceResult& result,
+                      const mesh::CaseSpec& spec,
+                      const field::FlowField& lr) const {
+  auto cm = std::make_unique<mesh::CompositeMesh>(spec, result.map);
+  // Start from the LR field (fills ghosts and solid cells consistently)...
+  mesh::CompositeField f = mesh::make_field(*cm);
+  mesh::fill_from_uniform(f, *cm, lr);
+  // ...then overwrite every patch interior with the DNN prediction.
+  for (const PatchPrediction& pred : result.patches) {
+    const mesh::PatchMesh& pm = cm->patch_flat(pred.id);
+    if (pm.ny != pred.values.ny() || pm.nx != pred.values.nx()) {
+      throw std::logic_error("to_composite: patch shape mismatch");
+    }
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      const auto& src = pred.values.channel(c);
+      auto& dst = f.channel(c)[pred.id];
+      for (int i = 1; i <= pm.ny; ++i) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          if (pm.solid(i, j)) {
+            dst(i, j) = 0.0;
+            continue;
+          }
+          double v = src(i - 1, j - 1);
+          if (c == 3) v = std::max(v, 0.0);  // nuTilda is non-negative
+          dst(i, j) = v;
+        }
+      }
+    }
+  }
+  return {std::move(cm), std::move(f)};
+}
+
+}  // namespace adarnet::core

@@ -1,0 +1,210 @@
+#include "adarnet/pde_loss.hpp"
+
+#include <algorithm>
+
+namespace adarnet::core {
+
+using field::Grid2Dd;
+
+namespace {
+
+struct CellResiduals {
+  double rc = 0.0;
+  double ru = 0.0;
+  double rv = 0.0;
+};
+
+// Residuals of the three equations at interior cell (i, j).
+CellResiduals residuals_at(const field::FlowField& f, const PdeOptions& opt,
+                           int i, int j) {
+  const Grid2Dd& U = f.U;
+  const Grid2Dd& V = f.V;
+  const Grid2Dd& P = f.p;
+  const Grid2Dd& NT = f.nuTilda;
+  const double dx = opt.dx;
+  const double dy = opt.dy;
+
+  const double dudx = (U(i, j + 1) - U(i, j - 1)) / (2.0 * dx);
+  const double dudy = (U(i + 1, j) - U(i - 1, j)) / (2.0 * dy);
+  const double dvdx = (V(i, j + 1) - V(i, j - 1)) / (2.0 * dx);
+  const double dvdy = (V(i + 1, j) - V(i - 1, j)) / (2.0 * dy);
+  const double dpdx = (P(i, j + 1) - P(i, j - 1)) / (2.0 * dx);
+  const double dpdy = (P(i + 1, j) - P(i - 1, j)) / (2.0 * dy);
+
+  const double nu_e = opt.nu + 0.5 * (NT(i, j) + NT(i, j + 1));
+  const double nu_w = opt.nu + 0.5 * (NT(i, j) + NT(i, j - 1));
+  const double nu_n = opt.nu + 0.5 * (NT(i, j) + NT(i + 1, j));
+  const double nu_s = opt.nu + 0.5 * (NT(i, j) + NT(i - 1, j));
+
+  auto diffusion = [&](const Grid2Dd& S) {
+    return (nu_e * (S(i, j + 1) - S(i, j)) - nu_w * (S(i, j) - S(i, j - 1))) /
+               (dx * dx) +
+           (nu_n * (S(i + 1, j) - S(i, j)) - nu_s * (S(i, j) - S(i - 1, j))) /
+               (dy * dy);
+  };
+
+  CellResiduals r;
+  r.rc = dudx + dvdy;
+  r.ru = U(i, j) * dudx + V(i, j) * dudy + dpdx - diffusion(U);
+  r.rv = U(i, j) * dvdx + V(i, j) * dvdy + dpdy - diffusion(V);
+  return r;
+}
+
+}  // namespace
+
+double pde_residual_value(const field::FlowField& f, const PdeOptions& opt) {
+  const int ny = f.ny();
+  const int nx = f.nx();
+  if (ny < 3 || nx < 3) return 0.0;
+  double acc = 0.0;
+  for (int i = 1; i < ny - 1; ++i) {
+    for (int j = 1; j < nx - 1; ++j) {
+      const CellResiduals r = residuals_at(f, opt, i, j);
+      acc += r.rc * r.rc + r.ru * r.ru + r.rv * r.rv;
+    }
+  }
+  const double n_terms = 3.0 * (ny - 2) * (nx - 2);
+  return acc / n_terms;
+}
+
+PdeLossResult pde_residual_loss(const field::FlowField& f,
+                                const PdeOptions& opt) {
+  PdeLossResult out;
+  out.grad = field::FlowField(f.ny(), f.nx());
+  const int ny = f.ny();
+  const int nx = f.nx();
+  if (ny < 3 || nx < 3) return out;
+
+  Grid2Dd& gU = out.grad.U;
+  Grid2Dd& gV = out.grad.V;
+  Grid2Dd& gP = out.grad.p;
+  Grid2Dd& gNT = out.grad.nuTilda;
+  const Grid2Dd& U = f.U;
+  const Grid2Dd& V = f.V;
+  const Grid2Dd& NT = f.nuTilda;
+  const double dx = opt.dx;
+  const double dy = opt.dy;
+  const double dx2 = dx * dx;
+  const double dy2 = dy * dy;
+  const double n_terms = 3.0 * (ny - 2) * (nx - 2);
+
+  double acc = 0.0;
+  for (int i = 1; i < ny - 1; ++i) {
+    for (int j = 1; j < nx - 1; ++j) {
+      const CellResiduals r = residuals_at(f, opt, i, j);
+      acc += r.rc * r.rc + r.ru * r.ru + r.rv * r.rv;
+
+      const double wc = 2.0 * r.rc / n_terms;
+      const double wu = 2.0 * r.ru / n_terms;
+      const double wv = 2.0 * r.rv / n_terms;
+
+      const double dudx = (U(i, j + 1) - U(i, j - 1)) / (2.0 * dx);
+      const double dudy = (U(i + 1, j) - U(i - 1, j)) / (2.0 * dy);
+      const double dvdx = (V(i, j + 1) - V(i, j - 1)) / (2.0 * dx);
+      const double dvdy = (V(i + 1, j) - V(i - 1, j)) / (2.0 * dy);
+      const double nu_e = opt.nu + 0.5 * (NT(i, j) + NT(i, j + 1));
+      const double nu_w = opt.nu + 0.5 * (NT(i, j) + NT(i, j - 1));
+      const double nu_n = opt.nu + 0.5 * (NT(i, j) + NT(i + 1, j));
+      const double nu_s = opt.nu + 0.5 * (NT(i, j) + NT(i - 1, j));
+
+      // --- continuity adjoint ---
+      gU(i, j + 1) += wc / (2.0 * dx);
+      gU(i, j - 1) -= wc / (2.0 * dx);
+      gV(i + 1, j) += wc / (2.0 * dy);
+      gV(i - 1, j) -= wc / (2.0 * dy);
+
+      // --- momentum-x adjoint ---
+      // convection U dU/dx + V dU/dy
+      gU(i, j) += wu * dudx;
+      gU(i, j + 1) += wu * U(i, j) / (2.0 * dx);
+      gU(i, j - 1) -= wu * U(i, j) / (2.0 * dx);
+      gV(i, j) += wu * dudy;
+      gU(i + 1, j) += wu * V(i, j) / (2.0 * dy);
+      gU(i - 1, j) -= wu * V(i, j) / (2.0 * dy);
+      // pressure gradient
+      gP(i, j + 1) += wu / (2.0 * dx);
+      gP(i, j - 1) -= wu / (2.0 * dx);
+      // -diffusion(U) w.r.t. U values
+      gU(i, j) += wu * ((nu_e + nu_w) / dx2 + (nu_n + nu_s) / dy2);
+      gU(i, j + 1) -= wu * nu_e / dx2;
+      gU(i, j - 1) -= wu * nu_w / dx2;
+      gU(i + 1, j) -= wu * nu_n / dy2;
+      gU(i - 1, j) -= wu * nu_s / dy2;
+      // -diffusion(U) w.r.t. nuTilda through the face viscosities
+      {
+        const double de = -(U(i, j + 1) - U(i, j)) / dx2;  // d ru / d nu_e
+        const double dw = (U(i, j) - U(i, j - 1)) / dx2;   // d ru / d nu_w
+        const double dn = -(U(i + 1, j) - U(i, j)) / dy2;
+        const double ds = (U(i, j) - U(i - 1, j)) / dy2;
+        gNT(i, j) += wu * 0.5 * (de + dw + dn + ds);
+        gNT(i, j + 1) += wu * 0.5 * de;
+        gNT(i, j - 1) += wu * 0.5 * dw;
+        gNT(i + 1, j) += wu * 0.5 * dn;
+        gNT(i - 1, j) += wu * 0.5 * ds;
+      }
+
+      // --- momentum-y adjoint (mirror of momentum-x) ---
+      gU(i, j) += wv * dvdx;
+      gV(i, j + 1) += wv * U(i, j) / (2.0 * dx);
+      gV(i, j - 1) -= wv * U(i, j) / (2.0 * dx);
+      gV(i, j) += wv * dvdy;
+      gV(i + 1, j) += wv * V(i, j) / (2.0 * dy);
+      gV(i - 1, j) -= wv * V(i, j) / (2.0 * dy);
+      gP(i + 1, j) += wv / (2.0 * dy);
+      gP(i - 1, j) -= wv / (2.0 * dy);
+      gV(i, j) += wv * ((nu_e + nu_w) / dx2 + (nu_n + nu_s) / dy2);
+      gV(i, j + 1) -= wv * nu_e / dx2;
+      gV(i, j - 1) -= wv * nu_w / dx2;
+      gV(i + 1, j) -= wv * nu_n / dy2;
+      gV(i - 1, j) -= wv * nu_s / dy2;
+      {
+        const double de = -(V(i, j + 1) - V(i, j)) / dx2;
+        const double dw = (V(i, j) - V(i, j - 1)) / dx2;
+        const double dn = -(V(i + 1, j) - V(i, j)) / dy2;
+        const double ds = (V(i, j) - V(i - 1, j)) / dy2;
+        gNT(i, j) += wv * 0.5 * (de + dw + dn + ds);
+        gNT(i, j + 1) += wv * 0.5 * de;
+        gNT(i, j - 1) += wv * 0.5 * dw;
+        gNT(i + 1, j) += wv * 0.5 * dn;
+        gNT(i - 1, j) += wv * 0.5 * ds;
+      }
+    }
+  }
+  out.loss = acc / n_terms;
+  return out;
+}
+
+PdeLossResult laplace_residual_loss(const field::FlowField& f,
+                                    const PdeOptions& opt) {
+  PdeLossResult out;
+  out.grad = field::FlowField(f.ny(), f.nx());
+  const int ny = f.ny();
+  const int nx = f.nx();
+  if (ny < 3 || nx < 3) return out;
+  const double idx2 = 1.0 / (opt.dx * opt.dx);
+  const double idy2 = 1.0 / (opt.dy * opt.dy);
+  const double n_terms =
+      static_cast<double>(field::kNumFlowVars) * (ny - 2) * (nx - 2);
+  double acc = 0.0;
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    const Grid2Dd& s = f.channel(c);
+    Grid2Dd& g = out.grad.channel(c);
+    for (int i = 1; i < ny - 1; ++i) {
+      for (int j = 1; j < nx - 1; ++j) {
+        const double r = (s(i, j + 1) - 2.0 * s(i, j) + s(i, j - 1)) * idx2 +
+                         (s(i + 1, j) - 2.0 * s(i, j) + s(i - 1, j)) * idy2;
+        acc += r * r;
+        const double w = 2.0 * r / n_terms;
+        g(i, j + 1) += w * idx2;
+        g(i, j - 1) += w * idx2;
+        g(i + 1, j) += w * idy2;
+        g(i - 1, j) += w * idy2;
+        g(i, j) -= 2.0 * w * (idx2 + idy2);
+      }
+    }
+  }
+  out.loss = acc / n_terms;
+  return out;
+}
+
+}  // namespace adarnet::core

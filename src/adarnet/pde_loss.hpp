@@ -1,0 +1,60 @@
+// Physics (PDE-residual) loss for semi-supervised training (paper Eq. 1,
+// second term).
+//
+// Three equations are enforced on the predicted fields — continuity and
+// the two momentum equations (ne = 3):
+//   r_c = dU/dx + dV/dy
+//   r_u = U dU/dx + V dU/dy + dp/dx - div((nu + nuTilda) grad U)
+//   r_v = U dV/dx + V dV/dy + dp/dy - div((nu + nuTilda) grad V)
+// discretised with central differences over interior cells. The loss is
+// the mean of squared residuals over equations and cells, and the adjoint
+// (dL/dU, dL/dV, dL/dp, dL/dnuTilda) is derived by hand and verified
+// against finite differences in tests.
+//
+// Substitution note (DESIGN.md): the effective viscosity uses nuTilda
+// directly (nu + nuTilda) rather than nuTilda * fv1, keeping the adjoint
+// exact while preserving where the residual is large; the SA transport
+// equation itself is enforced by the downstream physics solver, not the
+// training loss (the paper also enforces only continuity + momentum).
+#pragma once
+
+#include "field/flow_field.hpp"
+
+namespace adarnet::core {
+
+/// Discretisation constants for the residual.
+struct PdeOptions {
+  double nu = 1.5e-5;  ///< laminar kinematic viscosity
+  double dx = 1.0;     ///< cell width
+  double dy = 1.0;     ///< cell height
+};
+
+/// Loss value plus its gradient with respect to every field value.
+struct PdeLossResult {
+  double loss = 0.0;        ///< mean squared residual (3 equations)
+  field::FlowField grad;    ///< dLoss/d{U, V, p, nuTilda}, same shape
+};
+
+/// Evaluates the residual loss and its adjoint on one uniform field.
+/// Fields smaller than 3x3 contribute zero loss and zero gradient.
+PdeLossResult pde_residual_loss(const field::FlowField& f,
+                                const PdeOptions& opt);
+
+/// Loss only (no gradient) — cheaper, used for validation metrics.
+double pde_residual_value(const field::FlowField& f, const PdeOptions& opt);
+
+/// Signature of a pluggable PDE-residual loss. The paper's conclusion
+/// notes the approach "is agnostic to the specific PDE being solved —
+/// ADARNet can be re-trained for other PDEs by changing the PDE loss";
+/// TrainConfig carries one of these so that is literally a one-line swap.
+using ResidualFn = PdeLossResult (*)(const field::FlowField&,
+                                     const PdeOptions&);
+
+/// Alternative residual: steady diffusion (Laplace) on every channel,
+/// r_c = div(grad phi_c). Demonstrates the PDE-agnostic extension: training
+/// with this loss yields a smoothing SR model for pure-diffusion problems
+/// (heat conduction, potential flow). Adjoint is exact, FD-checked.
+PdeLossResult laplace_residual_loss(const field::FlowField& f,
+                                    const PdeOptions& opt);
+
+}  // namespace adarnet::core

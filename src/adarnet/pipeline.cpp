@@ -1,0 +1,52 @@
+#include "adarnet/pipeline.hpp"
+
+#include "data/dataset.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace adarnet::core {
+
+PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
+                                    const PipelineConfig& config) {
+  util::WallTimer timer;
+  solver::SolveStats lr_stats;
+  field::FlowField lr = data::solve_lr(spec, config.lr_solver, &lr_stats);
+  return run_adarnet_pipeline(model, spec, config, lr, timer.seconds(),
+                              lr_stats.iterations);
+}
+
+PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
+                                    const PipelineConfig& config,
+                                    const field::FlowField& lr,
+                                    double lr_seconds, int lr_iterations) {
+  PipelineResult result;
+  result.lr = lr;
+  result.lr_seconds = lr_seconds;
+  result.lr_iterations = lr_iterations;
+
+  // One-shot non-uniform super-resolution.
+  InferenceResult inference = model.infer(lr);
+  result.inf_seconds = inference.seconds;
+  result.inference_measured_bytes = inference.measured_peak_bytes;
+  result.inference_modeled_bytes = inference.modeled_bytes;
+  result.map = inference.map;
+
+  // The physics solver drives the prediction to convergence on the
+  // DNN-chosen mesh (no further refinement).
+  auto [mesh, f] = model.to_composite(inference, spec, lr);
+  solver::RansSolver rans(*mesh, config.ps_solver);
+  const auto ps_stats = rans.solve(f);
+  result.ps_seconds = ps_stats.seconds;
+  result.ps_iterations = ps_stats.iterations;
+  result.converged = ps_stats.converged;
+  result.mesh = std::move(mesh);
+  result.solution = std::move(f);
+
+  ADR_LOG_DEBUG << spec.name << " ADARNet pipeline: lr=" << result.lr_seconds
+                << "s inf=" << result.inf_seconds
+                << "s ps=" << result.ps_seconds << "s ("
+                << result.ps_iterations << " iters)";
+  return result;
+}
+
+}  // namespace adarnet::core

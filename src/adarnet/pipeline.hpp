@@ -1,0 +1,60 @@
+// The end-to-end ADARNet framework (paper Section 3.3, Fig 6).
+//
+// TTC = (LR solve) + (one-shot DNN inference) + (physics solver driving the
+// non-uniform prediction to convergence). The physics solver performs no
+// further refinement or coarsening: the final discretisation is the DNN's
+// output, and convergence guarantees come from the solver, exactly as in
+// the paper.
+#pragma once
+
+#include <memory>
+
+#include "adarnet/model.hpp"
+#include "solver/rans.hpp"
+
+namespace adarnet::core {
+
+/// Solver settings for the two solve stages of the pipeline.
+struct PipelineConfig {
+  solver::SolverConfig lr_solver;  ///< LR (input) solve
+  solver::SolverConfig ps_solver;  ///< final physics solve on the DNN mesh
+};
+
+/// Full cost breakdown and outputs of one end-to-end run.
+struct PipelineResult {
+  mesh::RefinementMap map;        ///< DNN-predicted mesh
+  field::FlowField lr;            ///< the LR input field
+
+  double lr_seconds = 0.0;        ///< time to obtain the LR flow field
+  double inf_seconds = 0.0;       ///< DNN inference time
+  double ps_seconds = 0.0;        ///< physics-solver time
+  int lr_iterations = 0;          ///< LR solve SIMPLE iterations
+  int ps_iterations = 0;          ///< physics-solver SIMPLE iterations (ITC)
+  bool converged = false;         ///< final solve reached tolerance
+
+  std::int64_t inference_measured_bytes = 0;  ///< allocator peak
+  std::int64_t inference_modeled_bytes = 0;   ///< analytic activation model
+
+  std::unique_ptr<mesh::CompositeMesh> mesh;  ///< final mesh
+  mesh::CompositeField solution;              ///< converged state
+
+  /// Total time-to-convergence in seconds.
+  [[nodiscard]] double ttc_seconds() const {
+    return lr_seconds + inf_seconds + ps_seconds;
+  }
+};
+
+/// Runs LR solve -> inference -> physics solve for one case.
+PipelineResult run_adarnet_pipeline(AdarNet& model,
+                                    const mesh::CaseSpec& spec,
+                                    const PipelineConfig& config);
+
+/// Variant that reuses an existing LR solution (when several pipelines are
+/// compared on the same case, the LR solve is shared).
+PipelineResult run_adarnet_pipeline(AdarNet& model,
+                                    const mesh::CaseSpec& spec,
+                                    const PipelineConfig& config,
+                                    const field::FlowField& lr,
+                                    double lr_seconds, int lr_iterations);
+
+}  // namespace adarnet::core

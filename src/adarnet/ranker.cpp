@@ -1,0 +1,46 @@
+#include "adarnet/ranker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adarnet::core {
+
+std::vector<Bin> rank(const nn::Tensor& scores, int b) {
+  if (scores.n() != 1 || scores.c() != 1) {
+    throw std::invalid_argument("rank: expected a (1, 1, npy, npx) tensor");
+  }
+  if (b < 1) throw std::invalid_argument("rank: need at least one bin");
+  const int count = scores.h() * scores.w();
+  float max_score = 0.0f;
+  for (int k = 0; k < count; ++k) {
+    max_score = std::max(max_score, scores[static_cast<std::size_t>(k)]);
+  }
+  std::vector<Bin> bins(b);
+  for (int level = 0; level < b; ++level) bins[level].level = level;
+  for (int k = 0; k < count; ++k) {
+    int bin = 0;
+    if (max_score > 0.0f) {
+      const float rescaled = scores[static_cast<std::size_t>(k)] / max_score;
+      bin = std::min(static_cast<int>(rescaled * b), b - 1);
+    }
+    bins[bin].patch_ids.push_back(k);
+  }
+  return bins;
+}
+
+mesh::RefinementMap to_refinement_map(const std::vector<Bin>& bins, int npy,
+                                      int npx) {
+  mesh::RefinementMap map(npy, npx, 0);
+  for (const Bin& bin : bins) {
+    for (int id : bin.patch_ids) {
+      map.set_level(id / npx, id % npx, bin.level);
+    }
+  }
+  return map;
+}
+
+mesh::RefinementMap rank_to_map(const nn::Tensor& scores, int b) {
+  return to_refinement_map(rank(scores, b), scores.h(), scores.w());
+}
+
+}  // namespace adarnet::core

@@ -1,0 +1,38 @@
+// The ranker: a non-trainable module that bins patches by score (paper
+// Section 3.1).
+//
+// The scorer's softmax yields a probability distribution over the N
+// patches, so raw scores live near 1/N rather than spanning [0, 1]. To
+// apply the paper's "split the 0-1 range into b uniform bins" rule the
+// ranker first rescales scores by their maximum (score / max -> [0, 1]);
+// the patch(es) with the top score always land in the deepest bin and the
+// bin index doubles as the refinement level. This rescaling choice is a
+// documented substitution (the paper does not spell out how softmax mass
+// over 64 patches is mapped onto the absolute 0-1 bin edges).
+#pragma once
+
+#include <vector>
+
+#include "mesh/refinement_map.hpp"
+#include "nn/tensor.hpp"
+
+namespace adarnet::core {
+
+/// One bin: the target refinement level and the patches assigned to it.
+struct Bin {
+  int level = 0;                 ///< refinement level == bin index
+  std::vector<int> patch_ids;    ///< flat patch indices (pi * npx + pj)
+};
+
+/// Bins patch scores into `b` uniform bins after max-rescaling. `scores`
+/// is the scorer output for one sample: (1, 1, npy, npx).
+std::vector<Bin> rank(const nn::Tensor& scores, int b);
+
+/// The refinement map implied by a binning (bin index == level).
+mesh::RefinementMap to_refinement_map(const std::vector<Bin>& bins, int npy,
+                                      int npx);
+
+/// Convenience: rank + map in one step.
+mesh::RefinementMap rank_to_map(const nn::Tensor& scores, int b);
+
+}  // namespace adarnet::core

@@ -1,0 +1,246 @@
+#include "adarnet/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "amr/criteria.hpp"
+#include "field/interp.hpp"
+#include "nn/adam.hpp"
+#include "nn/loss.hpp"
+#include "adarnet/pde_loss.hpp"
+#include "util/log.hpp"
+
+namespace adarnet::core {
+
+using field::Grid2Dd;
+
+nn::Tensor score_target(const field::FlowField& lr, int ph, int pw) {
+  const auto energy = amr::patch_gradient_energy_lr(lr, ph, pw);
+  nn::Tensor t(1, 1, energy.ny(), energy.nx());
+  // Square-root compression of the gradient energy before normalisation:
+  // wall/wake gradients span orders of magnitude, and the ranker bins the
+  // max-rescaled scores linearly, so without compression everything but
+  // the hottest patch lands in bin 0. sqrt keeps the ordering while
+  // letting secondary features (wakes, outer boundary layers) reach the
+  // intermediate bins — the graded maps of the paper's Fig 9.
+  double sum = 0.0;
+  for (double e : energy) sum += std::sqrt(std::max(e, 0.0));
+  if (sum <= 0.0) {
+    t.fill(1.0f / static_cast<float>(energy.size()));
+    return t;
+  }
+  for (std::size_t k = 0; k < energy.size(); ++k) {
+    t[k] = static_cast<float>(std::sqrt(std::max(energy[k], 0.0)) / sum);
+  }
+  return t;
+}
+
+namespace {
+
+// Hybrid loss and its gradient for one decoder output batch of patches at
+// `level`. Returns {data_loss_sum, pde_loss_sum} over the batch and fills
+// `grad` (same shape as `out`).
+std::pair<double, double> hybrid_loss(
+    const nn::Tensor& out, const std::vector<int>& patch_ids, int level,
+    const data::Sample& sample, const data::NormStats& stats, int ph, int pw,
+    double lambda_pde, ResidualFn residual, nn::Tensor& grad) {
+  const mesh::CaseSpec& spec = sample.spec;
+  const int npx = spec.npx();
+  const int hh = ph << level;
+  const int ww = pw << level;
+  grad = nn::Tensor(out.n(), out.c(), out.h(), out.w());
+  double data_acc = 0.0;
+  double pde_acc = 0.0;
+
+  const PdeOptions pde_opt{spec.nu, spec.lx / (spec.base_nx << level),
+                           spec.ly / (spec.base_ny << level)};
+
+  for (int s = 0; s < out.n(); ++s) {
+    const int id = patch_ids[static_cast<std::size_t>(s)];
+    const int pi = id / npx;
+    const int pj = id % npx;
+
+    // --- data loss in the downsampled (LR) space ---------------------------
+    const double inv_cells = 1.0 / (static_cast<double>(ph) * pw *
+                                    field::kNumFlowVars);
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      // Predicted patch channel as Grid2Dd (normalised space).
+      Grid2Dd pred(hh, ww);
+      for (int i = 0; i < hh; ++i) {
+        for (int j = 0; j < ww; ++j) pred(i, j) = out.at(s, c, i, j);
+      }
+      // LR ground truth patch (normalised).
+      Grid2Dd truth(ph, pw);
+      for (int i = 0; i < ph; ++i) {
+        for (int j = 0; j < pw; ++j) {
+          truth(i, j) =
+              stats.encode(c, sample.lr.channel(c)(pi * ph + i, pj * pw + j));
+        }
+      }
+      Grid2Dd diff_grad;  // dL/d(pred) for this channel
+      if (level == 0) {
+        diff_grad = Grid2Dd(ph, pw);
+        for (std::size_t k = 0; k < truth.size(); ++k) {
+          const double d = pred[k] - truth[k];
+          data_acc += d * d * inv_cells;
+          diff_grad[k] = 2.0 * d * inv_cells;
+        }
+      } else {
+        const Grid2Dd down =
+            field::resize(pred, ph, pw, field::Interp::kBicubic);
+        Grid2Dd g_down(ph, pw);
+        for (std::size_t k = 0; k < truth.size(); ++k) {
+          const double d = down[k] - truth[k];
+          data_acc += d * d * inv_cells;
+          g_down[k] = 2.0 * d * inv_cells;
+        }
+        diff_grad =
+            field::resize_adjoint(g_down, hh, ww, field::Interp::kBicubic);
+      }
+      for (int i = 0; i < hh; ++i) {
+        for (int j = 0; j < ww; ++j) {
+          grad.at(s, c, i, j) += static_cast<float>(diff_grad(i, j));
+        }
+      }
+    }
+
+    // --- PDE residual loss on the denormalised patch -----------------------
+    field::FlowField phys(hh, ww);
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      auto& chan = phys.channel(c);
+      for (int i = 0; i < hh; ++i) {
+        for (int j = 0; j < ww; ++j) {
+          chan(i, j) = stats.decode(c, out.at(s, c, i, j));
+        }
+      }
+    }
+    const PdeLossResult pde = residual(phys, pde_opt);
+    pde_acc += pde.loss;
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      const double chain = lambda_pde * stats.scale(c);
+      const auto& g = pde.grad.channel(c);
+      for (int i = 0; i < hh; ++i) {
+        for (int j = 0; j < ww; ++j) {
+          grad.at(s, c, i, j) += static_cast<float>(chain * g(i, j));
+        }
+      }
+    }
+  }
+  return {data_acc, pde_acc};
+}
+
+}  // namespace
+
+TrainStats train(AdarNet& model, const data::Dataset& dataset,
+                 const TrainConfig& config, util::Rng& rng) {
+  TrainStats stats;
+  if (dataset.samples.empty()) return stats;
+  model.stats() = dataset.stats;
+
+  nn::AdamConfig scorer_cfg;
+  scorer_cfg.lr = config.scorer_lr;
+  nn::Adam scorer_opt(model.scorer().parameters(), scorer_cfg);
+  nn::AdamConfig decoder_cfg;
+  decoder_cfg.lr = config.lr;
+  nn::Adam decoder_opt(model.decoder().parameters(), decoder_cfg);
+
+  const int ph = model.config().ph;
+  const int pw = model.config().pw;
+
+  std::vector<std::size_t> order(dataset.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double scorer_acc = 0.0;
+    double data_acc = 0.0;
+    double pde_acc = 0.0;
+    long patch_count = 0;
+
+    for (std::size_t idx : order) {
+      const data::Sample& sample = dataset.samples[idx];
+      const nn::Tensor lr_norm = data::to_tensor(sample.lr, model.stats());
+      const nn::Tensor target = score_target(sample.lr, ph, pw);
+      const int npy = target.h();
+      const int npx = target.w();
+
+      if (config.train_scorer) {
+        scorer_opt.zero_grad();
+        auto scored = model.scorer().forward(lr_norm, /*train=*/true);
+        scorer_acc += nn::mse_loss(scored.scores, target);
+        model.scorer().backward(nn::mse_loss_grad(scored.scores, target));
+        scorer_opt.step();
+      }
+
+      if (config.train_decoder) {
+        decoder_opt.zero_grad();
+        // Teacher-forced binning from the physics-derived target.
+        const auto bins = rank(target, model.config().bins);
+        double sample_data = 0.0;
+        double sample_pde = 0.0;
+        for (const Bin& bin : bins) {
+          if (bin.patch_ids.empty()) continue;
+          nn::Tensor batch = model.make_decoder_batch(lr_norm, bin.patch_ids,
+                                                      bin.level, npx, npy);
+          nn::Tensor out = model.decoder().forward(batch, /*train=*/true);
+          nn::Tensor grad;
+          const auto [d, p] = hybrid_loss(out, bin.patch_ids, bin.level,
+                                          sample, model.stats(), ph, pw,
+                                          config.lambda_pde, config.residual,
+                                          grad);
+          sample_data += d;
+          sample_pde += p;
+          patch_count += out.n();
+          model.decoder().backward(grad);
+        }
+        decoder_opt.step();
+        data_acc += sample_data;
+        pde_acc += sample_pde;
+      }
+    }
+
+    const double n = static_cast<double>(dataset.samples.size());
+    stats.scorer_loss.push_back(scorer_acc / n);
+    stats.data_loss.push_back(patch_count ? data_acc / patch_count : 0.0);
+    stats.pde_loss.push_back(patch_count ? pde_acc / patch_count : 0.0);
+    if (config.log_every > 0 && epoch % config.log_every == 0) {
+      ADR_LOG_INFO << "epoch " << epoch << " scorer=" << stats.scorer_loss.back()
+                   << " data=" << stats.data_loss.back()
+                   << " pde=" << stats.pde_loss.back();
+    }
+  }
+  return stats;
+}
+
+std::pair<double, double> evaluate(AdarNet& model,
+                                   const std::vector<data::Sample>& samples,
+                                   double lambda_pde) {
+  double data_acc = 0.0;
+  double pde_acc = 0.0;
+  long patch_count = 0;
+  const int ph = model.config().ph;
+  const int pw = model.config().pw;
+  for (const data::Sample& sample : samples) {
+    const nn::Tensor lr_norm = data::to_tensor(sample.lr, model.stats());
+    const nn::Tensor target = score_target(sample.lr, ph, pw);
+    const auto bins = rank(target, model.config().bins);
+    for (const Bin& bin : bins) {
+      if (bin.patch_ids.empty()) continue;
+      nn::Tensor batch = model.make_decoder_batch(
+          lr_norm, bin.patch_ids, bin.level, target.w(), target.h());
+      nn::Tensor out = model.decoder().forward(batch, /*train=*/false);
+      nn::Tensor grad;
+      const auto [d, p] =
+          hybrid_loss(out, bin.patch_ids, bin.level, sample, model.stats(),
+                      ph, pw, lambda_pde, &pde_residual_loss, grad);
+      data_acc += d;
+      pde_acc += p;
+      patch_count += out.n();
+    }
+  }
+  if (patch_count == 0) return {0.0, 0.0};
+  return {data_acc / patch_count, pde_acc / patch_count};
+}
+
+}  // namespace adarnet::core

@@ -1,0 +1,71 @@
+// Semi-supervised training of ADARNet (paper Sections 3.2 and 4.2).
+//
+// Two trainable networks are optimised:
+//  * The scorer learns a physics-derived score target: the per-patch
+//    gradient energy of the LR flow variables, normalised to a
+//    distribution (the quantity the paper observes its DNN refines on;
+//    see the substitution table in DESIGN.md — the paper does not specify
+//    how gradients cross the non-differentiable ranker).
+//  * The shared decoder is trained with the hybrid loss of Eq. 1: data MSE
+//    against the LR ground truth (HR patches are bicubically downsampled
+//    to LR space first, exactly as Section 3.2 prescribes) plus
+//    lambda * PDE-residual loss evaluated on the denormalised prediction.
+//
+// Refinement decisions during decoder training are teacher-forced from the
+// score target so every bin sees gradients from epoch one.
+#pragma once
+
+#include <vector>
+
+#include "adarnet/model.hpp"
+#include "adarnet/pde_loss.hpp"
+#include "data/dataset.hpp"
+
+namespace adarnet::core {
+
+/// Training hyperparameters (paper defaults where given).
+struct TrainConfig {
+  int epochs = 10;            ///< paper: 350
+  double lr = 1e-4;           ///< decoder Adam learning rate (paper: 1e-4)
+  double scorer_lr = 3e-3;    ///< scorer Adam learning rate: the softmax
+                              ///< score targets are O(1/N), so the scorer
+                              ///< needs a larger step than the decoder
+  double lambda_pde = 0.03;   ///< PDE-loss weight (paper: 0.03)
+  ResidualFn residual = &pde_residual_loss;  ///< governing-equation loss;
+                              ///< swap (e.g. laplace_residual_loss) to
+                              ///< retrain for a different PDE
+  bool train_scorer = true;
+  bool train_decoder = true;
+  int log_every = 1;          ///< epochs between log lines (0 = silent)
+};
+
+/// Per-epoch loss history.
+struct TrainStats {
+  std::vector<double> scorer_loss;  ///< mean scorer MSE per epoch
+  std::vector<double> data_loss;    ///< mean decoder data MSE per epoch
+  std::vector<double> pde_loss;     ///< mean PDE residual loss per epoch
+
+  [[nodiscard]] double final_data_loss() const {
+    return data_loss.empty() ? 0.0 : data_loss.back();
+  }
+  [[nodiscard]] double final_pde_loss() const {
+    return pde_loss.empty() ? 0.0 : pde_loss.back();
+  }
+};
+
+/// The per-patch score target used for both scorer supervision and
+/// teacher-forced binning: gradient energy normalised to sum 1.
+nn::Tensor score_target(const field::FlowField& lr, int ph, int pw);
+
+/// Trains the model in place on `dataset`. Fits model.stats() from the
+/// dataset before training.
+TrainStats train(AdarNet& model, const data::Dataset& dataset,
+                 const TrainConfig& config, util::Rng& rng);
+
+/// Evaluates the hybrid losses of the current model over a sample set
+/// (no parameter updates) — validation metric.
+std::pair<double, double> evaluate(AdarNet& model,
+                                   const std::vector<data::Sample>& samples,
+                                   double lambda_pde);
+
+}  // namespace adarnet::core

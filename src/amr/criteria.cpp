@@ -1,0 +1,154 @@
+#include "amr/criteria.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adarnet::amr {
+
+using field::Array2D;
+using field::Grid2Dd;
+using mesh::CompositeField;
+using mesh::CompositeMesh;
+using mesh::PatchMesh;
+
+namespace {
+
+// Maximum |grad s| over the interior cells of one patch (central
+// differences; ghost ring makes the edges well-defined).
+double patch_max_grad(const Grid2Dd& s, const PatchMesh& pm) {
+  double best = 0.0;
+  for (int i = 1; i <= pm.ny; ++i) {
+    for (int j = 1; j <= pm.nx; ++j) {
+      if (pm.solid(i, j)) continue;
+      const double gx = (s(i, j + 1) - s(i, j - 1)) / (2.0 * pm.dx);
+      const double gy = (s(i + 1, j) - s(i - 1, j)) / (2.0 * pm.dy);
+      best = std::max(best, std::hypot(gx, gy));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Array2D<double> patch_grad_nut(const CompositeMesh& mesh,
+                               const CompositeField& f) {
+  Array2D<double> scores(mesh.npy(), mesh.npx());
+  double max_score = 0.0;
+  for (int pi = 0; pi < mesh.npy(); ++pi) {
+    for (int pj = 0; pj < mesh.npx(); ++pj) {
+      const int k = pi * mesh.npx() + pj;
+      scores(pi, pj) = patch_max_grad(f.nuTilda[k], mesh.patch_flat(k));
+      max_score = std::max(max_score, scores(pi, pj));
+    }
+  }
+  // When the coarse SA field has (re)laminarised, its gradient carries no
+  // signal and the feature-based criterion would mark nothing — OpenFOAM
+  // users would switch the tracked feature. Fall back to the all-variable
+  // gradient energy in that case so the heuristic stays meaningful.
+  const double floor = 1e-9 * mesh.spec().u_ref / mesh.spec().ly;
+  if (max_score <= floor) {
+    return patch_gradient_energy(mesh, f);
+  }
+  return scores;
+}
+
+Array2D<double> patch_gradient_energy(const CompositeMesh& mesh,
+                                      const CompositeField& f) {
+  Array2D<double> scores(mesh.npy(), mesh.npx(), 0.0);
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    Array2D<double> per_channel(mesh.npy(), mesh.npx());
+    double channel_max = 0.0;
+    for (int pi = 0; pi < mesh.npy(); ++pi) {
+      for (int pj = 0; pj < mesh.npx(); ++pj) {
+        const int k = pi * mesh.npx() + pj;
+        const double g =
+            patch_max_grad(f.channel(c)[k], mesh.patch_flat(k));
+        per_channel(pi, pj) = g;
+        channel_max = std::max(channel_max, g);
+      }
+    }
+    if (channel_max <= 0.0) continue;
+    for (std::size_t q = 0; q < scores.size(); ++q) {
+      scores[q] += per_channel[q] / channel_max;
+    }
+  }
+  return scores;
+}
+
+Array2D<double> patch_gradient_energy_lr(const field::FlowField& lr, int ph,
+                                         int pw) {
+  const int npy = lr.ny() / ph;
+  const int npx = lr.nx() / pw;
+  Array2D<double> scores(npy, npx, 0.0);
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    const Grid2Dd& s = lr.channel(c);
+    Array2D<double> per_channel(npy, npx, 0.0);
+    double channel_max = 0.0;
+    for (int pi = 0; pi < npy; ++pi) {
+      for (int pj = 0; pj < npx; ++pj) {
+        double best = 0.0;
+        for (int i = pi * ph; i < (pi + 1) * ph; ++i) {
+          for (int j = pj * pw; j < (pj + 1) * pw; ++j) {
+            const int ie = std::min(i + 1, lr.ny() - 1);
+            const int iw = std::max(i - 1, 0);
+            const int je = std::min(j + 1, lr.nx() - 1);
+            const int jw = std::max(j - 1, 0);
+            const double gx = s(i, je) - s(i, jw);
+            const double gy = s(ie, j) - s(iw, j);
+            best = std::max(best, std::hypot(gx, gy));
+          }
+        }
+        per_channel(pi, pj) = best;
+        channel_max = std::max(channel_max, best);
+      }
+    }
+    if (channel_max <= 0.0) continue;
+    for (std::size_t q = 0; q < scores.size(); ++q) {
+      scores[q] += per_channel[q] / channel_max;
+    }
+  }
+  return scores;
+}
+
+void mark_by_fraction(const Array2D<double>& scores, mesh::RefinementMap& map,
+                      double mark_fraction, int max_level) {
+  double max_score = 0.0;
+  for (double s : scores) max_score = std::max(max_score, s);
+  if (max_score <= 0.0) return;
+  for (int pi = 0; pi < map.npy(); ++pi) {
+    for (int pj = 0; pj < map.npx(); ++pj) {
+      if (scores(pi, pj) >= mark_fraction * max_score) {
+        map.set_level(pi, pj,
+                      std::min(map.level(pi, pj) + 1, max_level));
+      }
+    }
+  }
+}
+
+int enforce_two_to_one(mesh::RefinementMap& map) {
+  int raises = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int pi = 0; pi < map.npy(); ++pi) {
+      for (int pj = 0; pj < map.npx(); ++pj) {
+        const int here = map.level(pi, pj);
+        auto check = [&](int qi, int qj) {
+          if (qi < 0 || qi >= map.npy() || qj < 0 || qj >= map.npx()) return;
+          if (map.level(qi, qj) > here + 1) {
+            map.set_level(pi, pj, map.level(qi, qj) - 1);
+            ++raises;
+            changed = true;
+          }
+        };
+        check(pi - 1, pj);
+        check(pi + 1, pj);
+        check(pi, pj - 1);
+        check(pi, pj + 1);
+      }
+    }
+  }
+  return raises;
+}
+
+}  // namespace adarnet::amr

@@ -1,0 +1,44 @@
+// Refinement criteria: per-patch scores that drive mesh adaptation.
+//
+// The baseline AMR solver is feature-based (the paper configures OpenFOAM's
+// dynamicMeshRefine to refine where the eddy-viscosity gradient is highest,
+// max level 4). The same per-patch gradient scores also provide the
+// physics-derived training target for ADARNet's scorer (see DESIGN.md,
+// substitution table).
+#pragma once
+
+#include "field/array2d.hpp"
+#include "field/flow_field.hpp"
+#include "mesh/composite.hpp"
+#include "mesh/refinement_map.hpp"
+
+namespace adarnet::amr {
+
+/// Per-patch maximum eddy-viscosity gradient magnitude |grad nuTilda| —
+/// the classical feature-based AMR heuristic the paper's baseline uses.
+field::Array2D<double> patch_grad_nut(const mesh::CompositeMesh& mesh,
+                                      const mesh::CompositeField& f);
+
+/// Per-patch gradient energy over all four flow variables, each channel
+/// normalised by its global gradient maximum so no variable dominates.
+/// This is the quantity the paper observes its DNN to refine on ("areas
+/// with higher values of the gradients for all fluid variables").
+field::Array2D<double> patch_gradient_energy(const mesh::CompositeMesh& mesh,
+                                             const mesh::CompositeField& f);
+
+/// Same as patch_gradient_energy but evaluated directly on a uniform LR
+/// flow field (used when building scorer training targets from LR data).
+field::Array2D<double> patch_gradient_energy_lr(const field::FlowField& lr,
+                                                int ph, int pw);
+
+/// Raises by one level every patch whose score is at least
+/// `mark_fraction` times the maximum score, capped at `max_level`.
+void mark_by_fraction(const field::Array2D<double>& scores,
+                      mesh::RefinementMap& map, double mark_fraction,
+                      int max_level);
+
+/// Enforces 2:1 level balance: adjacent patches never differ by more than
+/// one level (raises the lower patch). Returns the number of raises.
+int enforce_two_to_one(mesh::RefinementMap& map);
+
+}  // namespace adarnet::amr

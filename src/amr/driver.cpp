@@ -1,0 +1,97 @@
+#include "amr/driver.hpp"
+
+#include "amr/criteria.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace adarnet::amr {
+
+using mesh::CompositeField;
+using mesh::CompositeMesh;
+using mesh::RefinementMap;
+
+AmrResult run_amr(const mesh::CaseSpec& spec, const AmrConfig& config) {
+  util::WallTimer total_timer;
+  AmrResult result;
+
+  RefinementMap map(spec.npy(), spec.npx(), 0);
+  auto mesh = std::make_unique<CompositeMesh>(spec, map);
+  CompositeField f = mesh::make_field(*mesh);
+
+  // Intermediate solves run to a loose tolerance: the solution only needs
+  // to be good enough for the gradient criterion.
+  solver::SolverConfig stage_cfg = config.solver;
+  stage_cfg.tol = config.stage_tol;
+  stage_cfg.max_outer = config.stage_max_outer;
+
+  {
+    solver::RansSolver rans(*mesh, stage_cfg);
+    rans.initialize_freestream(f);
+  }
+
+  for (int stage = 0; stage <= config.max_level; ++stage) {
+    const bool final_stage = (stage == config.max_level);
+    solver::RansSolver rans(*mesh, final_stage ? config.solver : stage_cfg);
+    const auto stats = rans.solve(f);
+
+    AmrStage record;
+    record.map = mesh->map();
+    record.iterations = stats.iterations;
+    record.seconds = stats.seconds;
+    record.cells = mesh->active_cells();
+    record.residual = stats.residual;
+    result.stages.push_back(record);
+    result.total_iterations += stats.iterations;
+    ADR_LOG_DEBUG << spec.name << " AMR stage " << stage << " cells "
+                  << record.cells << " iters " << stats.iterations
+                  << " residual " << stats.residual;
+
+    if (final_stage) {
+      result.converged = stats.converged;
+      break;
+    }
+
+    // Mark patches by the eddy-viscosity gradient and re-mesh.
+    const auto scores = patch_grad_nut(*mesh, f);
+    RefinementMap next = mesh->map();
+    mark_by_fraction(scores, next, config.mark_fraction, stage + 1);
+    if (config.two_to_one) enforce_two_to_one(next);
+    if (next == mesh->map()) {
+      // Criterion found nothing new; the remaining stages would re-solve
+      // the same mesh. Run the final tight solve now.
+      solver::RansSolver tight(*mesh, config.solver);
+      const auto tight_stats = tight.solve(f);
+      result.total_iterations += tight_stats.iterations;
+      result.converged = tight_stats.converged;
+      AmrStage tail = record;
+      tail.iterations = tight_stats.iterations;
+      tail.seconds = tight_stats.seconds;
+      tail.residual = tight_stats.residual;
+      result.stages.push_back(tail);
+      break;
+    }
+    auto next_mesh = std::make_unique<CompositeMesh>(spec, next);
+    f = mesh::regrid(f, *mesh, *next_mesh);
+    mesh = std::move(next_mesh);
+  }
+
+  result.final_map = mesh->map();
+  result.mesh = std::move(mesh);
+  result.solution = std::move(f);
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+RefinementMap amr_reference_map(const CompositeMesh& mesh,
+                                const CompositeField& f,
+                                const AmrConfig& config) {
+  RefinementMap map = mesh.map();
+  const auto scores = patch_grad_nut(mesh, f);
+  for (int level = map.max_level(); level < config.max_level; ++level) {
+    mark_by_fraction(scores, map, config.mark_fraction, level + 1);
+  }
+  if (config.two_to_one) enforce_two_to_one(map);
+  return map;
+}
+
+}  // namespace adarnet::amr

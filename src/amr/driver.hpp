@@ -1,0 +1,61 @@
+// The iterative feature-based AMR solver baseline (paper Section 4.3).
+//
+// This reproduces the workflow of OpenFOAM's pimpleFoam + dynamicMeshRefine:
+// solve on the current mesh, estimate where the eddy-viscosity gradient is
+// highest, refine those patches one level, transfer the solution to the new
+// mesh, and repeat until the requested maximum level — then converge tightly
+// on the final mesh. Its cost structure (multiple intermediate solves on
+// progressively finer meshes) is what ADARNet's one-shot prediction removes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mesh/composite.hpp"
+#include "solver/rans.hpp"
+
+namespace adarnet::amr {
+
+/// Configuration of the iterative AMR loop.
+struct AmrConfig {
+  int max_level = mesh::kMaxLevel;  ///< deepest refinement level (paper: 3)
+  double mark_fraction = 0.3;  ///< refine patches with score >= frac * max
+  double stage_tol = 2e-3;     ///< residual target for intermediate solves
+  int stage_max_outer = 2000;  ///< iteration cap per intermediate solve
+  bool two_to_one = true;      ///< enforce 2:1 level balance between patches
+  solver::SolverConfig solver; ///< final-stage (tight) solver settings
+};
+
+/// Cost and outcome of one AMR stage (one mesh in the hierarchy).
+struct AmrStage {
+  mesh::RefinementMap map;   ///< mesh of this stage
+  int iterations = 0;        ///< SIMPLE iterations spent on this mesh
+  double seconds = 0.0;      ///< wall time of this stage
+  long long cells = 0;       ///< active cells of this stage's mesh
+  double residual = 0.0;     ///< residual reached
+};
+
+/// Result of a full AMR run.
+struct AmrResult {
+  std::vector<AmrStage> stages;          ///< per-stage breakdown
+  mesh::RefinementMap final_map;         ///< the adapted mesh
+  std::unique_ptr<mesh::CompositeMesh> mesh;  ///< final composite mesh
+  mesh::CompositeField solution;         ///< converged state on final mesh
+  int total_iterations = 0;              ///< ITC: all stages summed
+  double total_seconds = 0.0;            ///< TTC: all stages summed
+  bool converged = false;                ///< final tight solve converged
+};
+
+/// Runs the iterative AMR solver for `spec` and returns the adapted mesh,
+/// the converged solution, and the full cost breakdown.
+AmrResult run_amr(const mesh::CaseSpec& spec, const AmrConfig& config);
+
+/// Runs the AMR marking logic only (no refinement of the solve): given a
+/// converged solution on some mesh, returns the map the criterion would
+/// produce with one marking pass at each level up to max_level. Used to
+/// build reference maps for comparing against ADARNet (Fig 9).
+mesh::RefinementMap amr_reference_map(const mesh::CompositeMesh& mesh,
+                                      const mesh::CompositeField& f,
+                                      const AmrConfig& config);
+
+}  // namespace adarnet::amr

@@ -1,0 +1,74 @@
+// SURFNet-style uniform super-resolution baseline (paper Section 5.2).
+//
+// SURFNet [Obiols-Sales et al., PACT 2021] performs *uniform* SR: the LR
+// field is upsampled to the full target resolution and refined by a CNN
+// over the entire HR image. Its inference cost and activation memory scale
+// with the uniform HR extent (64x the LR cell count for 64x SR), which is
+// precisely the over-provisioning ADARNet removes. The end-to-end baseline
+// pipeline mirrors ADARNet's: LR solve -> uniform HR inference -> physics
+// solve on the uniform level-n mesh.
+#pragma once
+
+#include <memory>
+
+#include "data/normalize.hpp"
+#include "field/flow_field.hpp"
+#include "mesh/composite.hpp"
+#include "nn/memory_model.hpp"
+#include "nn/sequential.hpp"
+#include "solver/rans.hpp"
+#include "util/rng.hpp"
+
+namespace adarnet::baseline {
+
+/// Uniform-SR network: bicubic upsampling + a conv stack over the full HR
+/// image (4 flow channels + 2 coordinate channels in, 4 out).
+class SurfNet {
+ public:
+  explicit SurfNet(util::Rng& rng);
+
+  /// Uniform 4^level x super-resolution of a LR field.
+  struct Result {
+    field::FlowField hr;                  ///< uniform HR prediction
+    double seconds = 0.0;                 ///< inference wall time
+    std::int64_t measured_peak_bytes = 0; ///< allocator high-water mark
+    std::int64_t modeled_bytes = 0;       ///< analytic activation model
+  };
+  Result infer(const field::FlowField& lr, int level,
+               const data::NormStats& stats);
+
+  /// Analytic inference memory for a (ny, nx) HR image.
+  [[nodiscard]] nn::MemoryEstimate estimate_memory(int ny, int nx) const {
+    return nn::estimate_memory(net_, 1, 6, ny, nx);
+  }
+
+  nn::Sequential& net() { return net_; }
+
+ private:
+  nn::Sequential net_;
+};
+
+/// Cost breakdown of the SURFNet end-to-end pipeline.
+struct SurfNetPipelineResult {
+  double lr_seconds = 0.0;
+  double inf_seconds = 0.0;
+  double ps_seconds = 0.0;
+  int ps_iterations = 0;
+  bool converged = false;
+  std::int64_t inference_measured_bytes = 0;
+  std::int64_t inference_modeled_bytes = 0;
+  std::unique_ptr<mesh::CompositeMesh> mesh;  ///< uniform level-n mesh
+  mesh::CompositeField solution;
+
+  [[nodiscard]] double ttc_seconds() const {
+    return lr_seconds + inf_seconds + ps_seconds;
+  }
+};
+
+/// LR solve (or reuse) -> uniform HR inference -> uniform fine solve.
+SurfNetPipelineResult run_surfnet_pipeline(
+    SurfNet& model, const mesh::CaseSpec& spec, int level,
+    const data::NormStats& stats, const solver::SolverConfig& ps_config,
+    const field::FlowField& lr, double lr_seconds);
+
+}  // namespace adarnet::baseline

@@ -1,0 +1,144 @@
+#include "data/cases.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "solver/sa_model.hpp"
+
+namespace adarnet::data {
+
+using mesh::BcType;
+using mesh::CaseSpec;
+
+GridPreset paper_wall_preset() { return GridPreset{64, 256, 16, 16}; }
+
+GridPreset paper_body_preset() { return GridPreset{128, 128, 16, 16}; }
+
+GridPreset shrink(GridPreset preset, int k) {
+  if (k < 1 || preset.base_ny % k || preset.base_nx % k || preset.ph % k ||
+      preset.pw % k) {
+    throw std::invalid_argument("shrink: preset extents not divisible by k");
+  }
+  return GridPreset{preset.base_ny / k, preset.base_nx / k, preset.ph / k,
+                    preset.pw / k};
+}
+
+namespace {
+
+std::string case_name(const char* base, double re) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s Re=%.3g", base, re);
+  return buf;
+}
+
+void apply_preset(CaseSpec& spec, const GridPreset& preset) {
+  spec.base_ny = preset.base_ny;
+  spec.base_nx = preset.base_nx;
+  spec.ph = preset.ph;
+  spec.pw = preset.pw;
+  if (spec.base_ny % spec.ph || spec.base_nx % spec.pw) {
+    throw std::invalid_argument("grid extent not divisible by patch size");
+  }
+}
+
+}  // namespace
+
+CaseSpec channel_case(double re, GridPreset preset) {
+  CaseSpec spec;
+  constexpr double kHeight = 0.1;
+  constexpr double kLength = 6.0;
+  constexpr double kNu = 1.5e-5;
+  spec.name = case_name("channel", re);
+  spec.lx = kLength;
+  spec.ly = kHeight;
+  spec.nu = kNu;
+  spec.l_ref = kHeight;
+  spec.u_ref = re * kNu / kHeight;
+  const double nt_in = solver::sa::freestream_nu_tilda(kNu);
+  spec.bc.left = {BcType::kInlet, spec.u_ref, 0.0, nt_in};
+  spec.bc.right = {BcType::kOutlet, 0.0, 0.0, 0.0};
+  spec.bc.bottom = {BcType::kWall, 0.0, 0.0, 0.0};
+  spec.bc.top = {BcType::kWall, 0.0, 0.0, 0.0};
+  spec.geometry = std::make_shared<mesh::ChannelGeometry>(kHeight);
+  apply_preset(spec, preset);
+  return spec;
+}
+
+CaseSpec flat_plate_case(double re, GridPreset preset) {
+  CaseSpec spec;
+  constexpr double kHeight = 0.2;
+  constexpr double kLength = 10.0;
+  constexpr double kNu = 1.5e-5;
+  spec.name = case_name("flat plate", re);
+  spec.lx = kLength;
+  spec.ly = kHeight;
+  spec.nu = kNu;
+  spec.l_ref = kLength;
+  spec.u_ref = re * kNu / kLength;
+  const double nt_in = solver::sa::freestream_nu_tilda(kNu);
+  spec.bc.left = {BcType::kInlet, spec.u_ref, 0.0, nt_in};
+  spec.bc.right = {BcType::kOutlet, 0.0, 0.0, 0.0};
+  spec.bc.bottom = {BcType::kWall, 0.0, 0.0, 0.0};
+  spec.bc.top = {BcType::kSymmetry, 0.0, 0.0, 0.0};
+  spec.geometry = std::make_shared<mesh::FlatPlateGeometry>(0.0);
+  apply_preset(spec, preset);
+  return spec;
+}
+
+namespace {
+
+CaseSpec body_case(std::shared_ptr<const mesh::Geometry> body,
+                   const std::string& name, double re,
+                   const GridPreset& preset) {
+  CaseSpec spec;
+  constexpr double kBox = 4.0;    // domain is kBox x kBox chords
+  constexpr double kChord = 1.0;
+  constexpr double kNu = 1.5e-5;
+  spec.name = name;
+  spec.lx = kBox;
+  spec.ly = kBox;
+  spec.nu = kNu;
+  spec.l_ref = kChord;
+  spec.u_ref = re * kNu / kChord;
+  const double nt_in = solver::sa::freestream_nu_tilda(kNu);
+  spec.bc.left = {BcType::kInlet, spec.u_ref, 0.0, nt_in};
+  spec.bc.right = {BcType::kOutlet, 0.0, 0.0, 0.0};
+  spec.bc.bottom = {BcType::kFreestream, spec.u_ref, 0.0, nt_in};
+  spec.bc.top = {BcType::kFreestream, spec.u_ref, 0.0, nt_in};
+  spec.geometry = std::move(body);
+  apply_preset(spec, preset);
+  return spec;
+}
+
+// Body centre: upstream third of the box so the wake has room to develop.
+constexpr double kBodyCx = 1.5;
+constexpr double kBodyCy = 2.0;
+
+}  // namespace
+
+CaseSpec ellipse_case(double aspect, double alpha_deg, double theta_deg,
+                      double re, GridPreset preset) {
+  auto body = mesh::make_ellipse(1.0, aspect, alpha_deg, theta_deg, kBodyCx,
+                                 kBodyCy);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ellipse a=%.2f aoa=%.1f Re=%.3g", aspect,
+                alpha_deg + theta_deg, re);
+  return body_case(std::move(body), buf, re, preset);
+}
+
+CaseSpec cylinder_case(double re, GridPreset preset) {
+  auto body = mesh::make_ellipse(1.0, 1.0, 0.0, 0.0, kBodyCx, kBodyCy);
+  return body_case(std::move(body), case_name("cylinder", re), re, preset);
+}
+
+CaseSpec naca0012_case(double re, GridPreset preset) {
+  auto body = mesh::make_naca4(1.0, 0.0, 0.0, 0.12, 0.0, kBodyCx, kBodyCy);
+  return body_case(std::move(body), case_name("NACA0012", re), re, preset);
+}
+
+CaseSpec naca1412_case(double re, GridPreset preset) {
+  auto body = mesh::make_naca4(1.0, 0.01, 0.4, 0.12, 0.0, kBodyCx, kBodyCy);
+  return body_case(std::move(body), case_name("NACA1412", re), re, preset);
+}
+
+}  // namespace adarnet::data

@@ -1,0 +1,62 @@
+// Factories for the paper's case studies (Section 4.1).
+//
+// Three canonical flow families form the training set — turbulent channel
+// flow, turbulent flat plate, and flow around ellipses — and the test set
+// adds the cylinder and two NACA airfoils (geometries unseen in training).
+//
+// Substitutions vs the paper (see DESIGN.md): the external-flow far field
+// is 4 chords from the body instead of 30 (Cartesian immersed-boundary grid
+// instead of a body-fitted O-grid), so the body is resolved by the same
+// patches that ADARNet scores.
+#pragma once
+
+#include "mesh/case_spec.hpp"
+
+namespace adarnet::data {
+
+/// Grid resolution preset for a case.
+struct GridPreset {
+  int base_ny = 64;  ///< LR rows
+  int base_nx = 256; ///< LR columns
+  int ph = 16;       ///< patch height
+  int pw = 16;       ///< patch width
+};
+
+/// The paper's LR resolution for wall-bounded cases: 64 x 256, 16 x 16
+/// patches, N = 64 patches.
+GridPreset paper_wall_preset();
+
+/// The paper-scale preset for external flows: 128 x 128, 16 x 16 patches,
+/// N = 64 patches.
+GridPreset paper_body_preset();
+
+/// Divides a preset's extents and patch size by `k` (patch count is
+/// preserved, so the scorer's N = 64 patches is unchanged). Used to run the
+/// full pipeline at laptop scale.
+GridPreset shrink(GridPreset preset, int k);
+
+/// Turbulent channel flow: 6 m x 0.1 m, inlet left, outlet right, walls
+/// top and bottom. Re is based on the channel height (0.1 m).
+mesh::CaseSpec channel_case(double re, GridPreset preset = paper_wall_preset());
+
+/// Turbulent flat plate: 10 m x 0.2 m, wall at the bottom, symmetry at the
+/// top. Re is based on the plate length (10 m).
+mesh::CaseSpec flat_plate_case(double re,
+                               GridPreset preset = paper_wall_preset());
+
+/// Flow around an ellipse of chord 1 m, thickness ratio `aspect`, angle of
+/// attack `alpha_deg` plus pitch `theta_deg`, in an 8 x 8 chord box.
+/// Re is based on the chord.
+mesh::CaseSpec ellipse_case(double aspect, double alpha_deg, double theta_deg,
+                            double re, GridPreset preset = paper_body_preset());
+
+/// Flow around a cylinder (ellipse with aspect 1).
+mesh::CaseSpec cylinder_case(double re, GridPreset preset = paper_body_preset());
+
+/// Flow around the symmetric NACA0012 airfoil.
+mesh::CaseSpec naca0012_case(double re, GridPreset preset = paper_body_preset());
+
+/// Flow around the non-symmetric (cambered) NACA1412 airfoil.
+mesh::CaseSpec naca1412_case(double re, GridPreset preset = paper_body_preset());
+
+}  // namespace adarnet::data

@@ -1,0 +1,58 @@
+// Training-data generation (paper Section 4.1).
+//
+// The paper collects 30 000 LR samples by sweeping boundary conditions of
+// three canonical flows: channel (Re sweep), flat plate (Re sweep), and
+// ellipses (aspect ratio x angle x Re sweep). Each sample is the converged
+// LR RANS solution — which this library generates with its own solver
+// instead of OpenFOAM. Sample counts are configurable; the defaults are
+// laptop-scale (the sweep ranges match the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/cases.hpp"
+#include "data/normalize.hpp"
+#include "field/flow_field.hpp"
+#include "solver/rans.hpp"
+
+namespace adarnet::data {
+
+/// One training sample: the case and its converged LR solution.
+struct Sample {
+  mesh::CaseSpec spec;
+  field::FlowField lr;
+};
+
+/// Sweep configuration for dataset generation.
+struct DatasetConfig {
+  int channel_samples = 4;   ///< paper: 10 000
+  int plate_samples = 4;     ///< paper: 10 000
+  int ellipse_samples = 4;   ///< paper: 10 000
+  GridPreset wall_preset = paper_wall_preset();
+  GridPreset body_preset = paper_body_preset();
+  solver::SolverConfig solver;  ///< LR solve settings
+  std::uint64_t seed = 1234;
+};
+
+/// A generated dataset plus its fitted normalisation statistics.
+struct Dataset {
+  std::vector<Sample> samples;
+  NormStats stats;
+
+  /// Splits off the last `fraction` of samples as a validation set.
+  std::vector<Sample> split_validation(double fraction);
+};
+
+/// Runs the LR solver over the configured sweeps. Reynolds ranges follow
+/// the paper: channel 2e3..1.35e4, plate 1.35e5..1.1e6, ellipses with
+/// aspect in {0.05..0.75}, angles in [-2, 6] deg, Re in [5e4, 9e4].
+Dataset generate_dataset(const DatasetConfig& config);
+
+/// Solves one case at LR (all patches level 0) and returns the uniform
+/// field. Exposed for tests and the evaluation pipelines.
+field::FlowField solve_lr(const mesh::CaseSpec& spec,
+                          const solver::SolverConfig& config,
+                          solver::SolveStats* stats = nullptr);
+
+}  // namespace adarnet::data

@@ -1,0 +1,75 @@
+#include "data/normalize.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adarnet::data {
+
+NormStats NormStats::identity() {
+  NormStats s;
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    s.lo[c] = 0.0;
+    s.hi[c] = 1.0;
+  }
+  return s;
+}
+
+NormStats NormStats::fit(const std::vector<field::FlowField>& fields) {
+  NormStats s;
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    s.lo[c] = std::numeric_limits<double>::max();
+    s.hi[c] = std::numeric_limits<double>::lowest();
+  }
+  for (const auto& f : fields) {
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      for (double v : f.channel(c)) {
+        s.lo[c] = std::min(s.lo[c], v);
+        s.hi[c] = std::max(s.hi[c], v);
+      }
+    }
+  }
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    if (fields.empty() || s.hi[c] <= s.lo[c]) {
+      if (fields.empty()) s.lo[c] = 0.0;
+      s.hi[c] = s.lo[c] + 1.0;
+    }
+  }
+  return s;
+}
+
+nn::Tensor to_tensor(const field::FlowField& f, const NormStats& stats) {
+  nn::Tensor t(1, field::kNumFlowVars, f.ny(), f.nx());
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    const auto& g = f.channel(c);
+    for (int i = 0; i < f.ny(); ++i) {
+      for (int j = 0; j < f.nx(); ++j) {
+        t.at(0, c, i, j) = static_cast<float>(stats.encode(c, g(i, j)));
+      }
+    }
+  }
+  return t;
+}
+
+field::FlowField from_tensor(const nn::Tensor& t, const NormStats& stats) {
+  return from_tensor_sample(t, 0, stats);
+}
+
+field::FlowField from_tensor_sample(const nn::Tensor& t, int sample,
+                                    const NormStats& stats) {
+  if (t.c() != field::kNumFlowVars) {
+    throw std::invalid_argument("from_tensor: expected 4 channels");
+  }
+  field::FlowField f(t.h(), t.w());
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    auto& g = f.channel(c);
+    for (int i = 0; i < t.h(); ++i) {
+      for (int j = 0; j < t.w(); ++j) {
+        g(i, j) = stats.decode(c, t.at(sample, c, i, j));
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace adarnet::data

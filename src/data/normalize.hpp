@@ -1,0 +1,52 @@
+// Channel-wise min-max normalisation and FlowField <-> NN tensor bridging.
+//
+// The paper scales flow variables to [0, 1] during training for stability
+// (Section 5.1) but computes PDE-residual gradients on unscaled values.
+// NormStats records the per-channel ranges so predictions can be mapped
+// back to physical units before the physics solver or the residual loss
+// sees them.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "field/flow_field.hpp"
+#include "nn/tensor.hpp"
+
+namespace adarnet::data {
+
+/// Per-channel [lo, hi] ranges for the four flow variables.
+struct NormStats {
+  std::array<double, field::kNumFlowVars> lo{};
+  std::array<double, field::kNumFlowVars> hi{};
+
+  /// Identity stats (lo = 0, hi = 1): normalisation is a no-op.
+  static NormStats identity();
+
+  /// Computes ranges over a set of fields; degenerate channels (hi == lo)
+  /// get hi = lo + 1 so normalisation stays well-defined.
+  static NormStats fit(const std::vector<field::FlowField>& fields);
+
+  /// Maps a physical value of channel c into [0, 1].
+  [[nodiscard]] double encode(int c, double v) const {
+    return (v - lo[c]) / (hi[c] - lo[c]);
+  }
+  /// Maps a normalised value of channel c back to physical units.
+  [[nodiscard]] double decode(int c, double v) const {
+    return lo[c] + v * (hi[c] - lo[c]);
+  }
+  /// d(physical) / d(normalised) for channel c (loss-gradient chain rule).
+  [[nodiscard]] double scale(int c) const { return hi[c] - lo[c]; }
+};
+
+/// Converts a FlowField to a (1, 4, ny, nx) normalised tensor.
+nn::Tensor to_tensor(const field::FlowField& f, const NormStats& stats);
+
+/// Converts a normalised (1, 4, ny, nx) tensor back to a FlowField.
+field::FlowField from_tensor(const nn::Tensor& t, const NormStats& stats);
+
+/// Converts one sample of a batched tensor (n, 4, h, w) to a FlowField.
+field::FlowField from_tensor_sample(const nn::Tensor& t, int sample,
+                                    const NormStats& stats);
+
+}  // namespace adarnet::data

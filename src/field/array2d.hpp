@@ -1,0 +1,85 @@
+// Dense row-major 2D array, the storage primitive for flow fields.
+//
+// Indexing convention throughout the library: `a(i, j)` where `i` is the
+// row (y direction, 0 at the bottom of the physical domain) and `j` is the
+// column (x direction, 0 at the left). Shapes are (ny, nx).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adarnet::field {
+
+/// Dense row-major 2D array of `T` with (ny, nx) shape.
+template <typename T>
+class Array2D {
+ public:
+  /// Empty 0x0 array.
+  Array2D() = default;
+
+  /// ny x nx array, value-initialised (zero for arithmetic T).
+  Array2D(int ny, int nx, T init = T{})
+      : ny_(ny), nx_(nx), data_(static_cast<std::size_t>(ny) * nx, init) {
+    assert(ny >= 0 && nx >= 0);
+  }
+
+  /// Number of rows (y direction).
+  [[nodiscard]] int ny() const { return ny_; }
+  /// Number of columns (x direction).
+  [[nodiscard]] int nx() const { return nx_; }
+  /// Total number of elements.
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  /// True when the array holds no elements.
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Element access (row i, column j), bounds-checked in debug builds.
+  T& operator()(int i, int j) {
+    assert(i >= 0 && i < ny_ && j >= 0 && j < nx_);
+    return data_[static_cast<std::size_t>(i) * nx_ + j];
+  }
+  const T& operator()(int i, int j) const {
+    assert(i >= 0 && i < ny_ && j >= 0 && j < nx_);
+    return data_[static_cast<std::size_t>(i) * nx_ + j];
+  }
+
+  /// Flat element access in row-major order.
+  T& operator[](std::size_t k) { return data_[k]; }
+  const T& operator[](std::size_t k) const { return data_[k]; }
+
+  /// Raw contiguous storage.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  /// Reshapes to ny x nx, discarding contents (value-initialised).
+  void resize(int ny, int nx, T init = T{}) {
+    ny_ = ny;
+    nx_ = nx;
+    data_.assign(static_cast<std::size_t>(ny) * nx, init);
+  }
+
+  /// True when both arrays have the same shape.
+  [[nodiscard]] bool same_shape(const Array2D& other) const {
+    return ny_ == other.ny_ && nx_ == other.nx_;
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  int ny_ = 0;
+  int nx_ = 0;
+  std::vector<T> data_;
+};
+
+using Grid2Dd = Array2D<double>;
+using Grid2Df = Array2D<float>;
+using Mask2D = Array2D<std::uint8_t>;
+
+}  // namespace adarnet::field

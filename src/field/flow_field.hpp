@@ -1,0 +1,56 @@
+// The four-channel RANS flow state predicted by ADARNet.
+//
+// The RANS + Spalart-Allmaras system carries four cell-centred variables:
+// mean x-velocity U, mean y-velocity V, kinematic mean pressure p, and the
+// SA working variable nuTilda (the modified eddy viscosity). ADARNet's DNN
+// consumes and produces exactly these four channels.
+#pragma once
+
+#include <array>
+#include <stdexcept>
+
+#include "field/array2d.hpp"
+
+namespace adarnet::field {
+
+/// Number of flow variables / image channels (U, V, p, nuTilda).
+inline constexpr int kNumFlowVars = 4;
+
+/// Names of the flow variables in channel order.
+inline constexpr std::array<const char*, kNumFlowVars> kFlowVarNames = {
+    "U", "V", "p", "nuTilda"};
+
+/// Cell-centred flow state on a single uniform grid.
+struct FlowField {
+  Grid2Dd U;        ///< mean x-velocity [m/s]
+  Grid2Dd V;        ///< mean y-velocity [m/s]
+  Grid2Dd p;        ///< kinematic mean pressure [m^2/s^2]
+  Grid2Dd nuTilda;  ///< SA modified eddy viscosity [m^2/s]
+
+  FlowField() = default;
+
+  /// Zero-initialised field of shape (ny, nx).
+  FlowField(int ny, int nx)
+      : U(ny, nx), V(ny, nx), p(ny, nx), nuTilda(ny, nx) {}
+
+  /// Rows of each channel.
+  [[nodiscard]] int ny() const { return U.ny(); }
+  /// Columns of each channel.
+  [[nodiscard]] int nx() const { return U.nx(); }
+
+  /// Channel access by index in paper order (0:U, 1:V, 2:p, 3:nuTilda).
+  Grid2Dd& channel(int c) {
+    switch (c) {
+      case 0: return U;
+      case 1: return V;
+      case 2: return p;
+      case 3: return nuTilda;
+      default: throw std::out_of_range("FlowField channel index");
+    }
+  }
+  const Grid2Dd& channel(int c) const {
+    return const_cast<FlowField*>(this)->channel(c);
+  }
+};
+
+}  // namespace adarnet::field

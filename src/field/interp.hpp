@@ -1,0 +1,64 @@
+// Bilinear and bicubic resampling of 2D arrays.
+//
+// Bicubic interpolation is the upsampling operator the paper uses twice:
+// (a) to refine each binned patch to its target resolution before the
+// decoder, and (b) to downsample HR patches back to LR when matching the
+// ground-truth data in the hybrid loss (Section 3.2).
+//
+// The bicubic kernel is the Keys convolution kernel with a = -0.5
+// (Catmull-Rom), the standard choice in image libraries.
+#pragma once
+
+#include "field/array2d.hpp"
+
+namespace adarnet::field {
+
+/// Resampling scheme.
+enum class Interp {
+  kBilinear,
+  kBicubic,
+};
+
+/// Resamples `src` to a (ny, nx) array. Cell-centred ("align corners off")
+/// coordinate mapping: output cell centre (i + 0.5) / ny maps to the same
+/// normalised position in the input. Edge samples clamp.
+Grid2Dd resize(const Grid2Dd& src, int ny, int nx, Interp scheme);
+
+/// float overload of resize(); identical semantics.
+Grid2Df resize(const Grid2Df& src, int ny, int nx, Interp scheme);
+
+/// Convenience: upsample by an integer factor per dimension.
+template <typename T>
+Array2D<T> upsample(const Array2D<T>& src, int factor, Interp scheme) {
+  return resize(src, src.ny() * factor, src.nx() * factor, scheme);
+}
+
+/// Convenience: downsample by an integer factor per dimension. The source
+/// extent must be divisible by `factor`.
+template <typename T>
+Array2D<T> downsample(const Array2D<T>& src, int factor, Interp scheme) {
+  return resize(src, src.ny() / factor, src.nx() / factor, scheme);
+}
+
+/// Area-weighted average downsample by an integer factor (conservative
+/// restriction, used at fine-to-coarse patch interfaces).
+Grid2Dd restrict_mean(const Grid2Dd& src, int factor);
+
+/// Adjoint (transpose) of resize(): given dL/d(resized output), returns
+/// dL/d(source) for a source of shape (src_ny, src_nx). resize() is linear
+/// in its input, so the adjoint distributes each output gradient onto the
+/// input taps with the same interpolation weights (clamped taps included).
+/// Needed when a loss is evaluated in the downsampled space of a predicted
+/// HR patch (paper Section 3.2).
+Grid2Dd resize_adjoint(const Grid2Dd& grad_out, int src_ny, int src_nx,
+                       Interp scheme);
+
+/// Samples `src` at fractional cell-index coordinates (y, x), where cell
+/// (i, j) has its centre at exactly (i, j). Out-of-range taps clamp to the
+/// border, matching resize().
+double sample(const Grid2Dd& src, double y, double x, Interp scheme);
+
+/// The 1D Keys bicubic kernel with a = -0.5, exposed for testing.
+double bicubic_kernel(double t);
+
+}  // namespace adarnet::field

@@ -1,0 +1,94 @@
+#include "field/patching.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "field/interp.hpp"
+
+namespace adarnet::field {
+
+PatchLayout make_layout(int ny, int nx, int ph, int pw) {
+  if (ph <= 0 || pw <= 0) throw std::invalid_argument("patch extent must be positive");
+  if (ny % ph != 0 || nx % pw != 0) {
+    throw std::invalid_argument("field extent must be divisible by patch extent");
+  }
+  PatchLayout layout;
+  layout.ph = ph;
+  layout.pw = pw;
+  layout.npy = ny / ph;
+  layout.npx = nx / pw;
+  return layout;
+}
+
+Grid2Dd extract_patch(const Grid2Dd& src, const PatchLayout& layout, int pi,
+                      int pj) {
+  assert(pi >= 0 && pi < layout.npy && pj >= 0 && pj < layout.npx);
+  Grid2Dd patch(layout.ph, layout.pw);
+  const int i0 = pi * layout.ph;
+  const int j0 = pj * layout.pw;
+  for (int i = 0; i < layout.ph; ++i) {
+    for (int j = 0; j < layout.pw; ++j) {
+      patch(i, j) = src(i0 + i, j0 + j);
+    }
+  }
+  return patch;
+}
+
+std::vector<Grid2Dd> split(const Grid2Dd& src, const PatchLayout& layout) {
+  assert(src.ny() == layout.npy * layout.ph);
+  assert(src.nx() == layout.npx * layout.pw);
+  std::vector<Grid2Dd> patches;
+  patches.reserve(layout.count());
+  for (int pi = 0; pi < layout.npy; ++pi) {
+    for (int pj = 0; pj < layout.npx; ++pj) {
+      patches.push_back(extract_patch(src, layout, pi, pj));
+    }
+  }
+  return patches;
+}
+
+Grid2Dd assemble(const std::vector<Grid2Dd>& patches, int npy, int npx) {
+  if (patches.empty() || npy * npx != static_cast<int>(patches.size())) {
+    throw std::invalid_argument("assemble: patch count does not match grid");
+  }
+  const int ph = patches.front().ny();
+  const int pw = patches.front().nx();
+  for (const auto& p : patches) {
+    if (p.ny() != ph || p.nx() != pw) {
+      throw std::invalid_argument("assemble: patches must share one shape");
+    }
+  }
+  Grid2Dd out(npy * ph, npx * pw);
+  for (int pi = 0; pi < npy; ++pi) {
+    for (int pj = 0; pj < npx; ++pj) {
+      const Grid2Dd& p = patches[pi * npx + pj];
+      for (int i = 0; i < ph; ++i) {
+        for (int j = 0; j < pw; ++j) {
+          out(pi * ph + i, pj * pw + j) = p(i, j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void insert_patch(Grid2Dd& dst, const PatchLayout& layout, int pi, int pj,
+                  const Grid2Dd& patch) {
+  assert(dst.ny() == layout.npy * layout.ph);
+  assert(dst.nx() == layout.npx * layout.pw);
+  const Grid2Dd* src = &patch;
+  Grid2Dd resized;
+  if (patch.ny() != layout.ph || patch.nx() != layout.pw) {
+    resized = resize(patch, layout.ph, layout.pw, Interp::kBicubic);
+    src = &resized;
+  }
+  const int i0 = pi * layout.ph;
+  const int j0 = pj * layout.pw;
+  for (int i = 0; i < layout.ph; ++i) {
+    for (int j = 0; j < layout.pw; ++j) {
+      dst(i0 + i, j0 + j) = (*src)(i, j);
+    }
+  }
+}
+
+}  // namespace adarnet::field

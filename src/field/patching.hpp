@@ -1,0 +1,50 @@
+// Splitting flow fields into fixed-size patches and reassembling them.
+//
+// ADARNet divides the LR input into NPy x NPx patches of ph x pw cells
+// (16 x 16 in the paper). The ranker then assigns each patch a refinement
+// level; patches live at different resolutions until the composite field is
+// assembled.
+#pragma once
+
+#include <vector>
+
+#include "field/array2d.hpp"
+
+namespace adarnet::field {
+
+/// Shape of a patch decomposition of a (ny, nx) field.
+struct PatchLayout {
+  int ph = 16;   ///< patch height in LR cells
+  int pw = 16;   ///< patch width in LR cells
+  int npy = 0;   ///< number of patches in y
+  int npx = 0;   ///< number of patches in x
+
+  /// Total number of patches N = npy * npx.
+  [[nodiscard]] int count() const { return npy * npx; }
+
+  /// Flat patch index for patch row `pi`, patch column `pj`.
+  [[nodiscard]] int index(int pi, int pj) const { return pi * npx + pj; }
+};
+
+/// Computes the layout for a field of (ny, nx) cells with (ph, pw) patches.
+/// The field extent must be divisible by the patch extent.
+PatchLayout make_layout(int ny, int nx, int ph, int pw);
+
+/// Extracts patch (pi, pj) from `src` as a ph x pw array.
+Grid2Dd extract_patch(const Grid2Dd& src, const PatchLayout& layout, int pi,
+                      int pj);
+
+/// Splits `src` into layout.count() patches in row-major patch order.
+std::vector<Grid2Dd> split(const Grid2Dd& src, const PatchLayout& layout);
+
+/// Reassembles equally sized patches (row-major patch order) into one field.
+/// All patches must share one shape; the result is (npy*ph', npx*pw') where
+/// (ph', pw') is the patch shape (which may differ from the LR layout's).
+Grid2Dd assemble(const std::vector<Grid2Dd>& patches, int npy, int npx);
+
+/// Writes `patch` into `dst` at patch slot (pi, pj) of `layout`, resampling
+/// to the slot's LR resolution first if shapes differ (bicubic).
+void insert_patch(Grid2Dd& dst, const PatchLayout& layout, int pi, int pj,
+                  const Grid2Dd& patch);
+
+}  // namespace adarnet::field

@@ -1,0 +1,69 @@
+#include "field/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace adarnet::field {
+
+double l2_norm(const Grid2Dd& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double rms(const Grid2Dd& a) {
+  if (a.empty()) return 0.0;
+  return l2_norm(a) / std::sqrt(static_cast<double>(a.size()));
+}
+
+double max_abs(const Grid2Dd& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double mean(const Grid2Dd& a) {
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc / static_cast<double>(a.size());
+}
+
+double min_value(const Grid2Dd& a) {
+  double m = a.empty() ? 0.0 : a[0];
+  for (double v : a) m = std::min(m, v);
+  return m;
+}
+
+double max_value(const Grid2Dd& a) {
+  double m = a.empty() ? 0.0 : a[0];
+  for (double v : a) m = std::max(m, v);
+  return m;
+}
+
+double mse(const Grid2Dd& a, const Grid2Dd& b) {
+  assert(a.same_shape(b));
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double rel_l2_error(const Grid2Dd& a, const Grid2Dd& b) {
+  assert(a.same_shape(b));
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    num += d * d;
+    den += b[k] * b[k];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+}  // namespace adarnet::field

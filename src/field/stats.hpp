@@ -1,0 +1,30 @@
+// Norms and summary statistics over 2D fields.
+#pragma once
+
+#include "field/array2d.hpp"
+
+namespace adarnet::field {
+
+/// L2 norm sqrt(sum a_k^2).
+double l2_norm(const Grid2Dd& a);
+
+/// Root mean square sqrt(mean a_k^2).
+double rms(const Grid2Dd& a);
+
+/// Maximum absolute value.
+double max_abs(const Grid2Dd& a);
+
+/// Mean value.
+double mean(const Grid2Dd& a);
+
+/// Minimum / maximum elements.
+double min_value(const Grid2Dd& a);
+double max_value(const Grid2Dd& a);
+
+/// Mean squared error between two same-shape fields.
+double mse(const Grid2Dd& a, const Grid2Dd& b);
+
+/// Relative L2 error ||a - b|| / ||b|| (0 when both are zero).
+double rel_l2_error(const Grid2Dd& a, const Grid2Dd& b);
+
+}  // namespace adarnet::field

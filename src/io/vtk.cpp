@@ -1,0 +1,113 @@
+#include "io/vtk.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+namespace adarnet::io {
+
+bool write_vtk_uniform(const field::FlowField& f, double dx, double dy,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# vtk DataFile Version 3.0\n"
+      << "adarnet uniform flow field\n"
+      << "ASCII\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << f.nx() << ' ' << f.ny() << " 1\n"
+      << "ORIGIN " << 0.5 * dx << ' ' << 0.5 * dy << " 0\n"
+      << "SPACING " << dx << ' ' << dy << " 1\n"
+      << "POINT_DATA " << static_cast<long long>(f.nx()) * f.ny() << '\n';
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    out << "SCALARS " << field::kFlowVarNames[c] << " double 1\n"
+        << "LOOKUP_TABLE default\n";
+    const auto& g = f.channel(c);
+    for (int i = 0; i < f.ny(); ++i) {
+      for (int j = 0; j < f.nx(); ++j) {
+        out << g(i, j) << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_vtk_composite(const mesh::CompositeField& f,
+                         const mesh::CompositeMesh& mesh,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  long long n_cells = mesh.active_cells();
+  out << "# vtk DataFile Version 3.0\n"
+      << "adarnet composite field\n"
+      << "ASCII\n"
+      << "DATASET UNSTRUCTURED_GRID\n"
+      << "POINTS " << 4 * n_cells << " double\n";
+  // Four corner points per cell (duplicated across cells; simple and
+  // robust for block meshes with hanging nodes).
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& pm = mesh.patch_flat(k);
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        const double x0 = pm.x0 + (j - 1) * pm.dx;
+        const double y0 = pm.y0 + (i - 1) * pm.dy;
+        out << x0 << ' ' << y0 << " 0\n"
+            << x0 + pm.dx << ' ' << y0 << " 0\n"
+            << x0 + pm.dx << ' ' << y0 + pm.dy << " 0\n"
+            << x0 << ' ' << y0 + pm.dy << " 0\n";
+      }
+    }
+  }
+  out << "CELLS " << n_cells << ' ' << 5 * n_cells << '\n';
+  for (long long c = 0; c < n_cells; ++c) {
+    const long long base = 4 * c;
+    out << "4 " << base << ' ' << base + 1 << ' ' << base + 2 << ' '
+        << base + 3 << '\n';
+  }
+  out << "CELL_TYPES " << n_cells << '\n';
+  for (long long c = 0; c < n_cells; ++c) out << "9\n";  // VTK_QUAD
+
+  out << "CELL_DATA " << n_cells << '\n';
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    out << "SCALARS " << field::kFlowVarNames[c] << " double 1\n"
+        << "LOOKUP_TABLE default\n";
+    for (int k = 0; k < mesh.patch_count(); ++k) {
+      const auto& pm = mesh.patch_flat(k);
+      const auto& g = f.channel(c)[k];
+      for (int i = 1; i <= pm.ny; ++i) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          out << g(i, j) << '\n';
+        }
+      }
+    }
+  }
+  out << "SCALARS level int 1\nLOOKUP_TABLE default\n";
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& pm = mesh.patch_flat(k);
+    for (long long c = 0; c < pm.cells(); ++c) out << pm.level << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_pgm(const field::Grid2Dd& f, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  double lo = f.empty() ? 0.0 : f[0];
+  double hi = lo;
+  for (double v : f) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  out << "P5\n" << f.nx() << ' ' << f.ny() << "\n255\n";
+  for (int i = f.ny() - 1; i >= 0; --i) {
+    for (int j = 0; j < f.nx(); ++j) {
+      const auto byte =
+          static_cast<std::uint8_t>((f(i, j) - lo) * scale + 0.5);
+      out.put(static_cast<char>(byte));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace adarnet::io

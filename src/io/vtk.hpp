@@ -1,0 +1,36 @@
+// Field and mesh export for visualisation.
+//
+// Two formats are provided:
+//  * legacy VTK (STRUCTURED_POINTS for uniform fields, UNSTRUCTURED_GRID of
+//    quads for composite meshes) — loadable by ParaView/VisIt;
+//  * PGM images of single scalar fields for quick terminal-side checks.
+// The Fig 9/10 benches print ASCII maps; these writers produce the
+// publication-style renderings of the same data.
+#pragma once
+
+#include <string>
+
+#include "field/flow_field.hpp"
+#include "mesh/composite.hpp"
+
+namespace adarnet::io {
+
+/// Writes a uniform flow field as legacy-VTK structured points with one
+/// scalar array per flow variable. `dx`/`dy` set the physical spacing.
+/// Returns false on I/O failure.
+bool write_vtk_uniform(const field::FlowField& f, double dx, double dy,
+                       const std::string& path);
+
+/// Writes a composite field as an unstructured grid of cell quads with
+/// per-cell flow variables and the patch refinement level. Ghost cells are
+/// not exported. Returns false on I/O failure.
+bool write_vtk_composite(const mesh::CompositeField& f,
+                         const mesh::CompositeMesh& mesh,
+                         const std::string& path);
+
+/// Writes one scalar field as an 8-bit PGM image, linearly mapped from
+/// [min, max] of the data (rows flipped so the top of the image is the top
+/// of the domain). Returns false on I/O failure.
+bool write_pgm(const field::Grid2Dd& f, const std::string& path);
+
+}  // namespace adarnet::io

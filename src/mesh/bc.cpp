@@ -1,0 +1,16 @@
+#include "mesh/bc.hpp"
+
+namespace adarnet::mesh {
+
+const char* bc_name(BcType type) {
+  switch (type) {
+    case BcType::kInlet: return "inlet";
+    case BcType::kOutlet: return "outlet";
+    case BcType::kWall: return "wall";
+    case BcType::kSymmetry: return "symmetry";
+    case BcType::kFreestream: return "freestream";
+  }
+  return "?";
+}
+
+}  // namespace adarnet::mesh

@@ -1,0 +1,38 @@
+// Boundary-condition specification for the rectangular computational domain.
+//
+// Every case in the paper is posed on a rectangle with one condition per
+// side plus (for external flows) an immersed solid body. The solver applies
+// these conditions through ghost cells.
+#pragma once
+
+namespace adarnet::mesh {
+
+/// Kind of boundary condition on one side of the domain.
+enum class BcType {
+  kInlet,       ///< fixed velocity, zero-gradient pressure, fixed nuTilda
+  kOutlet,      ///< zero-gradient velocity/nuTilda, fixed (zero) pressure
+  kWall,        ///< no-slip velocity, zero-gradient pressure, nuTilda = 0
+  kSymmetry,    ///< zero normal velocity, zero-gradient tangential/others
+  kFreestream,  ///< far-field: fixed velocity and nuTilda (external flows)
+};
+
+/// One side's condition and associated Dirichlet values.
+struct SideBc {
+  BcType type = BcType::kWall;
+  double u = 0.0;        ///< imposed x-velocity (inlet/freestream)
+  double v = 0.0;        ///< imposed y-velocity (inlet/freestream)
+  double nuTilda = 0.0;  ///< imposed SA variable (inlet/freestream)
+};
+
+/// Boundary conditions for all four sides of the rectangle.
+struct BcSet {
+  SideBc left;    ///< x = 0
+  SideBc right;   ///< x = Lx
+  SideBc bottom;  ///< y = 0
+  SideBc top;     ///< y = Ly
+};
+
+/// Returns a printable name for a boundary-condition type.
+const char* bc_name(BcType type);
+
+}  // namespace adarnet::mesh

@@ -1,0 +1,42 @@
+// Full specification of a flow case: domain, boundary conditions, geometry,
+// fluid properties, and the LR discretisation ADARNet starts from.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mesh/bc.hpp"
+#include "mesh/geometry.hpp"
+
+namespace adarnet::mesh {
+
+/// Everything needed to mesh and solve one flow configuration.
+struct CaseSpec {
+  std::string name;  ///< e.g. "channel Re=2.5e3"
+
+  double lx = 1.0;  ///< domain length in x [m]
+  double ly = 1.0;  ///< domain height in y [m]
+
+  BcSet bc;  ///< rectangle boundary conditions
+
+  std::shared_ptr<const Geometry> geometry;  ///< walls / immersed body
+
+  double nu = 1e-5;     ///< laminar kinematic viscosity [m^2/s]
+  double u_ref = 1.0;   ///< reference (inlet/freestream) velocity [m/s]
+  double l_ref = 1.0;   ///< characteristic length for Re and QoIs [m]
+
+  int base_ny = 64;  ///< LR grid rows (y)
+  int base_nx = 64;  ///< LR grid columns (x)
+  int ph = 16;       ///< patch height in LR cells
+  int pw = 16;       ///< patch width in LR cells
+
+  /// Reynolds number Re = u_ref * l_ref / nu.
+  [[nodiscard]] double reynolds() const { return u_ref * l_ref / nu; }
+
+  /// Number of patches in y at the LR resolution.
+  [[nodiscard]] int npy() const { return base_ny / ph; }
+  /// Number of patches in x at the LR resolution.
+  [[nodiscard]] int npx() const { return base_nx / pw; }
+};
+
+}  // namespace adarnet::mesh

@@ -1,0 +1,323 @@
+#include "mesh/composite.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cmath>
+#include <stdexcept>
+
+#include "field/interp.hpp"
+
+namespace adarnet::mesh {
+
+CompositeMesh::CompositeMesh(CaseSpec spec, RefinementMap map)
+    : spec_(std::move(spec)), map_(std::move(map)) {
+  if (map_.npy() != spec_.npy() || map_.npx() != spec_.npx()) {
+    throw std::invalid_argument("RefinementMap shape does not match CaseSpec");
+  }
+  const double dx0 = spec_.lx / spec_.base_nx;
+  const double dy0 = spec_.ly / spec_.base_ny;
+  patches_.reserve(map_.count());
+  for (int pi = 0; pi < npy(); ++pi) {
+    for (int pj = 0; pj < npx(); ++pj) {
+      PatchMesh pm;
+      pm.pi = pi;
+      pm.pj = pj;
+      pm.level = map_.level(pi, pj);
+      pm.ny = spec_.ph << pm.level;
+      pm.nx = spec_.pw << pm.level;
+      pm.dx = dx0 / (1 << pm.level);
+      pm.dy = dy0 / (1 << pm.level);
+      pm.x0 = pj * spec_.pw * dx0;
+      pm.y0 = pi * spec_.ph * dy0;
+      pm.solid.resize(pm.ny + 2, pm.nx + 2, 0);
+      pm.wall_dist.resize(pm.ny + 2, pm.nx + 2, 1e30);
+      if (spec_.geometry) {
+        // Thin-body capture: cells whose centre lies within a fraction of
+        // a cell of the surface are solid even when the centre is outside
+        // (Geometry::capture_half_width). Keeps thin airfoils from
+        // slipping between cell centres; bluff bodies keep the plain
+        // centre-sampled staircase (factor 0).
+        const double capture = spec_.geometry->capture_half_width() *
+                               std::min(pm.dx, pm.dy);
+        for (int i = 0; i <= pm.ny + 1; ++i) {
+          for (int j = 0; j <= pm.nx + 1; ++j) {
+            const double x = pm.xc(j);
+            const double y = pm.yc(i);
+            const double dist = spec_.geometry->wall_distance(x, y);
+            const bool solid = spec_.geometry->inside(x, y) ||
+                               (capture > 0.0 && dist < capture);
+            pm.solid(i, j) = solid ? 1 : 0;
+            pm.wall_dist(i, j) = std::max(dist, 1e-10);
+          }
+        }
+      }
+      patches_.push_back(std::move(pm));
+    }
+  }
+}
+
+long long CompositeMesh::active_cells() const {
+  long long total = 0;
+  for (const auto& pm : patches_) total += pm.cells();
+  return total;
+}
+
+long long CompositeMesh::fluid_cells() const {
+  long long total = 0;
+  for (const auto& pm : patches_) {
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        total += (pm.solid(i, j) == 0);
+      }
+    }
+  }
+  return total;
+}
+
+CompositeScalar& CompositeField::channel(int c) {
+  switch (c) {
+    case 0: return U;
+    case 1: return V;
+    case 2: return p;
+    case 3: return nuTilda;
+    default: throw std::out_of_range("CompositeField channel index");
+  }
+}
+
+const CompositeScalar& CompositeField::channel(int c) const {
+  return const_cast<CompositeField*>(this)->channel(c);
+}
+
+CompositeScalar make_scalar(const CompositeMesh& mesh) {
+  CompositeScalar s;
+  s.reserve(mesh.patch_count());
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const PatchMesh& pm = mesh.patch_flat(k);
+    s.emplace_back(pm.ny + 2, pm.nx + 2);
+  }
+  return s;
+}
+
+CompositeField make_field(const CompositeMesh& mesh) {
+  CompositeField f;
+  f.U = make_scalar(mesh);
+  f.V = make_scalar(mesh);
+  f.p = make_scalar(mesh);
+  f.nuTilda = make_scalar(mesh);
+  return f;
+}
+
+namespace {
+
+// Fills the ghost cells of `mine` on one edge from neighbour `theirs`.
+// `edge`: 0 = my left ghosts (neighbour to the left), 1 = right, 2 = bottom,
+// 3 = top. Tangential extents of the two patches coincide physically.
+void fill_edge(field::Grid2Dd& mine, const PatchMesh& pm,
+               const field::Grid2Dd& theirs, const PatchMesh& nb, int edge) {
+  const bool horizontal = (edge == 0 || edge == 1);  // interface normal = x
+  const int n_t = horizontal ? pm.ny : pm.nx;        // my tangential cells
+  const int nb_t = horizontal ? nb.ny : nb.nx;       // their tangential cells
+
+  // Their interior layer adjacent to the interface.
+  const int nb_fixed = [&] {
+    switch (edge) {
+      case 0: return nb.nx;  // neighbour's rightmost column
+      case 1: return 1;      // neighbour's leftmost column
+      case 2: return nb.ny;  // neighbour's top row
+      default: return 1;     // neighbour's bottom row
+    }
+  }();
+
+  auto their_at = [&](int t) -> double {
+    t = std::clamp(t, 1, nb_t);
+    return horizontal ? theirs(t, nb_fixed) : theirs(nb_fixed, t);
+  };
+
+  auto my_ghost = [&](int t) -> double& {
+    switch (edge) {
+      case 0: return mine(t, 0);
+      case 1: return mine(t, pm.nx + 1);
+      case 2: return mine(0, t);
+      default: return mine(pm.ny + 1, t);
+    }
+  };
+  // My first interior cell adjacent to ghost slot t.
+  auto my_inner = [&](int t) -> double {
+    switch (edge) {
+      case 0: return mine(t, 1);
+      case 1: return mine(t, pm.nx);
+      case 2: return mine(1, t);
+      default: return mine(pm.ny, t);
+    }
+  };
+
+  // At level jumps the neighbour's sample sits at a different perpendicular
+  // distance from the interface than the ghost-cell centre. Correct for it
+  // by interpolating along the interface normal between my first interior
+  // cell (at -h_m/2) and the neighbour sample (at +h_n/2), evaluated at the
+  // ghost centre (+h_m/2): ghost = mine + t_perp * (nb - mine) with
+  // t_perp = 2 h_m / (h_m + h_n). Same level gives t_perp = 1 (plain copy).
+  // The factor is clamped at 1: when the neighbour is finer the exact
+  // correction would extrapolate (t_perp > 1), which destabilises the
+  // block-coupled solver iteration; a plain copy of the averaged fine
+  // values is first-order accurate and stable.
+  const double h_m = horizontal ? pm.dx : pm.dy;
+  const double h_n = horizontal ? nb.dx : nb.dy;
+  const double t_perp = std::min(2.0 * h_m / (h_m + h_n), 1.0);
+
+  auto nb_sample = [&](int t) -> double {
+    if (nb_t == n_t) return their_at(t);
+    if (nb_t > n_t) {
+      // Neighbour finer: average the covered fine cells.
+      const int ratio = nb_t / n_t;
+      double acc = 0.0;
+      for (int s = 0; s < ratio; ++s) acc += their_at((t - 1) * ratio + 1 + s);
+      return acc / ratio;
+    }
+    // Neighbour coarser: linear interpolation along the interface.
+    const double pos = (t - 0.5) / n_t;  // [0, 1] along interface
+    const double u = pos * nb_t + 0.5;   // their cell-index space
+    const int k0 = static_cast<int>(std::floor(u));
+    const double f = u - k0;
+    return (1.0 - f) * their_at(k0) + f * their_at(k0 + 1);
+  };
+
+  for (int t = 1; t <= n_t; ++t) {
+    const double inner = my_inner(t);
+    my_ghost(t) = inner + t_perp * (nb_sample(t) - inner);
+  }
+}
+
+}  // namespace
+
+void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh) {
+  assert(static_cast<int>(s.size()) == mesh.patch_count());
+  const int npy = mesh.npy();
+  const int npx = mesh.npx();
+#pragma omp parallel for schedule(static)
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const int pi = k / npx;
+    const int pj = k % npx;
+    const PatchMesh& pm = mesh.patch(pi, pj);
+    field::Grid2Dd& mine = s[k];
+    if (pj > 0) {
+      fill_edge(mine, pm, s[k - 1], mesh.patch(pi, pj - 1), 0);
+    }
+    if (pj + 1 < npx) {
+      fill_edge(mine, pm, s[k + 1], mesh.patch(pi, pj + 1), 1);
+    }
+    if (pi > 0) {
+      fill_edge(mine, pm, s[k - npx], mesh.patch(pi - 1, pj), 2);
+    }
+    if (pi + 1 < npy) {
+      fill_edge(mine, pm, s[k + npx], mesh.patch(pi + 1, pj), 3);
+    }
+    // Corner ghosts: average of the two adjacent edge ghosts, good enough
+    // for the cross terms that touch them.
+    mine(0, 0) = 0.5 * (mine(0, 1) + mine(1, 0));
+    mine(0, pm.nx + 1) = 0.5 * (mine(0, pm.nx) + mine(1, pm.nx + 1));
+    mine(pm.ny + 1, 0) = 0.5 * (mine(pm.ny, 0) + mine(pm.ny + 1, 1));
+    mine(pm.ny + 1, pm.nx + 1) =
+        0.5 * (mine(pm.ny, pm.nx + 1) + mine(pm.ny + 1, pm.nx));
+  }
+}
+
+void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh) {
+  exchange_ghosts(f.U, mesh);
+  exchange_ghosts(f.V, mesh);
+  exchange_ghosts(f.p, mesh);
+  exchange_ghosts(f.nuTilda, mesh);
+}
+
+void fill_from_uniform(CompositeField& f, const CompositeMesh& mesh,
+                       const field::FlowField& lr) {
+  const CaseSpec& spec = mesh.spec();
+  assert(lr.ny() == spec.base_ny && lr.nx() == spec.base_nx);
+  const double dx0 = spec.lx / spec.base_nx;
+  const double dy0 = spec.ly / spec.base_ny;
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    const field::Grid2Dd& src = lr.channel(c);
+    CompositeScalar& dst = f.channel(c);
+#pragma omp parallel for schedule(static)
+    for (int k = 0; k < mesh.patch_count(); ++k) {
+      const PatchMesh& pm = mesh.patch_flat(k);
+      for (int i = 0; i <= pm.ny + 1; ++i) {
+        const double y_idx = pm.yc(i) / dy0 - 0.5;
+        for (int j = 0; j <= pm.nx + 1; ++j) {
+          const double x_idx = pm.xc(j) / dx0 - 0.5;
+          dst[k](i, j) =
+              field::sample(src, y_idx, x_idx, field::Interp::kBicubic);
+        }
+      }
+    }
+  }
+}
+
+field::Grid2Dd scalar_to_uniform(const CompositeScalar& s,
+                                 const CompositeMesh& mesh, int level) {
+  const CaseSpec& spec = mesh.spec();
+  const int ny = spec.base_ny << level;
+  const int nx = spec.base_nx << level;
+  const int cph = spec.ph << level;  // output cells per patch in y
+  const int cpw = spec.pw << level;
+  field::Grid2Dd out(ny, nx);
+  const double dx = spec.lx / nx;
+  const double dy = spec.ly / ny;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < ny; ++i) {
+    const int pi = i / cph;
+    const double y = (i + 0.5) * dy;
+    for (int j = 0; j < nx; ++j) {
+      const int pj = j / cpw;
+      const PatchMesh& pm = mesh.patch(pi, pj);
+      const field::Grid2Dd& src = s[pi * mesh.npx() + pj];
+      const double x = (j + 0.5) * dx;
+      // Patch-local fractional indices; ghost ring makes edges safe.
+      const double yi = (y - pm.y0) / pm.dy + 0.5;
+      const double xi = (x - pm.x0) / pm.dx + 0.5;
+      out(i, j) = field::sample(src, yi, xi, field::Interp::kBilinear);
+    }
+  }
+  return out;
+}
+
+CompositeField regrid(const CompositeField& src, const CompositeMesh& from,
+                      const CompositeMesh& to) {
+  const CaseSpec& spec = to.spec();
+  const int level = from.map().max_level();
+  const int uni_ny = spec.base_ny << level;
+  const int uni_nx = spec.base_nx << level;
+  const double dx = spec.lx / uni_nx;
+  const double dy = spec.ly / uni_ny;
+  CompositeField dst = make_field(to);
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    const field::Grid2Dd uni = scalar_to_uniform(src.channel(c), from, level);
+    CompositeScalar& out = dst.channel(c);
+#pragma omp parallel for schedule(static)
+    for (int k = 0; k < to.patch_count(); ++k) {
+      const PatchMesh& pm = to.patch_flat(k);
+      for (int i = 0; i <= pm.ny + 1; ++i) {
+        const double y_idx = pm.yc(i) / dy - 0.5;
+        for (int j = 0; j <= pm.nx + 1; ++j) {
+          const double x_idx = pm.xc(j) / dx - 0.5;
+          out[k](i, j) =
+              field::sample(uni, y_idx, x_idx, field::Interp::kBicubic);
+        }
+      }
+    }
+  }
+  return dst;
+}
+
+field::FlowField to_uniform(const CompositeField& f, const CompositeMesh& mesh,
+                            int level) {
+  field::FlowField out(mesh.spec().base_ny << level,
+                       mesh.spec().base_nx << level);
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    out.channel(c) = scalar_to_uniform(f.channel(c), mesh, level);
+  }
+  return out;
+}
+
+}  // namespace adarnet::mesh

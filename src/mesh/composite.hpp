@@ -1,0 +1,130 @@
+// Block-structured composite mesh: the non-uniform discretisation that both
+// the iterative AMR solver and ADARNet's one-shot prediction produce.
+//
+// The domain is tiled by NPy x NPx patches. A patch at level l carries
+// (ph * 2^l) x (pw * 2^l) cells, so its cell size is the LR cell size / 2^l.
+// Every per-patch array is stored with a one-cell ghost ring; interior cells
+// are indexed [1 .. ny] x [1 .. nx]. Ghosts at patch-patch interfaces are
+// filled by exchange_ghosts(); ghosts on the domain boundary are filled by
+// the solver according to the boundary conditions.
+#pragma once
+
+#include <vector>
+
+#include "field/array2d.hpp"
+#include "field/flow_field.hpp"
+#include "mesh/case_spec.hpp"
+#include "mesh/refinement_map.hpp"
+
+namespace adarnet::mesh {
+
+/// Geometry and discretisation of one patch (including ghost metadata).
+struct PatchMesh {
+  int pi = 0;     ///< patch row
+  int pj = 0;     ///< patch column
+  int level = 0;  ///< refinement level
+  int ny = 0;     ///< interior rows (= ph << level)
+  int nx = 0;     ///< interior columns (= pw << level)
+  double dx = 0;  ///< cell width [m]
+  double dy = 0;  ///< cell height [m]
+  double x0 = 0;  ///< physical x of the patch's lower-left corner [m]
+  double y0 = 0;  ///< physical y of the patch's lower-left corner [m]
+
+  field::Mask2D solid;       ///< (ny+2, nx+2): 1 = cell centre inside solid
+  field::Grid2Dd wall_dist;  ///< (ny+2, nx+2): distance to nearest wall [m]
+
+  /// Physical x of the centre of (possibly ghost) cell column j.
+  [[nodiscard]] double xc(int j) const { return x0 + (j - 0.5) * dx; }
+  /// Physical y of the centre of (possibly ghost) cell row i.
+  [[nodiscard]] double yc(int i) const { return y0 + (i - 0.5) * dy; }
+  /// Interior cell count.
+  [[nodiscard]] long long cells() const {
+    return static_cast<long long>(ny) * nx;
+  }
+};
+
+/// The full composite mesh: patch geometry for a CaseSpec + RefinementMap.
+class CompositeMesh {
+ public:
+  /// Builds patch meshes, solid masks and wall distances. Masks and wall
+  /// distances are evaluated analytically at every cell centre (ghosts
+  /// included), so they are exact at every level.
+  CompositeMesh(CaseSpec spec, RefinementMap map);
+
+  [[nodiscard]] const CaseSpec& spec() const { return spec_; }
+  [[nodiscard]] const RefinementMap& map() const { return map_; }
+  [[nodiscard]] int npy() const { return map_.npy(); }
+  [[nodiscard]] int npx() const { return map_.npx(); }
+  [[nodiscard]] int patch_count() const { return map_.count(); }
+
+  [[nodiscard]] const PatchMesh& patch(int pi, int pj) const {
+    return patches_[static_cast<std::size_t>(pi) * npx() + pj];
+  }
+  [[nodiscard]] const PatchMesh& patch_flat(int k) const {
+    return patches_[k];
+  }
+
+  /// Total interior cells across all patches (the AMR cost driver).
+  [[nodiscard]] long long active_cells() const;
+
+  /// Number of fluid (non-solid) interior cells.
+  [[nodiscard]] long long fluid_cells() const;
+
+ private:
+  CaseSpec spec_;
+  RefinementMap map_;
+  std::vector<PatchMesh> patches_;
+};
+
+/// One scalar variable on a composite mesh: one ghosted array per patch, in
+/// row-major patch order.
+using CompositeScalar = std::vector<field::Grid2Dd>;
+
+/// The four-variable flow state on a composite mesh.
+struct CompositeField {
+  CompositeScalar U;
+  CompositeScalar V;
+  CompositeScalar p;
+  CompositeScalar nuTilda;
+
+  /// Channel access in paper order (0:U, 1:V, 2:p, 3:nuTilda).
+  CompositeScalar& channel(int c);
+  const CompositeScalar& channel(int c) const;
+};
+
+/// Allocates a zeroed scalar matching the mesh's patch shapes (with ghosts).
+CompositeScalar make_scalar(const CompositeMesh& mesh);
+
+/// Allocates a zeroed four-variable state matching the mesh.
+CompositeField make_field(const CompositeMesh& mesh);
+
+/// Fills interior-interface ghost cells of `s` from neighbouring patches:
+/// same-level copy, fine-to-coarse averaging, coarse-to-fine linear
+/// interpolation along the interface. Domain-boundary ghosts are untouched.
+void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh);
+
+/// Exchanges ghosts for all four variables.
+void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh);
+
+/// Initialises the composite state by sampling a uniform LR field (shape
+/// spec.base_ny x spec.base_nx) at every patch cell centre (bicubic).
+void fill_from_uniform(CompositeField& f, const CompositeMesh& mesh,
+                       const field::FlowField& lr);
+
+/// Samples the composite state onto a uniform grid at `level` (the whole
+/// domain at resolution base * 2^level), bilinear within each patch.
+field::FlowField to_uniform(const CompositeField& f, const CompositeMesh& mesh,
+                            int level);
+
+/// Samples one composite scalar onto a uniform grid at `level`.
+field::Grid2Dd scalar_to_uniform(const CompositeScalar& s,
+                                 const CompositeMesh& mesh, int level);
+
+/// Transfers a solution between two composite meshes of the same case
+/// (different refinement maps): the source is sampled onto a uniform grid
+/// at its finest level, then each destination patch cell is interpolated
+/// from it (bicubic). Used when the AMR driver re-meshes.
+CompositeField regrid(const CompositeField& src, const CompositeMesh& from,
+                      const CompositeMesh& to);
+
+}  // namespace adarnet::mesh

@@ -1,0 +1,93 @@
+#include "mesh/refinement_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adarnet::mesh {
+
+RefinementMap::RefinementMap(int npy, int npx, int level)
+    : levels_(npy, npx, std::clamp(level, 0, kMaxLevel)) {}
+
+void RefinementMap::set_level(int pi, int pj, int level) {
+  levels_(pi, pj) = std::clamp(level, 0, kMaxLevel);
+}
+
+void RefinementMap::raise_all(int delta) {
+  for (auto& l : levels_) l = std::clamp(l + delta, 0, kMaxLevel);
+}
+
+int RefinementMap::max_level() const {
+  int m = 0;
+  for (int l : levels_) m = std::max(m, l);
+  return m;
+}
+
+long long RefinementMap::active_cells(int ph, int pw) const {
+  long long total = 0;
+  for (int l : levels_) {
+    const long long cells = static_cast<long long>(ph << l) * (pw << l);
+    total += cells;
+  }
+  return total;
+}
+
+double RefinementMap::refined_fraction() const {
+  if (levels_.empty()) return 0.0;
+  int refined = 0;
+  for (int l : levels_) refined += (l >= 1);
+  return static_cast<double>(refined) / static_cast<double>(count());
+}
+
+int RefinementMap::count_at_level(int level) const {
+  int n = 0;
+  for (int l : levels_) n += (l == level);
+  return n;
+}
+
+std::string RefinementMap::to_art() const {
+  std::string art;
+  art.reserve(static_cast<std::size_t>(count()) + npy());
+  for (int pi = npy() - 1; pi >= 0; --pi) {
+    for (int pj = 0; pj < npx(); ++pj) {
+      art += static_cast<char>('0' + levels_(pi, pj));
+    }
+    art += '\n';
+  }
+  return art;
+}
+
+double RefinementMap::agreement_exact(const RefinementMap& other) const {
+  assert(npy() == other.npy() && npx() == other.npx());
+  if (count() == 0) return 1.0;
+  int same = 0;
+  for (int pi = 0; pi < npy(); ++pi) {
+    for (int pj = 0; pj < npx(); ++pj) {
+      same += (level(pi, pj) == other.level(pi, pj));
+    }
+  }
+  return static_cast<double>(same) / count();
+}
+
+double RefinementMap::agreement_within_one(const RefinementMap& other) const {
+  assert(npy() == other.npy() && npx() == other.npx());
+  if (count() == 0) return 1.0;
+  int close = 0;
+  for (int pi = 0; pi < npy(); ++pi) {
+    for (int pj = 0; pj < npx(); ++pj) {
+      close += (std::abs(level(pi, pj) - other.level(pi, pj)) <= 1);
+    }
+  }
+  return static_cast<double>(close) / count();
+}
+
+bool RefinementMap::operator==(const RefinementMap& other) const {
+  if (npy() != other.npy() || npx() != other.npx()) return false;
+  for (int pi = 0; pi < npy(); ++pi) {
+    for (int pj = 0; pj < npx(); ++pj) {
+      if (level(pi, pj) != other.level(pi, pj)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace adarnet::mesh

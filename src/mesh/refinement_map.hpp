@@ -1,0 +1,66 @@
+// Per-patch refinement levels — the discrete mesh decision ADARNet predicts.
+//
+// A RefinementMap assigns an integer level l in [0, max_level] to each of
+// the NPy x NPx patches. Level l refines the patch by 4^l in cell count
+// (2^l per dimension), matching the paper's bins b = 4 with levels 0..3.
+#pragma once
+
+#include <string>
+
+#include "field/array2d.hpp"
+
+namespace adarnet::mesh {
+
+/// Maximum refinement level used throughout the paper (4 bins: levels 0-3).
+inline constexpr int kMaxLevel = 3;
+
+/// Integer refinement level per patch.
+class RefinementMap {
+ public:
+  RefinementMap() = default;
+
+  /// Uniform map: every patch at `level`.
+  RefinementMap(int npy, int npx, int level = 0);
+
+  [[nodiscard]] int npy() const { return levels_.ny(); }
+  [[nodiscard]] int npx() const { return levels_.nx(); }
+  [[nodiscard]] int count() const { return npy() * npx(); }
+
+  /// Level of patch (pi, pj).
+  [[nodiscard]] int level(int pi, int pj) const { return levels_(pi, pj); }
+
+  /// Sets the level of patch (pi, pj); clamped to [0, kMaxLevel].
+  void set_level(int pi, int pj, int level);
+
+  /// Raises every patch level by `delta` (clamped at kMaxLevel).
+  void raise_all(int delta);
+
+  /// Highest level present in the map (0 for an empty map).
+  [[nodiscard]] int max_level() const;
+
+  /// Total number of cells in the composite mesh for (ph, pw) LR patches.
+  [[nodiscard]] long long active_cells(int ph, int pw) const;
+
+  /// Fraction of patches at level >= 1.
+  [[nodiscard]] double refined_fraction() const;
+
+  /// Number of patches at exactly `level`.
+  [[nodiscard]] int count_at_level(int level) const;
+
+  /// ASCII rendering: one digit per patch, row 0 printed at the top so the
+  /// physical "top" of the domain appears first (matches Fig 9 orientation).
+  [[nodiscard]] std::string to_art() const;
+
+  /// Fraction of patches whose level matches `other` exactly, and within
+  /// one level — the agreement metrics used when comparing ADARNet's map
+  /// with the AMR solver's map.
+  [[nodiscard]] double agreement_exact(const RefinementMap& other) const;
+  [[nodiscard]] double agreement_within_one(const RefinementMap& other) const;
+
+  [[nodiscard]] bool operator==(const RefinementMap& other) const;
+
+ private:
+  field::Array2D<int> levels_;
+};
+
+}  // namespace adarnet::mesh

@@ -1,0 +1,76 @@
+#include "nn/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adarnet::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  for (std::size_t k = 0; k < out.numel(); ++k) {
+    out[k] = std::max(out[k], 0.0f);
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("ReLU::backward without forward(train=true)");
+  }
+  Tensor grad = grad_output;
+  for (std::size_t k = 0; k < grad.numel(); ++k) {
+    if (cached_input_[k] <= 0.0f) grad[k] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor SoftmaxSpatial::forward(const Tensor& input, bool train) {
+  Tensor out = input;
+  const int plane = input.h() * input.w();
+  for (int s = 0; s < input.n(); ++s) {
+    for (int c = 0; c < input.c(); ++c) {
+      float* p = out.data() +
+                 (static_cast<std::size_t>(s) * input.c() + c) * plane;
+      float mx = p[0];
+      for (int k = 1; k < plane; ++k) mx = std::max(mx, p[k]);
+      double sum = 0.0;
+      for (int k = 0; k < plane; ++k) {
+        p[k] = std::exp(p[k] - mx);
+        sum += p[k];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int k = 0; k < plane; ++k) p[k] *= inv;
+    }
+  }
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor SoftmaxSpatial::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error(
+        "SoftmaxSpatial::backward without forward(train=true)");
+  }
+  // dL/dx_i = y_i * (g_i - sum_j g_j y_j) per (sample, channel) plane.
+  Tensor grad = grad_output;
+  const int plane = cached_output_.h() * cached_output_.w();
+  for (int s = 0; s < cached_output_.n(); ++s) {
+    for (int c = 0; c < cached_output_.c(); ++c) {
+      const std::size_t base =
+          (static_cast<std::size_t>(s) * cached_output_.c() + c) * plane;
+      double dot = 0.0;
+      for (int k = 0; k < plane; ++k) {
+        dot += grad_output[base + k] * cached_output_[base + k];
+      }
+      for (int k = 0; k < plane; ++k) {
+        grad[base + k] = cached_output_[base + k] *
+                         (grad_output[base + k] - static_cast<float>(dot));
+      }
+    }
+  }
+  return grad;
+}
+
+}  // namespace adarnet::nn

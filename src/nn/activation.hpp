@@ -1,0 +1,44 @@
+// Elementwise and spatial activations used by the scorer and decoder.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace adarnet::nn {
+
+/// Rectified linear unit, elementwise.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] std::int64_t output_bytes(int n, int c, int h,
+                                          int w) const override {
+    return static_cast<std::int64_t>(n) * c * h * w *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+  void output_shape(int&, int&, int&) const override {}
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Softmax over the spatial positions (H x W) of each sample/channel —
+/// the scorer's final layer, normalising per-patch scores to a 0-1
+/// probability distribution over the N patches.
+class SoftmaxSpatial : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "SoftmaxSpatial"; }
+  [[nodiscard]] std::int64_t output_bytes(int n, int c, int h,
+                                          int w) const override {
+    return static_cast<std::int64_t>(n) * c * h * w *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+  void output_shape(int&, int&, int&) const override {}
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace adarnet::nn

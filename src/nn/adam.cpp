@@ -1,0 +1,43 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace adarnet::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.numel(), 0.0f);
+    v_.emplace_back(p->value.numel(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(config_.beta2, t_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter& p = *params_[pi];
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (std::size_t k = 0; k < p.value.numel(); ++k) {
+      const double g = p.grad[k];
+      m[k] = static_cast<float>(config_.beta1 * m[k] +
+                                (1.0 - config_.beta1) * g);
+      v[k] = static_cast<float>(config_.beta2 * v[k] +
+                                (1.0 - config_.beta2) * g * g);
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      p.value[k] -= static_cast<float>(config_.lr * mhat /
+                                       (std::sqrt(vhat) + config_.eps));
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+}  // namespace adarnet::nn

@@ -1,0 +1,41 @@
+// Adam optimizer (Kingma & Ba, 2014) — the optimizer the paper trains with
+// (learning rate 1e-4, default betas).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adarnet::nn {
+
+/// Hyperparameters for Adam (paper defaults: lr 1e-4, standard betas).
+struct AdamConfig {
+  double lr = 1e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+/// Adam over a fixed set of parameters.
+class Adam {
+ public:
+  explicit Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  /// Applies one update step from the accumulated gradients.
+  void step();
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  [[nodiscard]] long steps_taken() const { return t_; }
+  [[nodiscard]] const AdamConfig& config() const { return config_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  long t_ = 0;
+};
+
+}  // namespace adarnet::nn

@@ -1,0 +1,186 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adarnet::nn {
+
+namespace {
+
+// Contiguous (h*w) plane of sample s, channel c.
+inline const float* plane(const Tensor& t, int s, int c) {
+  return t.data() + (static_cast<std::size_t>(s) * t.c() + c) *
+                        (static_cast<std::size_t>(t.h()) * t.w());
+}
+inline float* plane(Tensor& t, int s, int c) {
+  return t.data() + (static_cast<std::size_t>(s) * t.c() + c) *
+                        (static_cast<std::size_t>(t.h()) * t.w());
+}
+
+}  // namespace
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, util::Rng& rng,
+               bool flipped)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(kernel / 2),
+      flipped_(flipped) {
+  if (kernel % 2 == 0) {
+    throw std::invalid_argument("Conv2D: kernel must be odd (same padding)");
+  }
+  weight_.value = Tensor(out_channels, in_channels, kernel, kernel);
+  weight_.grad = Tensor(out_channels, in_channels, kernel, kernel);
+  bias_.value = Tensor(out_channels, 1, 1, 1);
+  bias_.grad = Tensor(out_channels, 1, 1, 1);
+  // He-normal init: std = sqrt(2 / fan_in).
+  const double std = std::sqrt(2.0 / (in_channels * kernel * kernel));
+  for (std::size_t k = 0; k < weight_.value.numel(); ++k) {
+    weight_.value[k] = static_cast<float>(rng.normal(0.0, std));
+  }
+}
+
+std::string Conv2D::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Conv2D(%d->%d, k=%d)", in_channels_,
+                out_channels_, kernel_);
+  return buf;
+}
+
+std::string Deconv2D::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Deconv2D(%d->%d, k=%d)", in_channels(),
+                out_channels(), kernel());
+  return buf;
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool train) {
+  if (input.c() != in_channels_) {
+    throw std::invalid_argument("Conv2D: channel mismatch");
+  }
+  const int n = input.n();
+  const int h = input.h();
+  const int w = input.w();
+  Tensor out(n, out_channels_, h, w);
+  // Row-wise accumulation: the inner loop over x is a contiguous
+  // multiply-add that the compiler vectorises.
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int s = 0; s < n; ++s) {
+    for (int o = 0; o < out_channels_; ++o) {
+      float* out_plane = plane(out, s, o);
+      const float b = bias_.value[o];
+      for (int k = 0; k < h * w; ++k) out_plane[k] = b;
+      for (int i = 0; i < in_channels_; ++i) {
+        const float* in_plane = plane(input, s, i);
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const float wv =
+                flipped_ ? weight_.value.at(o, i, kernel_ - 1 - ky,
+                                            kernel_ - 1 - kx)
+                         : weight_.value.at(o, i, ky, kx);
+            const int dy = ky - pad_;
+            const int dx = kx - pad_;
+            const int y0 = std::max(0, -dy);
+            const int y1 = std::min(h, h - dy);
+            const int x0 = std::max(0, -dx);
+            const int x1 = std::min(w, w - dx);
+            for (int y = y0; y < y1; ++y) {
+              float* orow = out_plane + static_cast<std::size_t>(y) * w;
+              const float* irow =
+                  in_plane + static_cast<std::size_t>(y + dy) * w + dx;
+              for (int x = x0; x < x1; ++x) orow[x] += wv * irow[x];
+            }
+          }
+        }
+      }
+    }
+  }
+  if (train) cached_input_ = input;
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  if (input.empty()) {
+    throw std::logic_error("Conv2D::backward without forward(train=true)");
+  }
+  const int n = input.n();
+  const int h = input.h();
+  const int w = input.w();
+  Tensor grad_input(n, in_channels_, h, w);
+
+  // Parameter gradients (row-wise dot products) and input gradient
+  // (row-wise scatter of the output gradient through each kernel tap).
+#pragma omp parallel for schedule(static)
+  for (int o = 0; o < out_channels_; ++o) {
+    float gb = 0.0f;
+    for (int s = 0; s < n; ++s) {
+      const float* go_plane = plane(grad_output, s, o);
+      for (int k = 0; k < h * w; ++k) gb += go_plane[k];
+    }
+    bias_.grad[o] += gb;
+    for (int i = 0; i < in_channels_; ++i) {
+      for (int ky = 0; ky < kernel_; ++ky) {
+        for (int kx = 0; kx < kernel_; ++kx) {
+          const int dy = ky - pad_;
+          const int dx = kx - pad_;
+          const int y0 = std::max(0, -dy);
+          const int y1 = std::min(h, h - dy);
+          const int x0 = std::max(0, -dx);
+          const int x1 = std::min(w, w - dx);
+          float gw = 0.0f;
+          for (int s = 0; s < n; ++s) {
+            const float* go_plane = plane(grad_output, s, o);
+            const float* in_plane = plane(input, s, i);
+            for (int y = y0; y < y1; ++y) {
+              const float* grow = go_plane + static_cast<std::size_t>(y) * w;
+              const float* irow =
+                  in_plane + static_cast<std::size_t>(y + dy) * w + dx;
+              for (int x = x0; x < x1; ++x) gw += grow[x] * irow[x];
+            }
+          }
+          if (flipped_) {
+            weight_.grad.at(o, i, kernel_ - 1 - ky, kernel_ - 1 - kx) += gw;
+          } else {
+            weight_.grad.at(o, i, ky, kx) += gw;
+          }
+        }
+      }
+    }
+  }
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < in_channels_; ++i) {
+      float* gi_plane = plane(grad_input, s, i);
+      for (int o = 0; o < out_channels_; ++o) {
+        const float* go_plane = plane(grad_output, s, o);
+        for (int ky = 0; ky < kernel_; ++ky) {
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const float wv =
+                flipped_ ? weight_.value.at(o, i, kernel_ - 1 - ky,
+                                            kernel_ - 1 - kx)
+                         : weight_.value.at(o, i, ky, kx);
+            const int dy = ky - pad_;
+            const int dx = kx - pad_;
+            const int y0 = std::max(0, -dy);
+            const int y1 = std::min(h, h - dy);
+            const int x0 = std::max(0, -dx);
+            const int x1 = std::min(w, w - dx);
+            for (int y = y0; y < y1; ++y) {
+              const float* grow = go_plane + static_cast<std::size_t>(y) * w;
+              float* girow =
+                  gi_plane + static_cast<std::size_t>(y + dy) * w + dx;
+              for (int x = x0; x < x1; ++x) girow[x] += wv * grow[x];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace adarnet::nn

@@ -1,0 +1,62 @@
+// 2D convolution and "deconvolution" layers (3x3, stride 1, same padding —
+// the only configuration ADARNet's scorer and decoder use; kernel size and
+// padding are nevertheless parameters).
+//
+// With stride 1 and same padding a deconvolution (transposed convolution)
+// is mathematically a convolution with a spatially flipped kernel, so
+// Deconv2D shares the Conv2D implementation with `flipped = true`; it is
+// kept as a distinct layer type to mirror the paper's architecture figure.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace adarnet::nn {
+
+/// Convolution over NCHW input: out[n,o,y,x] = b[o] +
+/// sum_{i,ky,kx} w[o,i,ky,kx] * in[n,i,y+ky-p,x+kx-p] (zero padding).
+class Conv2D : public Layer {
+ public:
+  /// Creates a conv layer with He-normal initialised weights.
+  Conv2D(int in_channels, int out_channels, int kernel, util::Rng& rng,
+         bool flipped = false);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::int64_t output_bytes(int n, int, int h,
+                                          int w) const override {
+    return static_cast<std::int64_t>(n) * out_channels_ * h * w *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+  void output_shape(int& c, int&, int&) const override { c = out_channels_; }
+
+  [[nodiscard]] int in_channels() const { return in_channels_; }
+  [[nodiscard]] int out_channels() const { return out_channels_; }
+  [[nodiscard]] int kernel() const { return kernel_; }
+
+  /// Direct access for serialisation.
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int pad_;
+  bool flipped_;
+  Parameter weight_;  // (out, in, k, k)
+  Parameter bias_;    // (out, 1, 1, 1)
+  Tensor cached_input_;
+};
+
+/// Transposed convolution with stride 1 and same padding (see file note).
+class Deconv2D : public Conv2D {
+ public:
+  Deconv2D(int in_channels, int out_channels, int kernel, util::Rng& rng)
+      : Conv2D(in_channels, out_channels, kernel, rng, /*flipped=*/true) {}
+  [[nodiscard]] std::string name() const override;
+};
+
+}  // namespace adarnet::nn

@@ -1,0 +1,56 @@
+// Layer interface for ADARNet's from-scratch CNN framework.
+//
+// Layers cache whatever they need from forward() so that backward() can
+// run afterwards; training code calls forward -> loss -> backward and then
+// lets an optimizer step over parameters(). Inference-only paths may call
+// forward() with `train = false` to skip caching.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace adarnet::nn {
+
+/// A learnable parameter: value and gradient accumulator, same shape.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  /// Zeroes the gradient accumulator.
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Abstract differentiable layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. When `train` is true, caches activations
+  /// needed by backward().
+  virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Propagates `grad_output` (dL/d output) back, accumulating parameter
+  /// gradients and returning dL/d input. Requires a prior forward(train).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters of this layer (possibly empty).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Human-readable layer name for summaries.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Activation bytes this layer's output occupies for the given input
+  /// shape (used by the analytic memory model; see memory_model.hpp).
+  [[nodiscard]] virtual std::int64_t output_bytes(int n, int c, int h,
+                                                  int w) const = 0;
+
+  /// Output shape for a given input shape (c, h, w of one sample).
+  virtual void output_shape(int& c, int& h, int& w) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace adarnet::nn

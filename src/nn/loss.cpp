@@ -1,0 +1,28 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+
+namespace adarnet::nn {
+
+double mse_loss(const Tensor& pred, const Tensor& target) {
+  assert(pred.same_shape(target));
+  if (pred.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < pred.numel(); ++k) {
+    const double d = pred[k] - target[k];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pred.numel());
+}
+
+Tensor mse_loss_grad(const Tensor& pred, const Tensor& target, double weight) {
+  assert(pred.same_shape(target));
+  Tensor grad(pred.n(), pred.c(), pred.h(), pred.w());
+  const double scale = 2.0 * weight / static_cast<double>(pred.numel());
+  for (std::size_t k = 0; k < pred.numel(); ++k) {
+    grad[k] = static_cast<float>(scale * (pred[k] - target[k]));
+  }
+  return grad;
+}
+
+}  // namespace adarnet::nn

@@ -1,0 +1,15 @@
+// Losses: mean squared error and its gradient.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace adarnet::nn {
+
+/// MSE between prediction and target (same shape): mean_k (p_k - t_k)^2.
+double mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Gradient of mse_loss w.r.t. pred: 2 (p - t) / numel, scaled by `weight`.
+Tensor mse_loss_grad(const Tensor& pred, const Tensor& target,
+                     double weight = 1.0);
+
+}  // namespace adarnet::nn

@@ -1,0 +1,40 @@
+#include "nn/memory_model.hpp"
+
+#include <algorithm>
+
+namespace adarnet::nn {
+
+MemoryEstimate estimate_memory(const Sequential& net, int n, int c, int h,
+                               int w) {
+  MemoryEstimate est;
+  est.input_bytes = static_cast<std::int64_t>(n) * c * h * w *
+                    static_cast<std::int64_t>(sizeof(float));
+  std::int64_t prev = est.input_bytes;
+  int cc = c, hh = h, ww = w;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const Layer& layer = net.layer(i);
+    const std::int64_t out = layer.output_bytes(n, cc, hh, ww);
+    layer.output_shape(cc, hh, ww);
+    est.sum_activations += out;
+    est.peak_pairwise = std::max(est.peak_pairwise, prev + out);
+    prev = out;
+  }
+  for (Parameter* p : const_cast<Sequential&>(net).parameters()) {
+    est.parameter_bytes += p->value.bytes();
+  }
+  return est;
+}
+
+int max_batch_size(const Sequential& net, int c, int h, int w,
+                   std::int64_t budget_bytes) {
+  // total() is linear in n except the constant parameter bytes, so solve
+  // directly from the n = 1 estimate.
+  const MemoryEstimate one = estimate_memory(net, 1, c, h, w);
+  const std::int64_t per_sample = one.input_bytes + one.sum_activations;
+  if (per_sample <= 0) return 0;
+  const std::int64_t avail = budget_bytes - one.parameter_bytes;
+  if (avail <= 0) return 0;
+  return static_cast<int>(avail / per_sample);
+}
+
+}  // namespace adarnet::nn

@@ -1,0 +1,131 @@
+#include "nn/pooling.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace adarnet::nn {
+
+std::string MaxPool2D::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "MaxPool2D(%dx%d)", pool_h_, pool_w_);
+  return buf;
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool train) {
+  if (input.h() % pool_h_ != 0 || input.w() % pool_w_ != 0) {
+    throw std::invalid_argument("MaxPool2D: extent not divisible by pool");
+  }
+  const int oh = input.h() / pool_h_;
+  const int ow = input.w() / pool_w_;
+  Tensor out(input.n(), input.c(), oh, ow);
+  if (train) {
+    argmax_.assign(out.numel(), 0);
+    in_n_ = input.n();
+    in_c_ = input.c();
+    in_h_ = input.h();
+    in_w_ = input.w();
+  }
+  std::size_t oidx = 0;
+  for (int s = 0; s < input.n(); ++s) {
+    for (int c = 0; c < input.c(); ++c) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = input.at(s, c, oy * pool_h_, ox * pool_w_);
+          std::size_t best_idx =
+              ((static_cast<std::size_t>(s) * input.c() + c) * input.h() +
+               oy * pool_h_) *
+                  input.w() +
+              ox * pool_w_;
+          for (int py = 0; py < pool_h_; ++py) {
+            for (int px = 0; px < pool_w_; ++px) {
+              const int y = oy * pool_h_ + py;
+              const int x = ox * pool_w_ + px;
+              const float v = input.at(s, c, y, x);
+              if (v > best) {
+                best = v;
+                best_idx = ((static_cast<std::size_t>(s) * input.c() + c) *
+                                input.h() +
+                            y) *
+                               input.w() +
+                           x;
+              }
+            }
+          }
+          out[oidx] = best;
+          if (train) argmax_[oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string AvgPool2D::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "AvgPool2D(%dx%d)", pool_h_, pool_w_);
+  return buf;
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool train) {
+  if (input.h() % pool_h_ != 0 || input.w() % pool_w_ != 0) {
+    throw std::invalid_argument("AvgPool2D: extent not divisible by pool");
+  }
+  const int oh = input.h() / pool_h_;
+  const int ow = input.w() / pool_w_;
+  Tensor out(input.n(), input.c(), oh, ow);
+  if (train) {
+    in_n_ = input.n();
+    in_c_ = input.c();
+    in_h_ = input.h();
+    in_w_ = input.w();
+  }
+  const float inv = 1.0f / static_cast<float>(pool_h_ * pool_w_);
+  for (int s = 0; s < input.n(); ++s) {
+    for (int c = 0; c < input.c(); ++c) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int py = 0; py < pool_h_; ++py) {
+            for (int px = 0; px < pool_w_; ++px) {
+              acc += input.at(s, c, oy * pool_h_ + py, ox * pool_w_ + px);
+            }
+          }
+          out.at(s, c, oy, ox) = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (in_n_ == 0) {
+    throw std::logic_error("AvgPool2D::backward without forward(train=true)");
+  }
+  Tensor grad(in_n_, in_c_, in_h_, in_w_);
+  const float inv = 1.0f / static_cast<float>(pool_h_ * pool_w_);
+  for (int s = 0; s < in_n_; ++s) {
+    for (int c = 0; c < in_c_; ++c) {
+      for (int y = 0; y < in_h_; ++y) {
+        for (int x = 0; x < in_w_; ++x) {
+          grad.at(s, c, y, x) =
+              grad_output.at(s, c, y / pool_h_, x / pool_w_) * inv;
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (argmax_.empty()) {
+    throw std::logic_error("MaxPool2D::backward without forward(train=true)");
+  }
+  Tensor grad(in_n_, in_c_, in_h_, in_w_);
+  for (std::size_t k = 0; k < grad_output.numel(); ++k) {
+    grad[argmax_[k]] += grad_output[k];
+  }
+  return grad;
+}
+
+}  // namespace adarnet::nn

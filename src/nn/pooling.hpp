@@ -1,0 +1,67 @@
+// Max pooling with pool size == stride — the scorer's patch-score layer.
+//
+// The scorer pools its single-channel 2D latent representation with pool
+// size (ph, pw) so each output value is the highest activation inside one
+// patch: a deliberately conservative choice (the paper prefers max over
+// average pooling so one high-gradient cell is enough to refine a patch).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adarnet::nn {
+
+/// Max pooling, pool size == stride == (pool_h, pool_w), no padding.
+class MaxPool2D : public Layer {
+ public:
+  MaxPool2D(int pool_h, int pool_w) : pool_h_(pool_h), pool_w_(pool_w) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::int64_t output_bytes(int n, int c, int h,
+                                          int w) const override {
+    return static_cast<std::int64_t>(n) * c * (h / pool_h_) * (w / pool_w_) *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+  void output_shape(int&, int& h, int& w) const override {
+    h /= pool_h_;
+    w /= pool_w_;
+  }
+
+ private:
+  int pool_h_;
+  int pool_w_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+  int in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
+};
+
+/// Average pooling, pool size == stride, no padding. Exists for the
+/// scorer-design ablation: the paper deliberately prefers max pooling
+/// ("conservative": one high-gradient cell refines the whole patch) over
+/// average pooling, which dilutes localised features.
+class AvgPool2D : public Layer {
+ public:
+  AvgPool2D(int pool_h, int pool_w) : pool_h_(pool_h), pool_w_(pool_w) {}
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::int64_t output_bytes(int n, int c, int h,
+                                          int w) const override {
+    return static_cast<std::int64_t>(n) * c * (h / pool_h_) * (w / pool_w_) *
+           static_cast<std::int64_t>(sizeof(float));
+  }
+  void output_shape(int&, int& h, int& w) const override {
+    h /= pool_h_;
+    w /= pool_w_;
+  }
+
+ private:
+  int pool_h_;
+  int pool_w_;
+  int in_n_ = 0, in_c_ = 0, in_h_ = 0, in_w_ = 0;
+};
+
+}  // namespace adarnet::nn

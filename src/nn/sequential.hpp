@@ -1,0 +1,89 @@
+// Sequential layer container with forward/backward and summaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adarnet::nn {
+
+/// Owns an ordered list of layers and runs them as one network.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer (takes ownership). Returns *this for chaining.
+  Sequential& add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  /// Convenience: construct the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  /// Runs all layers in order.
+  Tensor forward(const Tensor& input, bool train = false) {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, train);
+    return x;
+  }
+
+  /// Runs backward through all layers in reverse, returning dL/d input.
+  Tensor backward(const Tensor& grad_output) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  /// All learnable parameters across layers.
+  std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> out;
+    for (auto& layer : layers_) {
+      for (Parameter* p : layer->parameters()) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Zeroes all parameter gradients.
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  /// Total number of learnable scalars.
+  [[nodiscard]] std::size_t parameter_count() const {
+    std::size_t total = 0;
+    for (const auto& layer : layers_) {
+      for (Parameter* p : const_cast<Layer&>(*layer).parameters()) {
+        total += p->value.numel();
+      }
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// One line per layer, for logs and docs.
+  [[nodiscard]] std::string summary() const {
+    std::string out;
+    for (const auto& layer : layers_) {
+      out += layer->name();
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace adarnet::nn

@@ -1,0 +1,50 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace adarnet::nn {
+
+namespace {
+constexpr char kMagic[4] = {'A', 'D', 'R', 'W'};
+}
+
+bool save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, 4);
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Parameter* p : params) {
+    const std::uint64_t numel = p->value.numel();
+    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) return false;
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) return false;
+  for (Parameter* p : params) {
+    std::uint64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    if (!in || numel != p->value.numel()) return false;
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace adarnet::nn

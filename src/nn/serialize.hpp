@@ -1,0 +1,24 @@
+// Binary (de)serialisation of network parameters.
+//
+// Format: magic "ADRW", uint32 parameter count, then for each parameter a
+// uint64 element count followed by raw float32 data (little-endian host
+// order — the library targets a single host, not an interchange format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace adarnet::nn {
+
+/// Writes parameter values to `path`. Returns false on I/O failure.
+bool save_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+/// Reads parameter values from `path` into `params`; shapes must match the
+/// saved element counts. Returns false on I/O or shape mismatch.
+bool load_parameters(const std::vector<Parameter*>& params,
+                     const std::string& path);
+
+}  // namespace adarnet::nn

@@ -1,0 +1,82 @@
+#include "nn/tensor.hpp"
+
+#include <atomic>
+
+namespace adarnet::nn {
+
+namespace memory {
+
+namespace {
+std::atomic<std::int64_t> g_live{0};
+std::atomic<std::int64_t> g_peak{0};
+}  // namespace
+
+std::int64_t live_bytes() { return g_live.load(); }
+std::int64_t peak_bytes() { return g_peak.load(); }
+void reset_peak() { g_peak.store(g_live.load()); }
+
+namespace detail {
+void on_alloc(std::int64_t bytes) {
+  const std::int64_t live = g_live.fetch_add(bytes) + bytes;
+  std::int64_t peak = g_peak.load();
+  while (live > peak && !g_peak.compare_exchange_weak(peak, live)) {
+  }
+}
+void on_free(std::int64_t bytes) { g_live.fetch_sub(bytes); }
+}  // namespace detail
+
+}  // namespace memory
+
+Tensor::Tensor(int n, int c, int h, int w)
+    : n_(n), c_(c), h_(h), w_(w),
+      data_(static_cast<std::size_t>(n) * c * h * w, 0.0f) {
+  track_alloc();
+}
+
+Tensor::Tensor(const Tensor& other)
+    : n_(other.n_), c_(other.c_), h_(other.h_), w_(other.w_),
+      data_(other.data_) {
+  track_alloc();
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : n_(other.n_), c_(other.c_), h_(other.h_), w_(other.w_),
+      data_(std::move(other.data_)) {
+  other.n_ = other.c_ = other.h_ = other.w_ = 0;
+  other.data_.clear();
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  track_free();
+  n_ = other.n_;
+  c_ = other.c_;
+  h_ = other.h_;
+  w_ = other.w_;
+  data_ = other.data_;
+  track_alloc();
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  track_free();
+  n_ = other.n_;
+  c_ = other.c_;
+  h_ = other.h_;
+  w_ = other.w_;
+  data_ = std::move(other.data_);
+  other.n_ = other.c_ = other.h_ = other.w_ = 0;
+  other.data_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { track_free(); }
+
+void Tensor::track_alloc() { memory::detail::on_alloc(bytes()); }
+
+void Tensor::track_free() {
+  memory::detail::on_free(bytes());
+}
+
+}  // namespace adarnet::nn

@@ -1,0 +1,83 @@
+// NCHW float tensor — the data type of ADARNet's DNN.
+//
+// Every allocation is tracked in a process-wide byte counter so the
+// benchmark harness can report real inference memory (Table 2, Fig 1)
+// rather than estimates: peak_bytes() after reset_peak() brackets the
+// working set of a forward pass.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adarnet::nn {
+
+namespace memory {
+/// Bytes of tensor storage currently alive.
+std::int64_t live_bytes();
+/// High-water mark of live_bytes() since the last reset_peak().
+std::int64_t peak_bytes();
+/// Resets the high-water mark to the current live figure.
+void reset_peak();
+namespace detail {
+void on_alloc(std::int64_t bytes);
+void on_free(std::int64_t bytes);
+}  // namespace detail
+}  // namespace memory
+
+/// Dense NCHW tensor of float32.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of shape (n, c, h, w).
+  Tensor(int n, int c, int h, int w);
+
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int c() const { return c_; }
+  [[nodiscard]] int h() const { return h_; }
+  [[nodiscard]] int w() const { return w_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(float));
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Element access.
+  float& at(int n, int c, int h, int w) {
+    assert(n >= 0 && n < n_ && c >= 0 && c < c_ && h >= 0 && h < h_ &&
+           w >= 0 && w < w_);
+    return data_[((static_cast<std::size_t>(n) * c_ + c) * h_ + h) * w_ + w];
+  }
+  float at(int n, int c, int h, int w) const {
+    return const_cast<Tensor*>(this)->at(n, c, h, w);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t k) { return data_[k]; }
+  float operator[](std::size_t k) const { return data_[k]; }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+  /// True when shapes match exactly.
+  [[nodiscard]] bool same_shape(const Tensor& o) const {
+    return n_ == o.n_ && c_ == o.c_ && h_ == o.h_ && w_ == o.w_;
+  }
+
+ private:
+  void track_alloc();
+  void track_free();
+
+  int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace adarnet::nn

@@ -1,0 +1,38 @@
+// Quantities of interest for the grid-convergence study (Fig 11).
+//
+// The paper monitors the skin-friction coefficient Cf at x = 0.95 L on the
+// lower wall for the wall-bounded cases (channel, flat plate), and the drag
+// coefficient Cd for the immersed bodies (cylinder, airfoils). On the
+// immersed-boundary Cartesian grid the drag is integrated over the
+// staircase body surface (pressure + viscous wall shear); the staircase
+// error shrinks as the surface patches refine, which is exactly the
+// convergence behaviour the study measures.
+#pragma once
+
+#include "mesh/composite.hpp"
+
+namespace adarnet::solver {
+
+/// Skin-friction coefficient on the bottom wall at horizontal position
+/// x = frac * Lx:  Cf = tau_w / (0.5 u_ref^2), tau_w from the wall-adjacent
+/// cell's velocity gradient (rho = 1, kinematic units).
+double skin_friction_bottom(const mesh::CompositeMesh& mesh,
+                            const mesh::CompositeField& f, double frac = 0.95);
+
+/// Pressure + viscous drag force per unit depth on the immersed body [N/m
+/// over rho], integrated over solid-adjacent cell faces.
+double body_drag_force(const mesh::CompositeMesh& mesh,
+                       const mesh::CompositeField& f);
+
+/// Drag coefficient Cd = Fx / (0.5 u_ref^2 l_ref).
+double drag_coefficient(const mesh::CompositeMesh& mesh,
+                        const mesh::CompositeField& f);
+
+/// The case's headline QoI: Cf at 0.95 L for wall-bounded cases (no
+/// immersed body), Cd otherwise.
+double case_qoi(const mesh::CompositeMesh& mesh, const mesh::CompositeField& f);
+
+/// Name of the QoI that case_qoi() reports for this mesh ("Cf" or "Cd").
+const char* case_qoi_name(const mesh::CompositeMesh& mesh);
+
+}  // namespace adarnet::solver

@@ -1,0 +1,759 @@
+#include "solver/rans.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "solver/sa_model.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace adarnet::solver {
+
+using field::Grid2Dd;
+using mesh::BcType;
+using mesh::CompositeField;
+using mesh::CompositeMesh;
+using mesh::CompositeScalar;
+using mesh::PatchMesh;
+using mesh::SideBc;
+
+namespace {
+
+// Channel indices into CompositeField (paper order).
+constexpr int kU = 0;
+constexpr int kV = 1;
+constexpr int kP = 2;
+constexpr int kNt = 3;
+
+// Ghost value for a Dirichlet face value: linear extrapolation so that the
+// face average equals the imposed value.
+double dirichlet_ghost(double face_value, double interior) {
+  return 2.0 * face_value - interior;
+}
+
+}  // namespace
+
+double Residuals::combined() const {
+  if (!std::isfinite(continuity) || !std::isfinite(momentum) ||
+      !std::isfinite(sa)) {
+    return 1e30;
+  }
+  return std::max({continuity, momentum, sa});
+}
+
+// Per-solve scratch arrays, allocated once per patch.
+struct RansSolver::Workspace {
+  CompositeScalar ap;      // relaxed momentum diagonal a_P / alpha_u
+  CompositeScalar pc;      // pressure correction p'
+  CompositeScalar imb;     // per-cell mass imbalance (pressure RHS)
+  CompositeScalar nut;     // eddy viscosity nu_t (from nuTilda)
+  CompositeScalar face_u;  // face_u(i,j): u at x-face between (i,j),(i,j+1)
+  CompositeScalar face_v;  // face_v(i,j): v at y-face between (i,j),(i+1,j)
+
+  explicit Workspace(const CompositeMesh& mesh)
+      : ap(mesh::make_scalar(mesh)),
+        pc(mesh::make_scalar(mesh)),
+        imb(mesh::make_scalar(mesh)),
+        nut(mesh::make_scalar(mesh)),
+        face_u(mesh::make_scalar(mesh)),
+        face_v(mesh::make_scalar(mesh)) {}
+};
+
+RansSolver::RansSolver(const CompositeMesh& mesh, SolverConfig config)
+    : mesh_(mesh), config_(config) {}
+
+void RansSolver::initialize_freestream(CompositeField& f) const {
+  const mesh::CaseSpec& spec = mesh_.spec();
+  const SideBc& in = spec.bc.left;
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    for (int i = 0; i <= pm.ny + 1; ++i) {
+      for (int j = 0; j <= pm.nx + 1; ++j) {
+        const bool solid = pm.solid(i, j) != 0;
+        f.U[k](i, j) = solid ? 0.0 : in.u;
+        f.V[k](i, j) = solid ? 0.0 : in.v;
+        f.p[k](i, j) = 0.0;
+        f.nuTilda[k](i, j) = solid ? 0.0 : in.nuTilda;
+      }
+    }
+  }
+}
+
+void RansSolver::apply_bc_ghosts(CompositeScalar& s, int channel) const {
+  const mesh::CaseSpec& spec = mesh_.spec();
+  const int npx = mesh_.npx();
+  const int npy = mesh_.npy();
+
+  // Ghost for one boundary cell given the side's BC, the variable, and
+  // whether the boundary is normal to x (left/right) or y (bottom/top).
+  auto ghost_value = [&](const SideBc& bc, int ch, bool normal_x,
+                         double interior) -> double {
+    switch (bc.type) {
+      case BcType::kInlet:
+      case BcType::kFreestream:
+        switch (ch) {
+          case kU: return dirichlet_ghost(bc.u, interior);
+          case kV: return dirichlet_ghost(bc.v, interior);
+          case kP: return interior;  // zero-gradient pressure
+          default: return dirichlet_ghost(bc.nuTilda, interior);
+        }
+      case BcType::kOutlet:
+        // Zero-gradient for velocity and nuTilda, fixed p = 0 at the face.
+        return ch == kP ? -interior : interior;
+      case BcType::kWall:
+        // No-slip: U = V = 0 and nuTilda = 0 at the face.
+        return ch == kP ? interior : -interior;
+      case BcType::kSymmetry: {
+        // Normal velocity is odd, everything else even.
+        const bool odd = (normal_x && ch == kU) || (!normal_x && ch == kV);
+        return odd ? -interior : interior;
+      }
+    }
+    return interior;
+  };
+
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    Grid2Dd& a = s[k];
+    if (pm.pj == 0) {
+      for (int i = 1; i <= pm.ny; ++i) {
+        a(i, 0) = ghost_value(spec.bc.left, channel, true, a(i, 1));
+      }
+    }
+    if (pm.pj == npx - 1) {
+      for (int i = 1; i <= pm.ny; ++i) {
+        a(i, pm.nx + 1) =
+            ghost_value(spec.bc.right, channel, true, a(i, pm.nx));
+      }
+    }
+    if (pm.pi == 0) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        a(0, j) = ghost_value(spec.bc.bottom, channel, false, a(1, j));
+      }
+    }
+    if (pm.pi == npy - 1) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        a(pm.ny + 1, j) =
+            ghost_value(spec.bc.top, channel, false, a(pm.ny, j));
+      }
+    }
+  }
+}
+
+void RansSolver::refresh_ghosts(CompositeField& f) const {
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    exchange_ghosts(f.channel(c), mesh_);
+    apply_bc_ghosts(f.channel(c), c);
+  }
+}
+
+Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
+  const mesh::CaseSpec& spec = mesh_.spec();
+  const double nu = spec.nu;
+  const double alpha_u = config_.alpha_u;
+  Residuals res;
+
+  refresh_ghosts(f);
+
+  // --- eddy viscosity from nuTilda (ghosts included) -----------------------
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    for (int i = 0; i <= pm.ny + 1; ++i) {
+      for (int j = 0; j <= pm.nx + 1; ++j) {
+        ws.nut[k](i, j) = sa::eddy_viscosity(f.nuTilda[k](i, j), nu);
+      }
+    }
+  }
+
+  // --- momentum predictor ---------------------------------------------------
+  // Assemble upwind/central coefficients from the current face fluxes and do
+  // Gauss-Seidel sweeps on U and V with implicit under-relaxation. The
+  // relaxed diagonal is kept in ws.ap for Rhie-Chow and the corrector.
+  double du_acc = 0.0;
+  double u_scale_acc = 0.0;
+
+  for (int sweep = 0; sweep < config_.momentum_sweeps; ++sweep) {
+    const bool last = (sweep + 1 == config_.momentum_sweeps);
+    for (int k = 0; k < mesh_.patch_count(); ++k) {
+      const PatchMesh& pm = mesh_.patch_flat(k);
+      Grid2Dd& U = f.U[k];
+      Grid2Dd& V = f.V[k];
+      const Grid2Dd& P = f.p[k];
+      const Grid2Dd& NT = ws.nut[k];
+      Grid2Dd& AP = ws.ap[k];
+      const double dx = pm.dx;
+      const double dy = pm.dy;
+      const double vol = dx * dy;
+      for (int i = 1; i <= pm.ny; ++i) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          if (pm.solid(i, j)) {
+            U(i, j) = 0.0;
+            V(i, j) = 0.0;
+            AP(i, j) = vol;  // harmless positive diagonal for d coefficients
+            continue;
+          }
+          // Face velocities (linear interpolation) drive the upwinding.
+          const double fe = 0.5 * (U(i, j) + U(i, j + 1)) * dy;
+          const double fw_ = 0.5 * (U(i, j) + U(i, j - 1)) * dy;
+          const double fn = 0.5 * (V(i, j) + V(i + 1, j)) * dx;
+          const double fs = 0.5 * (V(i, j) + V(i - 1, j)) * dx;
+          // Face diffusion with effective viscosity.
+          const double de = 0.5 * (2.0 * nu + NT(i, j) + NT(i, j + 1)) * dy / dx;
+          const double dw = 0.5 * (2.0 * nu + NT(i, j) + NT(i, j - 1)) * dy / dx;
+          const double dn = 0.5 * (2.0 * nu + NT(i, j) + NT(i + 1, j)) * dx / dy;
+          const double ds = 0.5 * (2.0 * nu + NT(i, j) + NT(i - 1, j)) * dx / dy;
+          const double ae = de + std::max(-fe, 0.0);
+          const double aw = dw + std::max(fw_, 0.0);
+          const double an = dn + std::max(-fn, 0.0);
+          const double as = ds + std::max(fs, 0.0);
+          // The continuity-defect term (fe - fw + fn - fs) is omitted from
+          // the diagonal: it vanishes at convergence and breaks diagonal
+          // dominance while the mass residual is still large. A local
+          // pseudo-transient term bounds Vol/aP in near-stagnation cells,
+          // where a purely viscous diagonal would make the pressure
+          // correction explosively stiff.
+          const double speed = std::abs(U(i, j)) + std::abs(V(i, j)) +
+                               0.3 * std::abs(spec.bc.left.u) + 1e-30;
+          const double dt = config_.pseudo_cfl * std::min(dx, dy) / speed;
+          const double a_time = vol / dt;
+          const double ap0 = ae + aw + an + as + a_time;
+          const double ap = std::max(ap0, 1e-30) / alpha_u;
+          AP(i, j) = ap;
+          const double relax = (1.0 - alpha_u) * ap + a_time;
+
+          const double dpdx = (P(i, j + 1) - P(i, j - 1)) / (2.0 * dx);
+          const double dpdy = (P(i + 1, j) - P(i - 1, j)) / (2.0 * dy);
+
+          const double u_old = U(i, j);
+          const double v_old = V(i, j);
+          const double nb_u = ae * U(i, j + 1) + aw * U(i, j - 1) +
+                              an * U(i + 1, j) + as * U(i - 1, j);
+          const double nb_v = ae * V(i, j + 1) + aw * V(i, j - 1) +
+                              an * V(i + 1, j) + as * V(i - 1, j);
+          if (last) {
+            // True steady-equation residual (pseudo-time and relaxation
+            // excluded): |sum a_nb u_nb - dp dx vol - sum a_nb * u_P|,
+            // normalised per cell by the diagonal times u_ref. An
+            // interpolated coarse solution does not satisfy the fine
+            // equations, so this measure cannot be fooled by small steps.
+            const double sum_a = ae + aw + an + as;
+            const double denom =
+                sum_a * std::max(std::abs(spec.bc.left.u), 1e-30);
+            du_acc += std::abs(nb_u - dpdx * vol - sum_a * u_old) / denom +
+                      std::abs(nb_v - dpdy * vol - sum_a * v_old) / denom;
+            u_scale_acc += 2.0;
+          }
+          U(i, j) = (nb_u - dpdx * vol + relax * u_old) / ap;
+          V(i, j) = (nb_v - dpdy * vol + relax * v_old) / ap;
+        }
+      }
+    }
+    exchange_ghosts(f.U, mesh_);
+    exchange_ghosts(f.V, mesh_);
+    apply_bc_ghosts(f.U, kU);
+    apply_bc_ghosts(f.V, kV);
+  }
+  res.momentum = du_acc / std::max(u_scale_acc, 1e-30);
+
+  // Make the momentum diagonal available across interfaces (Rhie-Chow reads
+  // the neighbour's aP through the ghost ring) and at domain boundaries
+  // (zero-gradient extrapolation).
+  exchange_ghosts(ws.ap, mesh_);
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    Grid2Dd& AP = ws.ap[k];
+    if (pm.pj == 0) {
+      for (int i = 1; i <= pm.ny; ++i) AP(i, 0) = AP(i, 1);
+    }
+    if (pm.pj == mesh_.npx() - 1) {
+      for (int i = 1; i <= pm.ny; ++i) AP(i, pm.nx + 1) = AP(i, pm.nx);
+    }
+    if (pm.pi == 0) {
+      for (int j = 1; j <= pm.nx; ++j) AP(0, j) = AP(1, j);
+    }
+    if (pm.pi == mesh_.npy() - 1) {
+      for (int j = 1; j <= pm.nx; ++j) AP(pm.ny + 1, j) = AP(pm.ny, j);
+    }
+  }
+
+  // --- face velocities with Rhie-Chow interpolation --------------------------
+  // Pass 1: every patch computes its own face velocities (interior faces get
+  // the Rhie-Chow pressure-dissipation term to suppress checkerboarding).
+  // Pass 2 makes interface fluxes conservative across patches (refluxing).
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    const Grid2Dd& U = f.U[k];
+    const Grid2Dd& V = f.V[k];
+    const Grid2Dd& P = f.p[k];
+    const Grid2Dd& AP = ws.ap[k];
+    Grid2Dd& B = ws.imb[k];
+    const double dx = pm.dx;
+    const double dy = pm.dy;
+    const double vol = dx * dy;
+
+    // Rhie-Chow face velocity on the x-face between (i, j) and (i, j + 1).
+    // The averaged cell gradient falls back to one-sided differences where
+    // the full stencil would leave the ghost ring, so the pressure
+    // dissipation acts on every face (interfaces included).
+    auto rc_u_face = [&](int i, int j) {
+      const double ubar = 0.5 * (U(i, j) + U(i, j + 1));
+      const double d_e = 0.5 * vol * (1.0 / AP(i, j) + 1.0 / AP(i, j + 1));
+      const double grad_face = (P(i, j + 1) - P(i, j)) / dx;
+      const double grad_l = (j - 1 >= 0)
+                                ? (P(i, j + 1) - P(i, j - 1)) / (2.0 * dx)
+                                : grad_face;
+      const double grad_r = (j + 2 <= pm.nx + 1)
+                                ? (P(i, j + 2) - P(i, j)) / (2.0 * dx)
+                                : grad_face;
+      const double grad_avg = 0.5 * (grad_l + grad_r);
+      return ubar - d_e * (grad_face - grad_avg);
+    };
+    auto rc_v_face = [&](int i, int j) {
+      const double vbar = 0.5 * (V(i, j) + V(i + 1, j));
+      const double d_n = 0.5 * vol * (1.0 / AP(i, j) + 1.0 / AP(i + 1, j));
+      const double grad_face = (P(i + 1, j) - P(i, j)) / dy;
+      const double grad_b = (i - 1 >= 0)
+                                ? (P(i + 1, j) - P(i - 1, j)) / (2.0 * dy)
+                                : grad_face;
+      const double grad_t = (i + 2 <= pm.ny + 1)
+                                ? (P(i + 2, j) - P(i, j)) / (2.0 * dy)
+                                : grad_face;
+      const double grad_avg = 0.5 * (grad_b + grad_t);
+      return vbar - d_n * (grad_face - grad_avg);
+    };
+
+    // Face velocity on the x-face between cells (i, j) and (i, j + 1):
+    // zero through solid faces, the exact ghost average on domain-boundary
+    // faces (Dirichlet ghosts make it the imposed value), Rhie-Chow
+    // everywhere else (patch-interface faces included).
+    auto u_face = [&](int i, int j) -> double {
+      if (pm.solid(i, j) || pm.solid(i, j + 1)) return 0.0;
+      const bool domain_face = (pm.pj == 0 && j == 0) ||
+                               (pm.pj == mesh_.npx() - 1 && j == pm.nx);
+      if (domain_face) return 0.5 * (U(i, j) + U(i, j + 1));
+      return rc_u_face(i, j);
+    };
+    auto v_face = [&](int i, int j) -> double {
+      if (pm.solid(i, j) || pm.solid(i + 1, j)) return 0.0;
+      const bool domain_face = (pm.pi == 0 && i == 0) ||
+                               (pm.pi == mesh_.npy() - 1 && i == pm.ny);
+      if (domain_face) return 0.5 * (V(i, j) + V(i + 1, j));
+      return rc_v_face(i, j);
+    };
+
+    Grid2Dd& FU = ws.face_u[k];
+    Grid2Dd& FV = ws.face_v[k];
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 0; j <= pm.nx; ++j) FU(i, j) = u_face(i, j);
+    }
+    for (int i = 0; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) FV(i, j) = v_face(i, j);
+    }
+  }
+
+  // Pass 2: reflux. Both sides of every patch interface must see one face
+  // velocity, or mass is created at level jumps. Fine faces are
+  // authoritative: the coarse face value becomes the area mean of the fine
+  // faces it covers (coarse flux = sum of fine fluxes). Same-level sides
+  // are averaged (their Rhie-Chow stencils differ slightly at the edge).
+  for (int pi = 0; pi < mesh_.npy(); ++pi) {
+    for (int pj = 0; pj < mesh_.npx(); ++pj) {
+      const PatchMesh& pm = mesh_.patch(pi, pj);
+      const int k = pi * mesh_.npx() + pj;
+      if (pj + 1 < mesh_.npx()) {  // vertical interface with east neighbour
+        const PatchMesh& nb = mesh_.patch(pi, pj + 1);
+        const int kn = k + 1;
+        Grid2Dd& mine = ws.face_u[k];
+        Grid2Dd& theirs = ws.face_u[kn];
+        if (nb.ny == pm.ny) {
+          for (int i = 1; i <= pm.ny; ++i) {
+            const double v = 0.5 * (mine(i, pm.nx) + theirs(i, 0));
+            mine(i, pm.nx) = v;
+            theirs(i, 0) = v;
+          }
+        } else if (nb.ny > pm.ny) {  // neighbour finer
+          const int r = nb.ny / pm.ny;
+          for (int i = 1; i <= pm.ny; ++i) {
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) acc += theirs((i - 1) * r + 1 + s, 0);
+            mine(i, pm.nx) = acc / r;
+          }
+        } else {  // I am finer
+          const int r = pm.ny / nb.ny;
+          for (int i = 1; i <= nb.ny; ++i) {
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) acc += mine((i - 1) * r + 1 + s, pm.nx);
+            theirs(i, 0) = acc / r;
+          }
+        }
+      }
+      if (pi + 1 < mesh_.npy()) {  // horizontal interface with north neighbour
+        const PatchMesh& nb = mesh_.patch(pi + 1, pj);
+        const int kn = k + mesh_.npx();
+        Grid2Dd& mine = ws.face_v[k];
+        Grid2Dd& theirs = ws.face_v[kn];
+        if (nb.nx == pm.nx) {
+          for (int j = 1; j <= pm.nx; ++j) {
+            const double v = 0.5 * (mine(pm.ny, j) + theirs(0, j));
+            mine(pm.ny, j) = v;
+            theirs(0, j) = v;
+          }
+        } else if (nb.nx > pm.nx) {
+          const int r = nb.nx / pm.nx;
+          for (int j = 1; j <= pm.nx; ++j) {
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) acc += theirs(0, (j - 1) * r + 1 + s);
+            mine(pm.ny, j) = acc / r;
+          }
+        } else {
+          const int r = pm.nx / nb.nx;
+          for (int j = 1; j <= nb.nx; ++j) {
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) acc += mine(pm.ny, (j - 1) * r + 1 + s);
+            theirs(0, j) = acc / r;
+          }
+        }
+      }
+    }
+  }
+
+  // Per-cell mass imbalance from the synced faces. The continuity residual
+  // is the mean relative imbalance: each cell's |imbalance| is scaled by
+  // its own face-flux magnitude (u_ref * cell perimeter / 2), which makes
+  // the measure — and therefore the tolerance — consistent across grid
+  // resolutions and composite level mixes.
+  double mass_acc = 0.0;
+  long long fluid_cells = 0;
+  const double u_scale = std::max(std::abs(spec.bc.left.u), 1e-30);
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    const Grid2Dd& FU = ws.face_u[k];
+    const Grid2Dd& FV = ws.face_v[k];
+    Grid2Dd& B = ws.imb[k];
+    const double cell_flux_scale = u_scale * (pm.dx + pm.dy);
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        if (pm.solid(i, j)) {
+          B(i, j) = 0.0;
+          continue;
+        }
+        const double imb = (FU(i, j) - FU(i, j - 1)) * pm.dy +
+                           (FV(i, j) - FV(i - 1, j)) * pm.dx;
+        B(i, j) = imb;
+        mass_acc += std::abs(imb) / cell_flux_scale;
+        ++fluid_cells;
+      }
+    }
+  }
+  res.continuity = fluid_cells ? mass_acc / fluid_cells : 0.0;
+
+  // --- pressure correction ---------------------------------------------------
+  for (auto& g : ws.pc) g.fill(0.0);
+  const bool outlet_right = spec.bc.right.type == BcType::kOutlet;
+  double first_sweep_change = 0.0;
+  for (int sweep = 0; sweep < config_.pressure_sweeps; ++sweep) {
+    double sweep_change = 0.0;
+    for (int k = 0; k < mesh_.patch_count(); ++k) {
+      const PatchMesh& pm = mesh_.patch_flat(k);
+      Grid2Dd& PC = ws.pc[k];
+      const Grid2Dd& AP = ws.ap[k];
+      const Grid2Dd& B = ws.imb[k];
+      const double dx = pm.dx;
+      const double dy = pm.dy;
+      const double vol = dx * dy;
+      const bool right_edge = (pm.pj == mesh_.npx() - 1);
+      for (int i = 1; i <= pm.ny; ++i) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          if (pm.solid(i, j)) {
+            PC(i, j) = 0.0;
+            continue;
+          }
+          const double d_p = vol / AP(i, j);
+          // Neighbour d coefficients approximated with the cell's own d
+          // (first order at interfaces and boundaries).
+          double ae = 0.0, aw = 0.0, an = 0.0, as = 0.0;
+          double rhs = -B(i, j);
+          const bool domain_e = right_edge && j == pm.nx;
+          const bool domain_w = pm.pj == 0 && j == 1;
+          const bool domain_n = pm.pi == mesh_.npy() - 1 && i == pm.ny;
+          const bool domain_s = pm.pi == 0 && i == 1;
+
+          // East face.
+          if (!pm.solid(i, j + 1)) {
+            if (domain_e) {
+              if (outlet_right) {
+                // p' = 0 at the outlet face: ghost = -interior handled by
+                // adding the coefficient to the diagonal only.
+                ae = d_p * dy / dx;
+                rhs += ae * (-PC(i, j));
+              }
+              // Fixed-velocity boundaries: zero correction flux (ae = 0).
+            } else {
+              ae = d_p * dy / dx;
+              rhs += ae * PC(i, j + 1);
+            }
+          }
+          // West face.
+          if (!pm.solid(i, j - 1) && !domain_w) {
+            aw = d_p * dy / dx;
+            rhs += aw * PC(i, j - 1);
+          }
+          // North face.
+          if (!pm.solid(i + 1, j) && !domain_n) {
+            an = d_p * dx / dy;
+            rhs += an * PC(i + 1, j);
+          }
+          // South face.
+          if (!pm.solid(i - 1, j) && !domain_s) {
+            as = d_p * dx / dy;
+            rhs += as * PC(i - 1, j);
+          }
+          const double apc = ae + aw + an + as;
+          if (apc <= 0.0) {
+            PC(i, j) = 0.0;
+            continue;
+          }
+          const double gs = rhs / apc;
+          const double delta = config_.sor_omega * (gs - PC(i, j));
+          PC(i, j) += delta;
+          sweep_change += std::abs(delta);
+        }
+      }
+    }
+    exchange_ghosts(ws.pc, mesh_);
+    // Early exit: once a sweep changes p' by under 5% of the first sweep,
+    // further sweeps buy nothing this outer iteration.
+    if (sweep == 0) {
+      first_sweep_change = sweep_change;
+    } else if (sweep_change < 0.05 * first_sweep_change) {
+      break;
+    }
+  }
+
+  // Domain-boundary ghosts for p': zero-gradient everywhere except the
+  // outlet, where p' = 0 at the face. Needed by the corrector's gradients.
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    Grid2Dd& PC = ws.pc[k];
+    if (pm.pj == 0) {
+      for (int i = 1; i <= pm.ny; ++i) PC(i, 0) = PC(i, 1);
+    }
+    if (pm.pj == mesh_.npx() - 1) {
+      for (int i = 1; i <= pm.ny; ++i) {
+        PC(i, pm.nx + 1) = outlet_right ? -PC(i, pm.nx) : PC(i, pm.nx);
+      }
+    }
+    if (pm.pi == 0) {
+      for (int j = 1; j <= pm.nx; ++j) PC(0, j) = PC(1, j);
+    }
+    if (pm.pi == mesh_.npy() - 1) {
+      for (int j = 1; j <= pm.nx; ++j) PC(pm.ny + 1, j) = PC(pm.ny, j);
+    }
+  }
+
+  // --- corrector -------------------------------------------------------------
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    Grid2Dd& U = f.U[k];
+    Grid2Dd& V = f.V[k];
+    Grid2Dd& P = f.p[k];
+    const Grid2Dd& PC = ws.pc[k];
+    const Grid2Dd& AP = ws.ap[k];
+    const double vol = pm.dx * pm.dy;
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        if (pm.solid(i, j)) continue;
+        P(i, j) += config_.alpha_p * PC(i, j);
+        const double d_p = vol / AP(i, j);
+        U(i, j) -= d_p * (PC(i, j + 1) - PC(i, j - 1)) / (2.0 * pm.dx);
+        V(i, j) -= d_p * (PC(i + 1, j) - PC(i - 1, j)) / (2.0 * pm.dy);
+      }
+    }
+  }
+
+  // --- SA transport ----------------------------------------------------------
+  if (config_.solve_sa) {
+    exchange_ghosts(f.nuTilda, mesh_);
+    apply_bc_ghosts(f.nuTilda, kNt);
+    exchange_ghosts(f.U, mesh_);
+    exchange_ghosts(f.V, mesh_);
+    apply_bc_ghosts(f.U, kU);
+    apply_bc_ghosts(f.V, kV);
+
+    double dnt_acc = 0.0;
+    double nt_scale_acc = 0.0;
+    for (int sweep = 0; sweep < config_.sa_sweeps; ++sweep) {
+      const bool last = (sweep + 1 == config_.sa_sweeps);
+      for (int k = 0; k < mesh_.patch_count(); ++k) {
+        const PatchMesh& pm = mesh_.patch_flat(k);
+        const Grid2Dd& U = f.U[k];
+        const Grid2Dd& V = f.V[k];
+        Grid2Dd& NT = f.nuTilda[k];
+        const double dx = pm.dx;
+        const double dy = pm.dy;
+        const double vol = dx * dy;
+        for (int i = 1; i <= pm.ny; ++i) {
+          for (int j = 1; j <= pm.nx; ++j) {
+            if (pm.solid(i, j)) {
+              NT(i, j) = 0.0;
+              continue;
+            }
+            const double d_wall = pm.wall_dist(i, j);
+            // Convection fluxes (upwind).
+            const double fe = 0.5 * (U(i, j) + U(i, j + 1)) * dy;
+            const double fw_ = 0.5 * (U(i, j) + U(i, j - 1)) * dy;
+            const double fn = 0.5 * (V(i, j) + V(i + 1, j)) * dx;
+            const double fs = 0.5 * (V(i, j) + V(i - 1, j)) * dx;
+            // Diffusion (nu + nuTilda) / sigma at faces.
+            auto dface = [&](double nt_a, double nt_b, double len_over) {
+              const double nt_face =
+                  0.5 * (std::max(nt_a, 0.0) + std::max(nt_b, 0.0));
+              return (nu + nt_face) / sa::kSigma * len_over;
+            };
+            const double de = dface(NT(i, j), NT(i, j + 1), dy / dx);
+            const double dw = dface(NT(i, j), NT(i, j - 1), dy / dx);
+            const double dn = dface(NT(i, j), NT(i + 1, j), dx / dy);
+            const double ds = dface(NT(i, j), NT(i - 1, j), dx / dy);
+            const double ae = de + std::max(-fe, 0.0);
+            const double aw = dw + std::max(fw_, 0.0);
+            const double an = dn + std::max(-fn, 0.0);
+            const double as = ds + std::max(fs, 0.0);
+
+            // Sources.
+            const double nt_here = std::max(NT(i, j), 0.0);
+            const double dudy = (U(i + 1, j) - U(i - 1, j)) / (2.0 * dy);
+            const double dvdx = (V(i, j + 1) - V(i, j - 1)) / (2.0 * dx);
+            const double vort = std::abs(dvdx - dudy);
+            const double st = sa::s_tilde(vort, nt_here, nu, d_wall);
+            const double production = sa::kCb1 * st * nt_here * vol;
+            const double r = sa::r_param(nt_here, st, d_wall);
+            const double fw_fn = sa::fw(sa::g_param(r));
+            // Destruction linearised implicitly: cw1 fw (nt/d)^2 =
+            // [cw1 fw nt/d^2] * nt -> goes to the diagonal.
+            const double destr_coeff =
+                sa::cw1() * fw_fn * nt_here / (d_wall * d_wall) * vol;
+            // cb2/sigma |grad nt|^2 (explicit).
+            const double dntdx = (NT(i, j + 1) - NT(i, j - 1)) / (2.0 * dx);
+            const double dntdy = (NT(i + 1, j) - NT(i - 1, j)) / (2.0 * dy);
+            const double cross = sa::kCb2 / sa::kSigma *
+                                 (dntdx * dntdx + dntdy * dntdy) * vol;
+
+            const double speed = std::abs(U(i, j)) + std::abs(V(i, j)) +
+                                 0.3 * std::abs(spec.bc.left.u) + 1e-30;
+            const double dt = config_.pseudo_cfl * std::min(dx, dy) / speed;
+            const double a_time = vol / dt;
+            const double ap0 = ae + aw + an + as + destr_coeff + a_time;
+            const double ap = std::max(ap0, 1e-30) / config_.alpha_nt;
+            const double relax = (1.0 - config_.alpha_nt) * ap + a_time;
+            const double old = NT(i, j);
+            const double nb_sum = ae * NT(i, j + 1) + aw * NT(i, j - 1) +
+                                  an * NT(i + 1, j) + as * NT(i - 1, j);
+            if (last) {
+              // True steady SA residual, normalised by the diagonal times
+              // a turbulence scale.
+              const double sum_a = ae + aw + an + as + destr_coeff;
+              const double nt_ref =
+                  std::max({spec.bc.left.nuTilda, 3.0 * nu, old});
+              dnt_acc += std::abs(nb_sum + production + cross -
+                                  sum_a * old) /
+                         (sum_a * nt_ref);
+              nt_scale_acc += 1.0;
+            }
+            double fresh =
+                (nb_sum + production + cross + relax * old) / ap;
+            fresh = std::max(fresh, 0.0);
+            NT(i, j) = fresh;
+          }
+        }
+      }
+      exchange_ghosts(f.nuTilda, mesh_);
+      apply_bc_ghosts(f.nuTilda, kNt);
+    }
+    res.sa = dnt_acc / std::max(nt_scale_acc, 1e-30);
+  }
+
+  return res;
+}
+
+SolveStats RansSolver::solve(CompositeField& f) {
+  util::WallTimer timer;
+  SolveStats stats;
+  const long long cells = mesh_.active_cells();
+
+  // On divergence, restore the initial state and retry with progressively
+  // more conservative relaxation (halved pseudo-CFL and under-relaxation).
+  const CompositeField initial = f;
+  SolverConfig cfg = config_;
+  constexpr int kMaxAttempts = 3;
+
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Workspace ws(mesh_);
+    Residuals res;
+    bool diverged = false;
+    const SolverConfig saved = config_;
+    config_ = cfg;
+    for (int it = 0; it < cfg.max_outer; ++it) {
+      res = outer_iteration(f, ws);
+      stats.iterations += 1;
+      stats.cell_updates += cells;
+      if (cfg.log_every > 0 && (it % cfg.log_every == 0)) {
+        ADR_LOG_INFO << mesh_.spec().name << " iter " << it
+                     << " continuity=" << res.continuity
+                     << " momentum=" << res.momentum << " sa=" << res.sa;
+      }
+      if (res.combined() >= 1e30) {
+        diverged = true;
+        break;
+      }
+      // Require a few iterations before trusting the residuals (the first
+      // iterations of a freestream guess can look spuriously converged).
+      if (it >= 5 && res.combined() < cfg.tol) {
+        stats.converged = true;
+        break;
+      }
+    }
+    config_ = saved;
+    stats.residual = res.combined();
+    if (!diverged) break;
+    cfg.pseudo_cfl *= 0.4;
+    cfg.alpha_u *= 0.6;
+    cfg.alpha_p *= 0.6;
+    cfg.alpha_nt *= 0.6;
+    ADR_LOG_WARN << mesh_.spec().name << " diverged; retrying with "
+                 << "pseudo_cfl=" << cfg.pseudo_cfl
+                 << " alpha_u=" << cfg.alpha_u;
+    f = initial;
+  }
+  refresh_ghosts(f);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+SolveStats RansSolver::iterate(CompositeField& f, int n) {
+  util::WallTimer timer;
+  Workspace ws(mesh_);
+  SolveStats stats;
+  const long long cells = mesh_.active_cells();
+  Residuals res;
+  for (int it = 0; it < n; ++it) {
+    res = outer_iteration(f, ws);
+    stats.iterations = it + 1;
+    stats.cell_updates += cells;
+  }
+  refresh_ghosts(f);
+  stats.residual = res.combined();
+  stats.converged = res.combined() < config_.tol;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+Residuals RansSolver::residuals(const CompositeField& f) const {
+  // One throwaway iteration on a copy measures the residuals non-destructively.
+  CompositeField copy = f;
+  Workspace ws(mesh_);
+  RansSolver* self = const_cast<RansSolver*>(this);
+  return self->outer_iteration(copy, ws);
+}
+
+}  // namespace adarnet::solver

@@ -1,0 +1,97 @@
+// Steady incompressible RANS solver with the SA model on composite meshes.
+//
+// This is the "physics solver" of the end-to-end framework (the paper uses
+// OpenFOAM's pimpleFoam; see DESIGN.md for the substitution). The solver is
+// a collocated finite-volume SIMPLE scheme:
+//   * momentum: first-order upwind convection + central diffusion with
+//     effective viscosity nu + nu_t, implicit under-relaxation;
+//   * pressure-velocity coupling: SIMPLE pressure correction with
+//     Rhie-Chow momentum interpolation at faces;
+//   * turbulence: SA transport equation, implicit destruction term;
+//   * immersed solids: masked Dirichlet cells (U = V = nuTilda = 0).
+//
+// The same solver runs the uniform LR solve (all patches level 0), uniform
+// HR solves (all patches level n) and non-uniform composite solves — which
+// is what makes the AMR cost model real: work per outer iteration is
+// proportional to the mesh's active cells.
+#pragma once
+
+#include "mesh/composite.hpp"
+
+namespace adarnet::solver {
+
+/// Tuning knobs for the SIMPLE iteration.
+struct SolverConfig {
+  int max_outer = 6000;       ///< cap on outer (SIMPLE) iterations
+  double tol = 2e-4;          ///< normalised residual target
+  double alpha_u = 0.5;       ///< momentum under-relaxation factor
+  double alpha_p = 0.2;       ///< pressure under-relaxation factor
+  double alpha_nt = 0.2;      ///< SA under-relaxation factor
+  int momentum_sweeps = 2;    ///< Gauss-Seidel sweeps per momentum solve
+  int pressure_sweeps = 60;   ///< SOR sweeps (with ghost exchange) for p'
+  double sor_omega = 1.4;     ///< SOR relaxation for the pressure equation
+  int sa_sweeps = 2;          ///< Gauss-Seidel sweeps for the SA equation
+  bool solve_sa = true;       ///< disable to run a laminar solve
+  double pseudo_cfl = 2.0;    ///< local pseudo-time-step CFL number; bounds
+                              ///< Vol/aP in near-stagnation cells (stability)
+  int log_every = 0;          ///< 0 = silent, n = log residual every n iters
+};
+
+/// Outcome of a solve: convergence, cost, and residual bookkeeping.
+struct SolveStats {
+  int iterations = 0;           ///< outer SIMPLE iterations performed (ITC)
+  bool converged = false;       ///< residual target reached before the cap
+  double residual = 0.0;        ///< final normalised residual
+  double seconds = 0.0;         ///< wall time of the solve
+  long long cell_updates = 0;   ///< total interior-cell updates (machine-
+                                ///< independent work measure)
+};
+
+/// Normalised residuals of the current state (diagnostics and convergence).
+struct Residuals {
+  double continuity = 0.0;  ///< mass imbalance / inlet mass flux
+  double momentum = 0.0;    ///< relative change of U, V per iteration
+  double sa = 0.0;          ///< relative change of nuTilda per iteration
+
+  /// Worst of the three; non-finite values (diverged state) map to 1e30.
+  [[nodiscard]] double combined() const;
+};
+
+/// SIMPLE solver bound to one composite mesh.
+class RansSolver {
+ public:
+  RansSolver(const mesh::CompositeMesh& mesh, SolverConfig config);
+
+  /// Initialises `f` to a uniform freestream guess (inlet velocity
+  /// everywhere, zero pressure, freestream nuTilda), zero inside solids.
+  void initialize_freestream(mesh::CompositeField& f) const;
+
+  /// Runs SIMPLE outer iterations until the residual target or the cap.
+  SolveStats solve(mesh::CompositeField& f);
+
+  /// Performs exactly `n` outer iterations (used by the AMR driver's
+  /// intermediate passes). Stats accumulate residual info as in solve().
+  SolveStats iterate(mesh::CompositeField& f, int n);
+
+  /// Applies boundary-condition ghosts + inter-patch exchange to `f`.
+  void refresh_ghosts(mesh::CompositeField& f) const;
+
+  /// Current residuals of the state (one evaluation, no update).
+  Residuals residuals(const mesh::CompositeField& f) const;
+
+  [[nodiscard]] const SolverConfig& config() const { return config_; }
+  [[nodiscard]] const mesh::CompositeMesh& mesh() const { return mesh_; }
+
+ private:
+  struct Workspace;
+
+  /// One SIMPLE outer iteration; returns the residuals measured during it.
+  Residuals outer_iteration(mesh::CompositeField& f, Workspace& ws);
+
+  void apply_bc_ghosts(mesh::CompositeScalar& s, int channel) const;
+
+  const mesh::CompositeMesh& mesh_;
+  SolverConfig config_;
+};
+
+}  // namespace adarnet::solver

@@ -1,0 +1,54 @@
+#include "solver/sa_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adarnet::solver::sa {
+
+double cw1() { return kCb1 / (kKappa * kKappa) + (1.0 + kCb2) / kSigma; }
+
+double chi(double nu_tilda, double nu) { return std::max(nu_tilda, 0.0) / nu; }
+
+double fv1(double chi_v) {
+  const double c3 = chi_v * chi_v * chi_v;
+  const double cv13 = kCv1 * kCv1 * kCv1;
+  return c3 / (c3 + cv13);
+}
+
+double fv2(double chi_v) {
+  return 1.0 - chi_v / (1.0 + chi_v * fv1(chi_v));
+}
+
+double s_tilde(double vorticity, double nu_tilda, double nu, double d) {
+  const double c = chi(nu_tilda, nu);
+  const double kd2 = kKappa * kKappa * d * d;
+  const double st = vorticity + nu_tilda / kd2 * fv2(c);
+  // Floor at a fraction of the raw vorticity to avoid division blow-ups in
+  // r when fv2 drives S_tilde negative (standard robustness fix).
+  return std::max(st, 0.3 * vorticity + 1e-16);
+}
+
+double r_param(double nu_tilda, double s_tilde_v, double d) {
+  const double kd2 = kKappa * kKappa * d * d;
+  const double r = nu_tilda / (s_tilde_v * kd2 + 1e-300);
+  return std::min(r, 10.0);
+}
+
+double g_param(double r) {
+  return r + kCw2 * (std::pow(r, 6.0) - r);
+}
+
+double fw(double g) {
+  const double cw36 = std::pow(kCw3, 6.0);
+  const double g6 = std::pow(g, 6.0);
+  return g * std::pow((1.0 + cw36) / (g6 + cw36), 1.0 / 6.0);
+}
+
+double eddy_viscosity(double nu_tilda, double nu) {
+  if (nu_tilda <= 0.0) return 0.0;
+  return nu_tilda * fv1(chi(nu_tilda, nu));
+}
+
+double freestream_nu_tilda(double nu) { return 3.0 * nu; }
+
+}  // namespace adarnet::solver::sa

@@ -1,0 +1,54 @@
+// Spalart-Allmaras one-equation turbulence closure (standard SA-neg-free
+// variant, constants from the original 1992 reference, ft2 = 0, trip off —
+// the "most popular implementation" the paper uses).
+//
+// The transport equation solved by the RANS solver is
+//   U_j d(nuTilda)/dx_j = cb1 * S_tilde * nuTilda
+//                        - cw1 * fw * (nuTilda / d)^2
+//                        + (1/sigma) [ div((nu + nuTilda) grad nuTilda)
+//                                      + cb2 |grad nuTilda|^2 ]
+// and the eddy viscosity is nu_t = nuTilda * fv1(chi).
+#pragma once
+
+namespace adarnet::solver::sa {
+
+// Model constants (Spalart & Allmaras, 1992).
+inline constexpr double kCb1 = 0.1355;
+inline constexpr double kCb2 = 0.622;
+inline constexpr double kSigma = 2.0 / 3.0;
+inline constexpr double kKappa = 0.41;
+inline constexpr double kCw2 = 0.3;
+inline constexpr double kCw3 = 2.0;
+inline constexpr double kCv1 = 7.1;
+/// cw1 = cb1/kappa^2 + (1 + cb2)/sigma.
+double cw1();
+
+/// chi = nuTilda / nu.
+double chi(double nu_tilda, double nu);
+
+/// fv1 = chi^3 / (chi^3 + cv1^3): wall damping of the eddy viscosity.
+double fv1(double chi);
+
+/// fv2 = 1 - chi / (1 + chi * fv1).
+double fv2(double chi);
+
+/// Modified vorticity S_tilde = S + nuTilda / (kappa^2 d^2) * fv2, floored
+/// at a small positive value for robustness.
+double s_tilde(double vorticity, double nu_tilda, double nu, double d);
+
+/// r = min(nuTilda / (S_tilde kappa^2 d^2), 10).
+double r_param(double nu_tilda, double s_tilde, double d);
+
+/// g = r + cw2 (r^6 - r).
+double g_param(double r);
+
+/// fw = g [ (1 + cw3^6) / (g^6 + cw3^6) ]^{1/6}.
+double fw(double g);
+
+/// Eddy viscosity nu_t = nuTilda * fv1(chi), clamped non-negative.
+double eddy_viscosity(double nu_tilda, double nu);
+
+/// A freestream inflow value commonly used with SA: nuTilda = 3 * nu.
+double freestream_nu_tilda(double nu);
+
+}  // namespace adarnet::solver::sa

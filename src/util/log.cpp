@@ -1,0 +1,66 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace adarnet::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("ADARNET_LOG_LEVEL")) {
+    g_level.store(parse_log_level(env));
+  }
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, init_from_env);
+  g_level.store(level);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[adarnet %-5s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace adarnet::util

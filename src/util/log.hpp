@@ -1,0 +1,64 @@
+// Minimal leveled logger for the ADARNet library.
+//
+// The logger writes to stderr and is intentionally tiny: benches and examples
+// want readable progress lines, tests want silence. Level is a process-wide
+// setting, defaulting to Info, overridable with ADARNET_LOG_LEVEL
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace adarnet::util {
+
+/// Severity levels, ordered: lower values are more verbose.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the current process-wide log level.
+LogLevel log_level();
+
+/// Sets the process-wide log level.
+void set_log_level(LogLevel level);
+
+/// Parses a level name ("info", "warn", ...). Unknown names yield kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG_AT(LogLevel::kInfo) << "solved in " << n;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace adarnet::util
+
+#define ADR_LOG_TRACE ::adarnet::util::LogLine(::adarnet::util::LogLevel::kTrace)
+#define ADR_LOG_DEBUG ::adarnet::util::LogLine(::adarnet::util::LogLevel::kDebug)
+#define ADR_LOG_INFO ::adarnet::util::LogLine(::adarnet::util::LogLevel::kInfo)
+#define ADR_LOG_WARN ::adarnet::util::LogLine(::adarnet::util::LogLevel::kWarn)
+#define ADR_LOG_ERROR ::adarnet::util::LogLine(::adarnet::util::LogLevel::kError)

@@ -1,0 +1,45 @@
+// Aligned console tables and CSV output for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints it both as a human-readable aligned table and, optionally, as CSV
+// next to the binary, so results can be diffed across runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adarnet::util {
+
+/// Builds a table row-by-row and renders it column-aligned.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns and a separator under headers.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders the table as CSV (RFC-4180 style quoting for commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`. Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  /// Number of data rows currently in the table.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (bench-friendly).
+std::string fmt(double value, int digits = 4);
+
+/// Formats a value as a multiplier string, e.g. 3.14 -> "3.1x".
+std::string fmt_speedup(double value);
+
+}  // namespace adarnet::util

@@ -1,0 +1,51 @@
+// Wall-clock timers used by the benchmark harnesses and the end-to-end
+// pipelines (time-to-convergence accounting in Table 1 / Table 2).
+#pragma once
+
+#include <chrono>
+
+namespace adarnet::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Minutes elapsed (the unit the paper reports TTC in).
+  [[nodiscard]] double minutes() const { return seconds() / 60.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: sums the duration of several timed sections.
+class AccumTimer {
+ public:
+  /// Starts a timed section.
+  void start() { timer_.reset(); running_ = true; }
+
+  /// Ends the current section and adds it to the total.
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+
+  /// Total accumulated seconds over all completed sections.
+  [[nodiscard]] double seconds() const { return total_; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace adarnet::util

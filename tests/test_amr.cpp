@@ -1,0 +1,164 @@
+// Tests for the AMR substrate: refinement criteria, marking, 2:1 balance,
+// and the iterative driver.
+#include <gtest/gtest.h>
+
+#include "amr/criteria.hpp"
+#include "amr/driver.hpp"
+#include "data/cases.hpp"
+#include "data/dataset.hpp"
+
+namespace {
+
+using namespace adarnet;
+
+field::FlowField field_with_hot_patch(int ny, int nx, int hot_i, int hot_j) {
+  field::FlowField f(ny, nx);
+  // Smooth background + a sharp nuTilda bump in one cell.
+  for (int i = 0; i < ny; ++i) {
+    for (int j = 0; j < nx; ++j) f.U(i, j) = 1.0;
+  }
+  f.nuTilda(hot_i, hot_j) = 1.0;
+  return f;
+}
+
+}  // namespace
+
+TEST(Criteria, GradientEnergyFindsHotPatch) {
+  const auto f = field_with_hot_patch(16, 16, 12, 13);  // patch (1, 1) of 2x2
+  const auto energy = amr::patch_gradient_energy_lr(f, 8, 8);
+  ASSERT_EQ(energy.ny(), 2);
+  ASSERT_EQ(energy.nx(), 2);
+  EXPECT_GT(energy(1, 1), energy(0, 0));
+  EXPECT_GT(energy(1, 1), energy(0, 1));
+  EXPECT_GT(energy(1, 1), energy(1, 0));
+}
+
+TEST(Criteria, MarkByFractionRespectsCapAndThreshold) {
+  field::Array2D<double> scores(2, 2, 0.0);
+  scores(0, 0) = 1.0;
+  scores(1, 1) = 0.5;
+  mesh::RefinementMap map(2, 2, 0);
+  amr::mark_by_fraction(scores, map, 0.6, 3);
+  EXPECT_EQ(map.level(0, 0), 1);
+  EXPECT_EQ(map.level(1, 1), 0);  // below 0.6 * max
+  amr::mark_by_fraction(scores, map, 0.6, 1);
+  EXPECT_EQ(map.level(0, 0), 1);  // capped
+}
+
+TEST(Criteria, MarkNoopOnZeroScores) {
+  field::Array2D<double> scores(2, 2, 0.0);
+  mesh::RefinementMap map(2, 2, 0);
+  amr::mark_by_fraction(scores, map, 0.3, 3);
+  EXPECT_EQ(map.max_level(), 0);
+}
+
+TEST(Criteria, TwoToOneBalance) {
+  mesh::RefinementMap map(3, 3, 0);
+  map.set_level(1, 1, 3);
+  const int raises = amr::enforce_two_to_one(map);
+  EXPECT_GT(raises, 0);
+  for (int pi = 0; pi < 3; ++pi) {
+    for (int pj = 0; pj < 3; ++pj) {
+      auto check = [&](int qi, int qj) {
+        if (qi < 0 || qi >= 3 || qj < 0 || qj >= 3) return;
+        EXPECT_LE(std::abs(map.level(pi, pj) - map.level(qi, qj)), 1);
+      };
+      check(pi + 1, pj);
+      check(pi, pj + 1);
+    }
+  }
+  // Neighbours of the level-3 centre must be at least level 2.
+  EXPECT_GE(map.level(0, 1), 2);
+  EXPECT_GE(map.level(1, 0), 2);
+}
+
+TEST(Criteria, CompositeGradNutMatchesLrVariant) {
+  auto spec = data::channel_case(2.5e3, data::GridPreset{16, 32, 8, 8});
+  mesh::CompositeMesh mesh(spec, mesh::RefinementMap(2, 4, 0));
+  auto f = mesh::make_field(mesh);
+  // Put a nuTilda spike in patch (1, 2).
+  f.nuTilda[1 * 4 + 2](4, 4) = 1.0;
+  const auto scores = amr::patch_grad_nut(mesh, f);
+  double best = 0.0;
+  int best_pi = -1, best_pj = -1;
+  for (int pi = 0; pi < 2; ++pi) {
+    for (int pj = 0; pj < 4; ++pj) {
+      if (scores(pi, pj) > best) {
+        best = scores(pi, pj);
+        best_pi = pi;
+        best_pj = pj;
+      }
+    }
+  }
+  EXPECT_EQ(best_pi, 1);
+  EXPECT_EQ(best_pj, 2);
+}
+
+TEST(AmrDriver, ChannelRefinesAndConverges) {
+  auto spec = data::channel_case(2.5e3, data::GridPreset{16, 64, 4, 4});
+  amr::AmrConfig cfg;
+  cfg.max_level = 1;  // keep the test fast
+  cfg.solver.tol = 5e-4;
+  cfg.solver.max_outer = 4000;
+  const auto result = amr::run_amr(spec, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.stages.size(), 2u);
+  // Later stages have at least as many cells.
+  for (std::size_t k = 1; k < result.stages.size(); ++k) {
+    EXPECT_GE(result.stages[k].cells, result.stages[k - 1].cells);
+  }
+  EXPECT_GT(result.final_map.max_level(), 0);
+  EXPECT_EQ(result.total_iterations,
+            [&] {
+              int acc = 0;
+              for (const auto& st : result.stages) acc += st.iterations;
+              return acc;
+            }());
+  // Channel: the wall-adjacent patch rows must be refined.
+  int wall_refined = 0;
+  for (int pj = 0; pj < result.final_map.npx(); ++pj) {
+    wall_refined += (result.final_map.level(0, pj) > 0);
+    wall_refined +=
+        (result.final_map.level(result.final_map.npy() - 1, pj) > 0);
+  }
+  EXPECT_GT(wall_refined, result.final_map.npx());  // most wall patches
+}
+
+TEST(AmrDriver, ReferenceMapMatchesCriterion) {
+  auto spec = data::channel_case(2.5e3, data::GridPreset{16, 64, 4, 4});
+  solver::SolverConfig lr_cfg;
+  lr_cfg.tol = 5e-4;
+  const auto lr = data::solve_lr(spec, lr_cfg);
+  mesh::CompositeMesh mesh(spec,
+                           mesh::RefinementMap(spec.npy(), spec.npx(), 0));
+  auto f = mesh::make_field(mesh);
+  mesh::fill_from_uniform(f, mesh, lr);
+  amr::AmrConfig cfg;
+  const auto map = amr::amr_reference_map(mesh, f, cfg);
+  EXPECT_EQ(map.max_level(), mesh::kMaxLevel);
+  // 2:1 balance holds.
+  mesh::RefinementMap balanced = map;
+  EXPECT_EQ(amr::enforce_two_to_one(balanced), 0);
+}
+
+TEST(Criteria, GradNutFallsBackWhenLaminarised) {
+  // Zero nuTilda everywhere: the eddy-viscosity criterion has no signal
+  // and must fall back to the all-variable gradient energy.
+  auto spec = data::channel_case(2.5e3, data::GridPreset{16, 32, 8, 8});
+  mesh::CompositeMesh mesh(spec, mesh::RefinementMap(2, 4, 0));
+  auto f = mesh::make_field(mesh);
+  // A velocity gradient in patch (0, 1), no turbulence anywhere.
+  auto& u = f.U[1];
+  u(4, 4) = 1.0;
+  const auto scores = amr::patch_grad_nut(mesh, f);
+  double best = 0.0;
+  int best_pj = -1;
+  for (int pj = 0; pj < 4; ++pj) {
+    if (scores(0, pj) > best) {
+      best = scores(0, pj);
+      best_pj = pj;
+    }
+  }
+  EXPECT_EQ(best_pj, 1);
+  EXPECT_GT(best, 0.0);
+}

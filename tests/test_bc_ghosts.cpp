@@ -1,0 +1,132 @@
+// Parameterised boundary-condition ghost tests: for every BC type, the
+// ghost values set by the solver must realise the intended face condition
+// (Dirichlet face average, zero gradient, odd/even reflection).
+#include <gtest/gtest.h>
+
+#include "data/cases.hpp"
+#include "mesh/composite.hpp"
+#include "solver/rans.hpp"
+
+namespace {
+
+using namespace adarnet;
+
+// Builds a 8x8 single-flow case with the requested BC on the left side and
+// benign defaults elsewhere.
+mesh::CaseSpec case_with_left_bc(mesh::SideBc left) {
+  auto spec = data::channel_case(2.5e3, data::GridPreset{8, 8, 4, 4});
+  spec.bc.left = left;
+  return spec;
+}
+
+struct BcCase {
+  mesh::BcType type;
+  const char* name;
+};
+
+class BcGhosts : public ::testing::TestWithParam<BcCase> {};
+
+}  // namespace
+
+TEST_P(BcGhosts, LeftSideGhostsRealiseTheFaceCondition) {
+  const auto param = GetParam();
+  mesh::SideBc left;
+  left.type = param.type;
+  left.u = 0.8;
+  left.v = 0.1;
+  left.nuTilda = 4.5e-5;
+  auto spec = case_with_left_bc(left);
+  mesh::CompositeMesh mesh(spec, mesh::RefinementMap(2, 2, 0));
+  solver::RansSolver solver(mesh, {});
+  auto f = mesh::make_field(mesh);
+  // Distinct interior values so reflections are detectable.
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& pm = mesh.patch_flat(k);
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        f.U[k](i, j) = 0.3 + 0.01 * i;
+        f.V[k](i, j) = -0.2 + 0.01 * j;
+        f.p[k](i, j) = 1.5;
+        f.nuTilda[k](i, j) = 2e-5;
+      }
+    }
+  }
+  solver.refresh_ghosts(f);
+
+  // Left-edge patches are flat indices 0 and 2 (patch rows 0, 1).
+  for (int k : {0, 2}) {
+    const auto& pm = mesh.patch_flat(k);
+    for (int i = 1; i <= pm.ny; ++i) {
+      const double u_in = f.U[k](i, 1);
+      const double v_in = f.V[k](i, 1);
+      const double p_in = f.p[k](i, 1);
+      const double nt_in = f.nuTilda[k](i, 1);
+      const double u_g = f.U[k](i, 0);
+      const double v_g = f.V[k](i, 0);
+      const double p_g = f.p[k](i, 0);
+      const double nt_g = f.nuTilda[k](i, 0);
+      switch (param.type) {
+        case mesh::BcType::kInlet:
+        case mesh::BcType::kFreestream:
+          // Face average equals the imposed values; p zero-gradient.
+          EXPECT_NEAR(0.5 * (u_g + u_in), left.u, 1e-12);
+          EXPECT_NEAR(0.5 * (v_g + v_in), left.v, 1e-12);
+          EXPECT_NEAR(0.5 * (nt_g + nt_in), left.nuTilda, 1e-12);
+          EXPECT_DOUBLE_EQ(p_g, p_in);
+          break;
+        case mesh::BcType::kOutlet:
+          // Zero-gradient velocity/nuTilda, p = 0 at the face.
+          EXPECT_DOUBLE_EQ(u_g, u_in);
+          EXPECT_DOUBLE_EQ(v_g, v_in);
+          EXPECT_DOUBLE_EQ(nt_g, nt_in);
+          EXPECT_NEAR(0.5 * (p_g + p_in), 0.0, 1e-12);
+          break;
+        case mesh::BcType::kWall:
+          // No-slip: velocity and nuTilda vanish at the face.
+          EXPECT_NEAR(0.5 * (u_g + u_in), 0.0, 1e-12);
+          EXPECT_NEAR(0.5 * (v_g + v_in), 0.0, 1e-12);
+          EXPECT_NEAR(0.5 * (nt_g + nt_in), 0.0, 1e-12);
+          EXPECT_DOUBLE_EQ(p_g, p_in);
+          break;
+        case mesh::BcType::kSymmetry:
+          // Left side: U is the normal component (odd), V tangential (even).
+          EXPECT_DOUBLE_EQ(u_g, -u_in);
+          EXPECT_DOUBLE_EQ(v_g, v_in);
+          EXPECT_DOUBLE_EQ(p_g, p_in);
+          EXPECT_DOUBLE_EQ(nt_g, nt_in);
+          break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBcTypes, BcGhosts,
+    ::testing::Values(BcCase{mesh::BcType::kInlet, "inlet"},
+                      BcCase{mesh::BcType::kOutlet, "outlet"},
+                      BcCase{mesh::BcType::kWall, "wall"},
+                      BcCase{mesh::BcType::kSymmetry, "symmetry"},
+                      BcCase{mesh::BcType::kFreestream, "freestream"}),
+    [](const ::testing::TestParamInfo<BcCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(BcGhosts, TopBottomSymmetryFlipsV) {
+  auto spec = data::flat_plate_case(2.5e5, data::GridPreset{8, 8, 4, 4});
+  mesh::CompositeMesh mesh(spec, mesh::RefinementMap(2, 2, 0));
+  solver::RansSolver solver(mesh, {});
+  auto f = mesh::make_field(mesh);
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    for (auto& v : f.V[k]) v = 0.25;
+    for (auto& v : f.U[k]) v = 0.5;
+  }
+  solver.refresh_ghosts(f);
+  // Top side (patch row 1, flat indices 2 and 3) is symmetry: V odd, U even.
+  for (int k : {2, 3}) {
+    const auto& pm = mesh.patch_flat(k);
+    for (int j = 1; j <= pm.nx; ++j) {
+      EXPECT_DOUBLE_EQ(f.V[k](pm.ny + 1, j), -f.V[k](pm.ny, j));
+      EXPECT_DOUBLE_EQ(f.U[k](pm.ny + 1, j), f.U[k](pm.ny, j));
+    }
+  }
+}

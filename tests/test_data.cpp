@@ -1,0 +1,110 @@
+// Tests for the data module: case factories, presets, dataset generation.
+#include <gtest/gtest.h>
+
+#include "data/cases.hpp"
+#include "data/dataset.hpp"
+
+namespace {
+
+using namespace adarnet;
+
+}  // namespace
+
+TEST(CaseFactories, ChannelPhysics) {
+  const auto spec = data::channel_case(2.5e3);
+  EXPECT_NEAR(spec.reynolds(), 2.5e3, 1e-9);
+  EXPECT_DOUBLE_EQ(spec.ly, 0.1);
+  EXPECT_DOUBLE_EQ(spec.lx, 6.0);
+  EXPECT_EQ(spec.bc.left.type, mesh::BcType::kInlet);
+  EXPECT_EQ(spec.bc.right.type, mesh::BcType::kOutlet);
+  EXPECT_EQ(spec.bc.bottom.type, mesh::BcType::kWall);
+  EXPECT_EQ(spec.bc.top.type, mesh::BcType::kWall);
+  // Paper LR: 64 x 256 with 16 x 16 patches -> N = 64 patches.
+  EXPECT_EQ(spec.npy() * spec.npx(), 64);
+  EXPECT_GT(spec.bc.left.nuTilda, 0.0);  // SA freestream inflow
+}
+
+TEST(CaseFactories, FlatPlateUsesSymmetryTop) {
+  const auto spec = data::flat_plate_case(2.5e5);
+  EXPECT_EQ(spec.bc.top.type, mesh::BcType::kSymmetry);
+  EXPECT_EQ(spec.bc.bottom.type, mesh::BcType::kWall);
+  EXPECT_NEAR(spec.reynolds(), 2.5e5, 1e-6);
+  EXPECT_DOUBLE_EQ(spec.l_ref, 10.0);  // Re based on plate length
+}
+
+TEST(CaseFactories, BodyCasesHaveFreestreamAndGeometry) {
+  for (const auto& spec :
+       {data::cylinder_case(1e5), data::naca0012_case(2.5e4),
+        data::naca1412_case(2.5e4),
+        data::ellipse_case(0.25, 2.0, 1.0, 7e4)}) {
+    EXPECT_EQ(spec.bc.top.type, mesh::BcType::kFreestream) << spec.name;
+    EXPECT_EQ(spec.bc.bottom.type, mesh::BcType::kFreestream) << spec.name;
+    ASSERT_NE(spec.geometry, nullptr) << spec.name;
+    EXPECT_DOUBLE_EQ(spec.l_ref, 1.0) << spec.name;  // chord
+    EXPECT_EQ(spec.npy() * spec.npx(), 64) << spec.name;
+  }
+}
+
+TEST(CaseFactories, ShrinkPreservesPatchCount) {
+  const auto full = data::paper_wall_preset();
+  const auto half = data::shrink(full, 2);
+  EXPECT_EQ(half.base_ny, 32);
+  EXPECT_EQ(half.base_nx, 128);
+  EXPECT_EQ(half.ph, 8);
+  EXPECT_EQ(full.base_ny / full.ph, half.base_ny / half.ph);
+  EXPECT_THROW(data::shrink(full, 3), std::invalid_argument);
+}
+
+TEST(CaseFactories, RejectsIndivisiblePreset) {
+  EXPECT_THROW(data::channel_case(2.5e3, data::GridPreset{60, 256, 16, 16}),
+               std::invalid_argument);
+}
+
+TEST(DatasetGen, GeneratesSamplesAndStats) {
+  data::DatasetConfig cfg;
+  cfg.channel_samples = 1;
+  cfg.plate_samples = 1;
+  cfg.ellipse_samples = 1;
+  cfg.wall_preset = data::GridPreset{16, 64, 4, 4};
+  cfg.body_preset = data::GridPreset{16, 16, 4, 4};
+  cfg.solver.tol = 1e-3;
+  cfg.solver.max_outer = 2000;
+  auto ds = data::generate_dataset(cfg);
+  ASSERT_EQ(ds.samples.size(), 3u);
+  EXPECT_EQ(ds.samples[0].lr.ny(), 16);
+  EXPECT_EQ(ds.samples[0].lr.nx(), 64);
+  // Channel sample flows: positive U somewhere, nuTilda non-negative.
+  double max_u = 0.0;
+  for (double v : ds.samples[0].lr.U) max_u = std::max(max_u, v);
+  EXPECT_GT(max_u, 0.0);
+  for (double v : ds.samples[0].lr.nuTilda) EXPECT_GE(v, 0.0);
+  // Stats bracket the data.
+  for (int c = 0; c < 4; ++c) EXPECT_GT(ds.stats.hi[c], ds.stats.lo[c]);
+}
+
+TEST(DatasetGen, SplitValidation) {
+  data::Dataset ds;
+  for (int k = 0; k < 10; ++k) {
+    ds.samples.push_back({data::channel_case(2.5e3), field::FlowField(4, 4)});
+  }
+  const auto val = ds.split_validation(0.2);
+  EXPECT_EQ(val.size(), 2u);
+  EXPECT_EQ(ds.samples.size(), 8u);
+}
+
+TEST(DatasetGen, DeterministicUnderSeed) {
+  data::DatasetConfig cfg;
+  cfg.channel_samples = 2;
+  cfg.plate_samples = 0;
+  cfg.ellipse_samples = 0;
+  cfg.wall_preset = data::GridPreset{8, 32, 4, 4};
+  cfg.solver.tol = 5e-3;
+  cfg.solver.max_outer = 500;
+  cfg.seed = 77;
+  const auto a = data::generate_dataset(cfg);
+  const auto b = data::generate_dataset(cfg);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t k = 0; k < a.samples.size(); ++k) {
+    EXPECT_EQ(a.samples[k].spec.name, b.samples[k].spec.name);
+  }
+}

@@ -1,0 +1,78 @@
+// Tests for the io module: VTK and PGM writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/cases.hpp"
+#include "io/vtk.hpp"
+#include "mesh/composite.hpp"
+
+namespace {
+
+using namespace adarnet;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(VtkWriter, UniformFieldHeaderAndArrays) {
+  field::FlowField f(4, 6);
+  f.U(1, 2) = 3.5;
+  const std::string path = ::testing::TempDir() + "/adarnet_uniform.vtk";
+  ASSERT_TRUE(io::write_vtk_uniform(f, 0.1, 0.2, path));
+  const std::string s = slurp(path);
+  EXPECT_NE(s.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(s.find("DIMENSIONS 6 4 1"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS U double 1"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS nuTilda double 1"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VtkWriter, CompositeCellCountsMatchMesh) {
+  auto spec = data::channel_case(2.5e3, data::GridPreset{8, 16, 4, 4});
+  mesh::RefinementMap map(2, 4, 0);
+  map.set_level(0, 0, 1);
+  mesh::CompositeMesh mesh(spec, map);
+  auto f = mesh::make_field(mesh);
+  const std::string path = ::testing::TempDir() + "/adarnet_composite.vtk";
+  ASSERT_TRUE(io::write_vtk_composite(f, mesh, path));
+  const std::string s = slurp(path);
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "CELLS %lld", mesh.active_cells());
+  EXPECT_NE(s.find(expect), std::string::npos);
+  EXPECT_NE(s.find("SCALARS level int 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(PgmWriter, HeaderAndSize) {
+  field::Grid2Dd g(3, 5);
+  for (std::size_t k = 0; k < g.size(); ++k) g[k] = static_cast<double>(k);
+  const std::string path = ::testing::TempDir() + "/adarnet_field.pgm";
+  ASSERT_TRUE(io::write_pgm(g, path));
+  const std::string s = slurp(path);
+  EXPECT_EQ(s.rfind("P5\n5 3\n255\n", 0), 0u);
+  EXPECT_EQ(s.size(), std::string("P5\n5 3\n255\n").size() + 15);
+  // Max value maps to 255, min to 0; row order is flipped (top first).
+  const std::size_t data0 = std::string("P5\n5 3\n255\n").size();
+  EXPECT_EQ(static_cast<unsigned char>(s[data0]),
+            static_cast<unsigned char>((10.0 / 14.0) * 255 + 0.5));
+  EXPECT_EQ(static_cast<unsigned char>(s.back()), 255 - 255 * 10 / 14 / 1);
+  std::remove(path.c_str());
+}
+
+TEST(PgmWriter, ConstantFieldIsBlack) {
+  field::Grid2Dd g(2, 2, 5.0);
+  const std::string path = ::testing::TempDir() + "/adarnet_const.pgm";
+  ASSERT_TRUE(io::write_pgm(g, path));
+  const std::string s = slurp(path);
+  EXPECT_EQ(static_cast<unsigned char>(s.back()), 0);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,278 @@
+// Tests for the mesh module: geometries, refinement maps, composite meshes
+// and their ghost exchange / transfer operators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/cases.hpp"
+#include "mesh/bc.hpp"
+#include "mesh/composite.hpp"
+#include "mesh/geometry.hpp"
+#include "mesh/refinement_map.hpp"
+
+namespace am = adarnet::mesh;
+namespace ad = adarnet::data;
+
+TEST(Geometry, ChannelWallDistance) {
+  am::ChannelGeometry g(0.1);
+  EXPECT_FALSE(g.inside(1.0, 0.05));
+  EXPECT_DOUBLE_EQ(g.wall_distance(0.0, 0.03), 0.03);
+  EXPECT_DOUBLE_EQ(g.wall_distance(5.0, 0.08), 0.1 - 0.08);
+  EXPECT_DOUBLE_EQ(g.wall_distance(2.0, 0.05), 0.05);
+}
+
+TEST(Geometry, FlatPlateWallDistance) {
+  am::FlatPlateGeometry g(1.0);  // plate starts at x = 1
+  EXPECT_DOUBLE_EQ(g.wall_distance(2.0, 0.01), 0.01);  // above the plate
+  // Upstream of the leading edge: distance to the edge point (1, 0).
+  EXPECT_NEAR(g.wall_distance(0.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(g.wall_distance(0.0, 1.0), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Geometry, CylinderInsideAndDistance) {
+  auto body = am::make_ellipse(1.0, 1.0, 0.0, 0.0, 3.0, 4.0);
+  EXPECT_EQ(body->name(), "cylinder");
+  EXPECT_TRUE(body->inside(3.0, 4.0));
+  EXPECT_TRUE(body->inside(3.4, 4.0));
+  EXPECT_FALSE(body->inside(3.6, 4.0));
+  EXPECT_FALSE(body->inside(3.0, 4.6));
+  // Distance from a point two radii away along x: ~0.5 chord.
+  EXPECT_NEAR(body->wall_distance(4.0, 4.0), 0.5, 0.01);
+  // On the surface the distance is ~0.
+  EXPECT_LT(body->wall_distance(3.5, 4.0), 0.01);
+}
+
+TEST(Geometry, EllipseRotationMovesBoundary) {
+  // A thin ellipse at 45 degrees should contain points along its rotated
+  // major axis and not along the unrotated one.
+  auto flat = am::make_ellipse(1.0, 0.1, 0.0, 0.0, 0.0, 0.0);
+  auto tilted = am::make_ellipse(1.0, 0.1, 45.0, 0.0, 0.0, 0.0);
+  EXPECT_TRUE(flat->inside(0.4, 0.0));
+  EXPECT_FALSE(flat->inside(0.3, 0.3));
+  // Positive angle of attack pitches the nose up: the point rotates to
+  // (x cos, -x sin) in our convention; check the tilted axis.
+  EXPECT_TRUE(tilted->inside(0.3, -0.3) || tilted->inside(0.3, 0.3));
+  EXPECT_FALSE(tilted->inside(0.45, 0.0));
+}
+
+TEST(Geometry, Naca0012SymmetricNaca1412Cambered) {
+  auto sym = am::make_naca4(1.0, 0.0, 0.0, 0.12, 0.0, 0.0, 0.0);
+  auto camb = am::make_naca4(1.0, 0.01, 0.4, 0.12, 0.0, 0.0, 0.0);
+  EXPECT_EQ(sym->name(), "naca0012");
+  EXPECT_EQ(camb->name(), "naca1412");
+  // Symmetric airfoil: mirrored points agree.
+  for (double x : {-0.3, 0.0, 0.2}) {
+    EXPECT_EQ(sym->inside(x, 0.02), sym->inside(x, -0.02)) << "x=" << x;
+  }
+  // Cambered airfoil: asymmetry somewhere along the chord.
+  bool asym = false;
+  for (double x = -0.45; x < 0.5; x += 0.05) {
+    for (double y : {0.01, 0.03, 0.05}) {
+      asym |= (camb->inside(x, y) != camb->inside(x, -y));
+    }
+  }
+  EXPECT_TRUE(asym);
+  // Thickness: max ~12% of chord, so |y| = 0.08 is outside everywhere.
+  for (double x = -0.5; x <= 0.5; x += 0.05) {
+    EXPECT_FALSE(sym->inside(x, 0.08));
+  }
+}
+
+TEST(BcNames, AllTypesPrintable) {
+  EXPECT_STREQ(am::bc_name(am::BcType::kInlet), "inlet");
+  EXPECT_STREQ(am::bc_name(am::BcType::kOutlet), "outlet");
+  EXPECT_STREQ(am::bc_name(am::BcType::kWall), "wall");
+  EXPECT_STREQ(am::bc_name(am::BcType::kSymmetry), "symmetry");
+  EXPECT_STREQ(am::bc_name(am::BcType::kFreestream), "freestream");
+}
+
+TEST(RefinementMapOps, LevelsClampedAndCounted) {
+  am::RefinementMap map(2, 4, 0);
+  map.set_level(0, 0, 7);  // clamps to kMaxLevel
+  EXPECT_EQ(map.level(0, 0), am::kMaxLevel);
+  map.set_level(1, 3, -2);
+  EXPECT_EQ(map.level(1, 3), 0);
+  EXPECT_EQ(map.max_level(), am::kMaxLevel);
+  EXPECT_EQ(map.count_at_level(0), 7);
+  EXPECT_EQ(map.count_at_level(am::kMaxLevel), 1);
+  EXPECT_NEAR(map.refined_fraction(), 1.0 / 8.0, 1e-12);
+}
+
+TEST(RefinementMapOps, ActiveCellsFormula) {
+  am::RefinementMap map(1, 2, 0);
+  map.set_level(0, 1, 2);  // 4^2 = 16x the cells
+  EXPECT_EQ(map.active_cells(16, 16), 16 * 16 + 16 * 16 * 16);
+}
+
+TEST(RefinementMapOps, ArtTopRowFirst) {
+  am::RefinementMap map(2, 2, 0);
+  map.set_level(1, 0, 3);  // top-left patch
+  EXPECT_EQ(map.to_art(), "30\n00\n");
+}
+
+TEST(RefinementMapOps, AgreementMetrics) {
+  am::RefinementMap a(1, 4, 0);
+  am::RefinementMap b(1, 4, 0);
+  a.set_level(0, 0, 3);
+  b.set_level(0, 0, 2);
+  EXPECT_DOUBLE_EQ(a.agreement_exact(b), 0.75);
+  EXPECT_DOUBLE_EQ(a.agreement_within_one(b), 1.0);
+  EXPECT_FALSE(a == b);
+  b.set_level(0, 0, 3);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(CompositeMeshGeom, PatchShapesAndSpacing) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 64, 8, 8});
+  am::RefinementMap map(2, 8, 0);
+  map.set_level(1, 3, 2);
+  am::CompositeMesh mesh(spec, map);
+  const auto& coarse = mesh.patch(0, 0);
+  const auto& fine = mesh.patch(1, 3);
+  EXPECT_EQ(coarse.ny, 8);
+  EXPECT_EQ(fine.ny, 32);
+  EXPECT_DOUBLE_EQ(fine.dx, coarse.dx / 4.0);
+  // Physical patch extents are level-independent.
+  EXPECT_NEAR(coarse.nx * coarse.dx, fine.nx * fine.dx, 1e-12);
+  EXPECT_EQ(mesh.active_cells(), 15LL * 64 + 32 * 32);
+}
+
+TEST(CompositeMeshGeom, MasksConsistentAcrossLevels) {
+  // The analytic mask must agree between levels: a fine patch covering the
+  // body centre has solid cells wherever the coarse one does.
+  auto spec = ad::cylinder_case(1e5, ad::GridPreset{32, 32, 8, 8});
+  am::CompositeMesh coarse(spec, am::RefinementMap(4, 4, 0));
+  am::CompositeMesh fine(spec, am::RefinementMap(4, 4, 2));
+  EXPECT_GT(coarse.active_cells() - coarse.fluid_cells(), 0);
+  const double coarse_solid_frac =
+      1.0 - double(coarse.fluid_cells()) / coarse.active_cells();
+  const double fine_solid_frac =
+      1.0 - double(fine.fluid_cells()) / fine.active_cells();
+  EXPECT_NEAR(coarse_solid_frac, fine_solid_frac, 0.01);
+}
+
+TEST(GhostExchange, ConstantFieldStaysConstant) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 32, 8, 8});
+  am::RefinementMap map(2, 4, 0);
+  map.set_level(0, 1, 1);
+  map.set_level(1, 2, 2);
+  am::CompositeMesh mesh(spec, map);
+  auto s = am::make_scalar(mesh);
+  for (auto& g : s) {
+    for (auto& v : g) v = 7.25;
+  }
+  am::exchange_ghosts(s, mesh);
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    for (double v : s[k]) EXPECT_DOUBLE_EQ(v, 7.25);
+  }
+}
+
+TEST(GhostExchange, SameLevelIsExactCopy) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 32, 8, 8});
+  am::CompositeMesh mesh(spec, am::RefinementMap(2, 4, 0));
+  auto s = am::make_scalar(mesh);
+  // Unique value per (patch, cell).
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& pm = mesh.patch_flat(k);
+    for (int i = 1; i <= pm.ny; ++i) {
+      for (int j = 1; j <= pm.nx; ++j) {
+        s[k](i, j) = 100.0 * k + 10.0 * i + j;
+      }
+    }
+  }
+  am::exchange_ghosts(s, mesh);
+  // Patch (0,0)'s right ghosts = patch (0,1)'s leftmost interior column.
+  const auto& pm = mesh.patch(0, 0);
+  for (int i = 1; i <= pm.ny; ++i) {
+    EXPECT_DOUBLE_EQ(s[0](i, pm.nx + 1), s[1](i, 1));
+  }
+}
+
+TEST(GhostExchange, LinearFieldAccurateAcrossLevelJump) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 32, 8, 8});
+  am::RefinementMap map(2, 4, 0);
+  map.set_level(0, 1, 1);
+  am::CompositeMesh mesh(spec, map);
+  auto s = am::make_scalar(mesh);
+  auto linear = [](double x, double y) { return 3.0 * x + 2.0 * y + 1.0; };
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& pm = mesh.patch_flat(k);
+    for (int i = 0; i <= pm.ny + 1; ++i) {
+      for (int j = 0; j <= pm.nx + 1; ++j) {
+        s[k](i, j) = linear(pm.xc(j), pm.yc(i));
+      }
+    }
+  }
+  am::exchange_ghosts(s, mesh);
+  // After exchange, ghosts at the coarse-fine interface stay close to the
+  // linear field (the interface transfer is first-order, tangentially
+  // linear; allow a fraction of the local cell size in error).
+  const auto& fine = mesh.patch(0, 1);
+  const int kf = 1;  // flat index of patch (0, 1)
+  for (int i = 1; i <= fine.ny; ++i) {
+    const double expect = linear(fine.xc(0), fine.yc(i));
+    EXPECT_NEAR(s[kf](i, 0), expect, 3.0 * fine.dx + 2.0 * fine.dy);
+  }
+}
+
+TEST(CompositeTransfer, UniformRoundTrip) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 32, 8, 8});
+  am::RefinementMap map(2, 4, 0);
+  map.set_level(1, 1, 1);
+  am::CompositeMesh mesh(spec, map);
+  adarnet::field::FlowField lr(16, 32);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      lr.U(i, j) = 0.1 * i + 0.05 * j;
+      lr.p(i, j) = 1.0 - 0.01 * j;
+    }
+  }
+  auto f = am::make_field(mesh);
+  am::fill_from_uniform(f, mesh, lr);
+  const auto back = am::to_uniform(f, mesh, 0);
+  // Interior agreement (borders suffer clamped interpolation).
+  for (int i = 2; i < 14; ++i) {
+    for (int j = 2; j < 30; ++j) {
+      EXPECT_NEAR(back.U(i, j), lr.U(i, j), 0.02) << i << "," << j;
+    }
+  }
+}
+
+TEST(CompositeTransfer, RegridPreservesSmoothFields) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 32, 8, 8});
+  am::RefinementMap from_map(2, 4, 0);
+  from_map.set_level(0, 0, 1);
+  am::RefinementMap to_map(2, 4, 0);
+  to_map.set_level(1, 3, 2);
+  am::CompositeMesh from(spec, from_map);
+  am::CompositeMesh to(spec, to_map);
+
+  adarnet::field::FlowField lr(16, 32);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 32; ++j) lr.U(i, j) = std::sin(0.2 * j) + 0.1 * i;
+  }
+  auto f_from = am::make_field(from);
+  am::fill_from_uniform(f_from, from, lr);
+  const auto f_to = am::regrid(f_from, from, to);
+  const auto a = am::to_uniform(f_from, from, 0);
+  const auto b = am::to_uniform(f_to, to, 0);
+  for (int i = 2; i < 14; ++i) {
+    for (int j = 2; j < 30; ++j) {
+      EXPECT_NEAR(a.U(i, j), b.U(i, j), 0.03);
+    }
+  }
+}
+
+TEST(CompositeMeshGeom, RejectsMismatchedMap) {
+  auto spec = ad::channel_case(2.5e3, ad::GridPreset{16, 32, 8, 8});
+  EXPECT_THROW(am::CompositeMesh(spec, am::RefinementMap(3, 3, 0)),
+               std::invalid_argument);
+}
+
+TEST(CompositeMeshGeom, ThinBodyMaskNeverVanishes) {
+  // Corner sampling: a 12%-thick airfoil keeps a connected solid staircase
+  // at the coarsest bench level even though no cell centre may be inside.
+  auto spec = ad::naca0012_case(2.5e4, ad::GridPreset{32, 32, 4, 4});
+  am::CompositeMesh mesh(spec, am::RefinementMap(8, 8, 0));
+  EXPECT_GT(mesh.active_cells() - mesh.fluid_cells(), 4);
+}

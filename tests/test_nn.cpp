@@ -1,0 +1,380 @@
+// Unit and property tests for the NN framework: shapes, gradients
+// (finite-difference checks), optimizer behaviour, serialisation, memory
+// accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "nn/activation.hpp"
+#include "nn/adam.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/memory_model.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using adarnet::nn::Adam;
+using adarnet::nn::Conv2D;
+using adarnet::nn::Deconv2D;
+using adarnet::nn::MaxPool2D;
+using adarnet::nn::Parameter;
+using adarnet::nn::ReLU;
+using adarnet::nn::Sequential;
+using adarnet::nn::SoftmaxSpatial;
+using adarnet::nn::Tensor;
+using adarnet::util::Rng;
+
+Tensor random_tensor(int n, int c, int h, int w, Rng& rng, float scale = 1.f) {
+  Tensor t(n, c, h, w);
+  for (std::size_t k = 0; k < t.numel(); ++k) {
+    t[k] = rng.uniformf(-scale, scale);
+  }
+  return t;
+}
+
+// Scalar "loss" used by gradient checks: weighted sum of the output, with
+// fixed pseudo-random weights so the gradient is that weight pattern.
+double weighted_sum(const Tensor& t) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < t.numel(); ++k) {
+    acc += t[k] * std::sin(0.7 * static_cast<double>(k) + 0.3);
+  }
+  return acc;
+}
+
+Tensor weighted_sum_grad(const Tensor& t) {
+  Tensor g(t.n(), t.c(), t.h(), t.w());
+  for (std::size_t k = 0; k < g.numel(); ++k) {
+    g[k] = static_cast<float>(std::sin(0.7 * static_cast<double>(k) + 0.3));
+  }
+  return g;
+}
+
+// Compares the layer's analytic input gradient against central finite
+// differences on a subsample of input positions.
+void check_input_gradient(adarnet::nn::Layer& layer, Tensor input,
+                          double tol = 2e-2) {
+  Tensor out = layer.forward(input, /*train=*/true);
+  Tensor analytic = layer.backward(weighted_sum_grad(out));
+  const float eps = 1e-3f;
+  for (std::size_t k = 0; k < input.numel();
+       k += std::max<std::size_t>(1, input.numel() / 23)) {
+    Tensor plus = input;
+    plus[k] += eps;
+    Tensor minus = input;
+    minus[k] -= eps;
+    const double fd = (weighted_sum(layer.forward(plus, false)) -
+                       weighted_sum(layer.forward(minus, false))) /
+                      (2.0 * eps);
+    EXPECT_NEAR(analytic[k], fd, tol * std::max(1.0, std::abs(fd)))
+        << "at flat index " << k;
+  }
+}
+
+// Compares a layer's parameter gradients against finite differences.
+void check_param_gradient(adarnet::nn::Layer& layer, Tensor input,
+                          double tol = 2e-2) {
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  Tensor out = layer.forward(input, /*train=*/true);
+  layer.backward(weighted_sum_grad(out));
+  const float eps = 1e-3f;
+  for (Parameter* p : layer.parameters()) {
+    for (std::size_t k = 0; k < p->value.numel();
+         k += std::max<std::size_t>(1, p->value.numel() / 11)) {
+      const float saved = p->value[k];
+      p->value[k] = saved + eps;
+      const double lp = weighted_sum(layer.forward(input, false));
+      p->value[k] = saved - eps;
+      const double lm = weighted_sum(layer.forward(input, false));
+      p->value[k] = saved;
+      const double fd = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[k], fd, tol * std::max(1.0, std::abs(fd)))
+          << "param flat index " << k;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(TensorNN, ShapeAndMemoryTracking) {
+  const auto before = adarnet::nn::memory::live_bytes();
+  {
+    Tensor t(2, 3, 4, 5);
+    EXPECT_EQ(t.numel(), 120u);
+    EXPECT_EQ(t.bytes(), 480);
+    EXPECT_EQ(adarnet::nn::memory::live_bytes(), before + 480);
+    Tensor copy = t;
+    EXPECT_EQ(adarnet::nn::memory::live_bytes(), before + 960);
+    Tensor moved = std::move(copy);
+    EXPECT_EQ(adarnet::nn::memory::live_bytes(), before + 960);
+  }
+  EXPECT_EQ(adarnet::nn::memory::live_bytes(), before);
+}
+
+TEST(TensorNN, PeakTracksHighWaterMark) {
+  adarnet::nn::memory::reset_peak();
+  const auto base = adarnet::nn::memory::peak_bytes();
+  {
+    Tensor big(1, 1, 100, 100);
+    (void)big;
+    EXPECT_GE(adarnet::nn::memory::peak_bytes(), base + 40000);
+  }
+  EXPECT_GE(adarnet::nn::memory::peak_bytes(), base + 40000);  // sticky
+}
+
+TEST(Conv2DGrad, InputGradientMatchesFiniteDifference) {
+  Rng rng(7);
+  Conv2D conv(3, 5, 3, rng);
+  check_input_gradient(conv, random_tensor(2, 3, 6, 6, rng));
+}
+
+TEST(Conv2DGrad, ParameterGradientMatchesFiniteDifference) {
+  Rng rng(11);
+  Conv2D conv(2, 4, 3, rng);
+  check_param_gradient(conv, random_tensor(2, 2, 5, 5, rng));
+}
+
+TEST(Deconv2DGrad, GradientsMatchFiniteDifference) {
+  Rng rng(13);
+  Deconv2D deconv(3, 2, 3, rng);
+  check_input_gradient(deconv, random_tensor(1, 3, 6, 6, rng));
+  check_param_gradient(deconv, random_tensor(1, 3, 6, 6, rng));
+}
+
+TEST(Conv2D, RejectsEvenKernelAndWrongChannels) {
+  Rng rng(1);
+  EXPECT_THROW(Conv2D(3, 4, 2, rng), std::invalid_argument);
+  Conv2D conv(3, 4, 3, rng);
+  Tensor wrong(1, 2, 4, 4);
+  EXPECT_THROW(conv.forward(wrong, false), std::invalid_argument);
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  Rng rng(2);
+  Conv2D conv(1, 1, 3, rng);
+  conv.weight().value.fill(0.0f);
+  conv.weight().value.at(0, 0, 1, 1) = 1.0f;  // centre tap
+  conv.bias().value.fill(0.0f);
+  Tensor in = random_tensor(1, 1, 5, 5, rng);
+  Tensor out = conv.forward(in, false);
+  for (std::size_t k = 0; k < in.numel(); ++k) {
+    EXPECT_FLOAT_EQ(out[k], in[k]);
+  }
+}
+
+TEST(ReLUGrad, MatchesFiniteDifference) {
+  Rng rng(17);
+  ReLU relu;
+  check_input_gradient(relu, random_tensor(2, 3, 4, 4, rng));
+}
+
+TEST(SoftmaxSpatial, NormalisesEachPlane) {
+  Rng rng(19);
+  SoftmaxSpatial sm;
+  Tensor in = random_tensor(3, 1, 4, 8, rng, 3.0f);
+  Tensor out = sm.forward(in, false);
+  for (int s = 0; s < 3; ++s) {
+    double sum = 0.0;
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        const float v = out.at(s, 0, y, x);
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+        sum += v;
+      }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxSpatialGrad, MatchesFiniteDifference) {
+  Rng rng(23);
+  SoftmaxSpatial sm;
+  check_input_gradient(sm, random_tensor(2, 1, 3, 4, rng, 2.0f), 3e-2);
+}
+
+TEST(MaxPool2D, PoolsAndRoutesGradient) {
+  MaxPool2D pool(2, 2);
+  Tensor in(1, 1, 4, 4);
+  for (std::size_t k = 0; k < 16; ++k) in[k] = static_cast<float>(k);
+  Tensor out = pool.forward(in, true);
+  ASSERT_EQ(out.h(), 2);
+  ASSERT_EQ(out.w(), 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 15.0f);
+  Tensor g(1, 1, 2, 2);
+  g.fill(1.0f);
+  Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 1, 1), 1.0f);   // argmax of block (0,0)
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 3, 3), 1.0f);
+}
+
+TEST(MaxPool2D, RejectsIndivisibleExtent) {
+  MaxPool2D pool(3, 3);
+  Tensor in(1, 1, 4, 4);
+  EXPECT_THROW(pool.forward(in, false), std::invalid_argument);
+}
+
+TEST(SequentialNet, ChainGradientMatchesFiniteDifference) {
+  Rng rng(29);
+  Sequential net;
+  net.emplace<Conv2D>(2, 4, 3, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2D>(4, 1, 3, rng);
+  Tensor in = random_tensor(1, 2, 5, 5, rng);
+  Tensor out = net.forward(in, true);
+  Tensor analytic = net.backward(weighted_sum_grad(out));
+  const float eps = 1e-3f;
+  for (std::size_t k = 0; k < in.numel(); k += 5) {
+    Tensor plus = in;
+    plus[k] += eps;
+    Tensor minus = in;
+    minus[k] -= eps;
+    const double fd = (weighted_sum(net.forward(plus)) -
+                       weighted_sum(net.forward(minus))) /
+                      (2.0 * eps);
+    EXPECT_NEAR(analytic[k], fd, 2e-2 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+TEST(AdamOpt, ConvergesOnQuadratic) {
+  // Minimise ||w - target||^2 for a single parameter tensor.
+  Parameter p;
+  p.value = Tensor(1, 1, 2, 2);
+  p.grad = Tensor(1, 1, 2, 2);
+  p.value.fill(5.0f);
+  const float target = -1.5f;
+  adarnet::nn::AdamConfig cfg;
+  cfg.lr = 0.1;
+  Adam opt({&p}, cfg);
+  for (int step = 0; step < 500; ++step) {
+    opt.zero_grad();
+    for (std::size_t k = 0; k < 4; ++k) {
+      p.grad[k] = 2.0f * (p.value[k] - target);
+    }
+    opt.step();
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(p.value[k], target, 1e-2);
+  }
+  EXPECT_EQ(opt.steps_taken(), 500);
+}
+
+TEST(TrainingSmoke, ConvNetFitsSmoothTarget) {
+  // A 2-layer conv net should fit a smooth function of the input quickly.
+  Rng rng(31);
+  Sequential net;
+  net.emplace<Conv2D>(1, 8, 3, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2D>(8, 1, 3, rng);
+  Tensor in = random_tensor(4, 1, 8, 8, rng);
+  Tensor target(4, 1, 8, 8);
+  for (std::size_t k = 0; k < target.numel(); ++k) {
+    target[k] = 0.5f * in[k] + 0.1f;
+  }
+  adarnet::nn::AdamConfig cfg;
+  cfg.lr = 5e-3;
+  Adam opt(net.parameters(), cfg);
+  double first = -1.0;
+  double last = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    net.zero_grad();
+    Tensor out = net.forward(in, true);
+    last = adarnet::nn::mse_loss(out, target);
+    if (first < 0) first = last;
+    net.backward(adarnet::nn::mse_loss_grad(out, target));
+    opt.step();
+  }
+  EXPECT_LT(last, 0.05 * first) << "first=" << first << " last=" << last;
+}
+
+TEST(Serialize, RoundTripsParameters) {
+  Rng rng(37);
+  Sequential net;
+  net.emplace<Conv2D>(2, 3, 3, rng);
+  net.emplace<Conv2D>(3, 1, 3, rng);
+  const std::string path = ::testing::TempDir() + "/adarnet_weights.bin";
+  ASSERT_TRUE(adarnet::nn::save_parameters(net.parameters(), path));
+
+  Sequential other;
+  other.emplace<Conv2D>(2, 3, 3, rng);
+  other.emplace<Conv2D>(3, 1, 3, rng);
+  ASSERT_TRUE(adarnet::nn::load_parameters(other.parameters(), path));
+
+  Tensor in = random_tensor(1, 2, 4, 4, rng);
+  Tensor a = net.forward(in);
+  Tensor b = other.forward(in);
+  for (std::size_t k = 0; k < a.numel(); ++k) {
+    EXPECT_FLOAT_EQ(a[k], b[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Rng rng(41);
+  Sequential net;
+  net.emplace<Conv2D>(2, 3, 3, rng);
+  const std::string path = ::testing::TempDir() + "/adarnet_weights2.bin";
+  ASSERT_TRUE(adarnet::nn::save_parameters(net.parameters(), path));
+  Sequential bigger;
+  bigger.emplace<Conv2D>(2, 4, 3, rng);
+  EXPECT_FALSE(adarnet::nn::load_parameters(bigger.parameters(), path));
+  std::remove(path.c_str());
+}
+
+TEST(MemoryModel, MatchesHandComputation) {
+  Rng rng(43);
+  Sequential net;
+  net.emplace<Conv2D>(4, 8, 3, rng);   // out: 8 x H x W
+  net.emplace<ReLU>();                 // out: 8 x H x W
+  net.emplace<Conv2D>(8, 1, 3, rng);   // out: 1 x H x W
+  net.emplace<MaxPool2D>(4, 4);        // out: 1 x H/4 x W/4
+  const auto est = adarnet::nn::estimate_memory(net, 2, 4, 16, 16);
+  const std::int64_t f = sizeof(float);
+  EXPECT_EQ(est.input_bytes, 2 * 4 * 16 * 16 * f);
+  EXPECT_EQ(est.sum_activations,
+            2 * f * (8 * 16 * 16 + 8 * 16 * 16 + 1 * 16 * 16 + 1 * 4 * 4));
+  EXPECT_GT(est.parameter_bytes, 0);
+  EXPECT_GT(est.peak_pairwise, 0);
+}
+
+TEST(MemoryModel, MaxBatchSizeScalesWithBudget) {
+  Rng rng(47);
+  Sequential net;
+  net.emplace<Conv2D>(4, 8, 3, rng);
+  net.emplace<Conv2D>(8, 4, 3, rng);
+  const int b1 = adarnet::nn::max_batch_size(net, 4, 64, 64, 1LL << 26);
+  const int b2 = adarnet::nn::max_batch_size(net, 4, 64, 64, 1LL << 27);
+  EXPECT_GT(b1, 0);
+  EXPECT_GE(b2, 2 * b1 - 1);
+  // Quadrupling the spatial resolution cuts the batch by ~4x (Fig 1 trend).
+  const int b_high = adarnet::nn::max_batch_size(net, 4, 128, 128, 1LL << 26);
+  EXPECT_LT(b_high, b1 / 3);
+}
+
+TEST(MemoryModel, MeasuredPeakIsWithinModel) {
+  // The allocator's measured peak during a forward should be bounded by the
+  // model's sum-of-activations total (the framework frees as it goes, so
+  // measured <= modelled).
+  Rng rng(53);
+  Sequential net;
+  net.emplace<Conv2D>(4, 16, 3, rng);
+  net.emplace<ReLU>();
+  net.emplace<Conv2D>(16, 4, 3, rng);
+  Tensor in = random_tensor(1, 4, 32, 32, rng);
+  const auto est = adarnet::nn::estimate_memory(net, 1, 4, 32, 32);
+  adarnet::nn::memory::reset_peak();
+  const auto before = adarnet::nn::memory::peak_bytes();
+  net.forward(in);
+  const auto measured = adarnet::nn::memory::peak_bytes() - before;
+  EXPECT_GT(measured, 0);
+  EXPECT_LE(measured, est.total());
+}

@@ -1,0 +1,166 @@
+// Integration tests: end-to-end ADARNet and SURFNet pipelines, trainer
+// smoke, and QoI extraction on tiny cases.
+#include <gtest/gtest.h>
+
+#include "adarnet/pipeline.hpp"
+#include "adarnet/trainer.hpp"
+#include "baseline/surfnet.hpp"
+#include "data/cases.hpp"
+#include "data/dataset.hpp"
+#include "solver/qoi.hpp"
+
+namespace {
+
+using namespace adarnet;
+
+data::GridPreset tiny_wall() { return data::GridPreset{8, 32, 4, 4}; }
+
+solver::SolverConfig fast_solver() {
+  solver::SolverConfig cfg;
+  cfg.tol = 1e-3;
+  cfg.max_outer = 1500;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Pipeline, AdarnetEndToEndSmoke) {
+  auto spec = data::channel_case(2.5e3, tiny_wall());
+  util::Rng rng(11);
+  core::AdarNetConfig mcfg;
+  mcfg.ph = spec.ph;
+  mcfg.pw = spec.pw;
+  core::AdarNet model(mcfg, rng);
+
+  core::PipelineConfig pcfg;
+  pcfg.lr_solver = fast_solver();
+  pcfg.ps_solver = fast_solver();
+  // Fit stats on the case's own LR solution (untrained model smoke run).
+  const auto lr = data::solve_lr(spec, pcfg.lr_solver);
+  model.stats() = data::NormStats::fit({lr});
+
+  const auto result = core::run_adarnet_pipeline(model, spec, pcfg, lr,
+                                                 1.25, 321);
+  EXPECT_EQ(result.lr_seconds, 1.25);
+  EXPECT_EQ(result.lr_iterations, 321);
+  EXPECT_GT(result.inf_seconds, 0.0);
+  EXPECT_GT(result.ps_seconds, 0.0);
+  EXPECT_GT(result.ps_iterations, 0);
+  EXPECT_NEAR(result.ttc_seconds(),
+              1.25 + result.inf_seconds + result.ps_seconds, 1e-12);
+  EXPECT_EQ(result.map.npy(), spec.npy());
+  ASSERT_NE(result.mesh, nullptr);
+  // The solution is finite everywhere.
+  for (int c = 0; c < 4; ++c) {
+    for (const auto& patch : result.solution.channel(c)) {
+      for (double v : patch) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(Pipeline, SurfnetEndToEndSmoke) {
+  auto spec = data::channel_case(2.5e3, tiny_wall());
+  util::Rng rng(13);
+  baseline::SurfNet surfnet(rng);
+  const auto lr = data::solve_lr(spec, fast_solver());
+  const auto stats = data::NormStats::fit({lr});
+
+  const auto result = baseline::run_surfnet_pipeline(
+      surfnet, spec, /*level=*/1, stats, fast_solver(), lr, 0.5);
+  EXPECT_GT(result.inf_seconds, 0.0);
+  EXPECT_GT(result.ps_iterations, 0);
+  EXPECT_GT(result.inference_modeled_bytes, 0);
+  EXPECT_GT(result.inference_measured_bytes, 0);
+  // Uniform level-1 mesh: 4x the LR cells.
+  EXPECT_EQ(result.mesh->active_cells(), 4LL * 8 * 32);
+}
+
+TEST(Pipeline, SurfnetMemoryGrowsWithLevel) {
+  auto spec = data::channel_case(2.5e3, tiny_wall());
+  util::Rng rng(13);
+  baseline::SurfNet surfnet(rng);
+  const auto lr = data::solve_lr(spec, fast_solver());
+  const auto stats = data::NormStats::fit({lr});
+  const auto r1 = surfnet.infer(lr, 1, stats);
+  const auto r2 = surfnet.infer(lr, 2, stats);
+  EXPECT_NEAR(static_cast<double>(r2.modeled_bytes) / r1.modeled_bytes, 4.0,
+              0.5);
+  EXPECT_EQ(r2.hr.ny(), 32);
+  EXPECT_EQ(r2.hr.nx(), 128);
+}
+
+TEST(Trainer, LossesDecreaseOnTinyDataset) {
+  data::DatasetConfig dcfg;
+  dcfg.channel_samples = 2;
+  dcfg.plate_samples = 0;
+  dcfg.ellipse_samples = 0;
+  dcfg.wall_preset = tiny_wall();
+  dcfg.solver = fast_solver();
+  auto dataset = data::generate_dataset(dcfg);
+
+  util::Rng rng(42);
+  core::AdarNetConfig mcfg;
+  mcfg.ph = 4;
+  mcfg.pw = 4;
+  core::AdarNet model(mcfg, rng);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.log_every = 0;
+  const auto stats = core::train(model, dataset, tcfg, rng);
+  ASSERT_EQ(stats.scorer_loss.size(), 6u);
+  EXPECT_LT(stats.scorer_loss.back(), stats.scorer_loss.front());
+  EXPECT_LT(stats.pde_loss.back(), stats.pde_loss.front());
+  // The residual decoder starts at the bicubic identity, so the data loss
+  // starts tiny and may trade a little against the PDE term; it must stay
+  // near the identity's accuracy.
+  EXPECT_LT(stats.data_loss.back(), 1e-3);
+
+  // evaluate() runs without updates and returns finite losses.
+  const auto [d, p] = core::evaluate(model, dataset.samples, 0.03);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_TRUE(std::isfinite(p));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(Trainer, ScoreTargetIsDistribution) {
+  field::FlowField lr(8, 16);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 16; ++j) lr.U(i, j) = (i < 2) ? 2.0 * i : 0.0;
+  }
+  const auto target = core::score_target(lr, 4, 4);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < target.numel(); ++k) {
+    EXPECT_GE(target[k], 0.0f);
+    sum += target[k];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  // The gradient lives in the bottom patch rows.
+  EXPECT_GT(target.at(0, 0, 0, 0), target.at(0, 0, 1, 0));
+}
+
+TEST(Qoi, ChannelSkinFrictionPositiveAndConverging) {
+  auto spec = data::channel_case(2.5e3, tiny_wall());
+  mesh::CompositeMesh mesh(spec, mesh::RefinementMap(spec.npy(), spec.npx(), 0));
+  solver::RansSolver rans(mesh, fast_solver());
+  auto f = mesh::make_field(mesh);
+  rans.initialize_freestream(f);
+  rans.solve(f);
+  const double cf = solver::skin_friction_bottom(mesh, f);
+  EXPECT_GT(cf, 0.0);
+  EXPECT_LT(cf, 0.5);
+  EXPECT_STREQ(solver::case_qoi_name(mesh), "Cf");
+  EXPECT_DOUBLE_EQ(solver::case_qoi(mesh, f), cf);
+}
+
+TEST(Qoi, CylinderDragPositive) {
+  auto spec = data::cylinder_case(1e5, data::GridPreset{16, 16, 4, 4});
+  mesh::CompositeMesh mesh(spec, mesh::RefinementMap(4, 4, 0));
+  solver::RansSolver rans(mesh, fast_solver());
+  auto f = mesh::make_field(mesh);
+  rans.initialize_freestream(f);
+  rans.solve(f);
+  EXPECT_STREQ(solver::case_qoi_name(mesh), "Cd");
+  const double cd = solver::drag_coefficient(mesh, f);
+  EXPECT_GT(cd, 0.0);
+  EXPECT_LT(cd, 30.0);  // staircase IB at 4 cells/diameter is crude
+}

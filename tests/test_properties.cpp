@@ -1,0 +1,228 @@
+// Parameterised property tests (TEST_P sweeps) over the library's core
+// operators: interpolation linearity and adjoint identities, convolution
+// gradients across layer shapes, ranker invariants across bin counts, and
+// SA closure monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "adarnet/ranker.hpp"
+#include "field/interp.hpp"
+#include "nn/conv2d.hpp"
+#include "solver/sa_model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using adarnet::field::Grid2Dd;
+using adarnet::field::Interp;
+using adarnet::util::Rng;
+
+Grid2Dd random_grid(int ny, int nx, Rng& rng) {
+  Grid2Dd g(ny, nx);
+  for (auto& v : g) v = rng.uniform(-1.0, 1.0);
+  return g;
+}
+
+double dot(const Grid2Dd& a, const Grid2Dd& b) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Resize properties over scheme x (src, dst) shape combinations.
+
+struct ResizeCase {
+  Interp scheme;
+  int src_ny, src_nx, dst_ny, dst_nx;
+};
+
+class ResizeProperty : public ::testing::TestWithParam<ResizeCase> {};
+
+TEST_P(ResizeProperty, IsLinearOperator) {
+  const auto p = GetParam();
+  Rng rng(101);
+  const Grid2Dd x = random_grid(p.src_ny, p.src_nx, rng);
+  const Grid2Dd y = random_grid(p.src_ny, p.src_nx, rng);
+  Grid2Dd combo(p.src_ny, p.src_nx);
+  for (std::size_t k = 0; k < combo.size(); ++k) {
+    combo[k] = 2.0 * x[k] - 3.0 * y[k];
+  }
+  const auto rx = adarnet::field::resize(x, p.dst_ny, p.dst_nx, p.scheme);
+  const auto ry = adarnet::field::resize(y, p.dst_ny, p.dst_nx, p.scheme);
+  const auto rc = adarnet::field::resize(combo, p.dst_ny, p.dst_nx, p.scheme);
+  for (std::size_t k = 0; k < rc.size(); ++k) {
+    EXPECT_NEAR(rc[k], 2.0 * rx[k] - 3.0 * ry[k], 1e-10);
+  }
+}
+
+TEST_P(ResizeProperty, AdjointIdentity) {
+  // <resize(x), y> == <x, resize_adjoint(y)> for all x, y.
+  const auto p = GetParam();
+  Rng rng(202);
+  const Grid2Dd x = random_grid(p.src_ny, p.src_nx, rng);
+  const Grid2Dd y = random_grid(p.dst_ny, p.dst_nx, rng);
+  const auto ax = adarnet::field::resize(x, p.dst_ny, p.dst_nx, p.scheme);
+  const auto aty =
+      adarnet::field::resize_adjoint(y, p.src_ny, p.src_nx, p.scheme);
+  EXPECT_NEAR(dot(ax, y), dot(x, aty), 1e-9 * (1.0 + std::abs(dot(ax, y))));
+}
+
+TEST_P(ResizeProperty, PreservesConstants) {
+  const auto p = GetParam();
+  Grid2Dd c(p.src_ny, p.src_nx, 4.25);
+  const auto r = adarnet::field::resize(c, p.dst_ny, p.dst_nx, p.scheme);
+  for (double v : r) EXPECT_NEAR(v, 4.25, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndShapes, ResizeProperty,
+    ::testing::Values(
+        ResizeCase{Interp::kBilinear, 8, 8, 16, 16},
+        ResizeCase{Interp::kBicubic, 8, 8, 16, 16},
+        ResizeCase{Interp::kBicubic, 16, 16, 4, 4},
+        ResizeCase{Interp::kBilinear, 16, 16, 4, 4},
+        ResizeCase{Interp::kBicubic, 4, 12, 32, 6},
+        ResizeCase{Interp::kBicubic, 16, 16, 128, 128},
+        ResizeCase{Interp::kBilinear, 5, 7, 9, 3}));
+
+// ---------------------------------------------------------------------------
+// Convolution gradient checks across layer shapes.
+
+struct ConvCase {
+  int in_ch, out_ch, kernel, hw;
+  bool flipped;
+};
+
+class ConvGradProperty : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradProperty, InputGradientMatchesFiniteDifference) {
+  const auto p = GetParam();
+  Rng rng(p.in_ch * 100 + p.out_ch);
+  auto make = [&]() -> std::unique_ptr<adarnet::nn::Conv2D> {
+    if (p.flipped) {
+      return std::make_unique<adarnet::nn::Deconv2D>(p.in_ch, p.out_ch,
+                                                     p.kernel, rng);
+    }
+    return std::make_unique<adarnet::nn::Conv2D>(p.in_ch, p.out_ch, p.kernel,
+                                                 rng);
+  };
+  auto conv = make();
+  adarnet::nn::Tensor in(1, p.in_ch, p.hw, p.hw);
+  for (std::size_t k = 0; k < in.numel(); ++k) {
+    in[k] = rng.uniformf(-1.0f, 1.0f);
+  }
+  auto sum_out = [&](const adarnet::nn::Tensor& t) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < t.numel(); ++k) {
+      acc += t[k] * std::cos(0.3 * static_cast<double>(k));
+    }
+    return acc;
+  };
+  auto out = conv->forward(in, true);
+  adarnet::nn::Tensor g(out.n(), out.c(), out.h(), out.w());
+  for (std::size_t k = 0; k < g.numel(); ++k) {
+    g[k] = static_cast<float>(std::cos(0.3 * static_cast<double>(k)));
+  }
+  auto analytic = conv->backward(g);
+  const float eps = 1e-3f;
+  for (std::size_t k = 0; k < in.numel();
+       k += std::max<std::size_t>(1, in.numel() / 7)) {
+    auto plus = in;
+    plus[k] += eps;
+    auto minus = in;
+    minus[k] -= eps;
+    const double fd =
+        (sum_out(conv->forward(plus, false)) -
+         sum_out(conv->forward(minus, false))) /
+        (2.0 * eps);
+    EXPECT_NEAR(analytic[k], fd, 3e-2 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayerShapes, ConvGradProperty,
+    ::testing::Values(ConvCase{1, 1, 3, 5, false},
+                      ConvCase{4, 8, 3, 6, false},
+                      ConvCase{6, 8, 3, 8, false},
+                      ConvCase{3, 2, 5, 7, false},
+                      ConvCase{4, 4, 3, 6, true},
+                      ConvCase{2, 6, 5, 8, true}));
+
+// ---------------------------------------------------------------------------
+// Ranker invariants across bin counts.
+
+class RankerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankerProperty, PartitionAndTopBinInvariants) {
+  const int bins = GetParam();
+  Rng rng(bins);
+  adarnet::nn::Tensor scores(1, 1, 4, 4);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < scores.numel(); ++k) {
+    scores[k] = rng.uniformf(0.001f, 1.0f);
+    sum += scores[k];
+  }
+  for (std::size_t k = 0; k < scores.numel(); ++k) {
+    scores[k] = static_cast<float>(scores[k] / sum);  // softmax-like
+  }
+  const auto binned = adarnet::core::rank(scores, bins);
+  ASSERT_EQ(binned.size(), static_cast<std::size_t>(bins));
+  // Every patch appears exactly once.
+  std::vector<int> seen(16, 0);
+  for (const auto& bin : binned) {
+    for (int id : bin.patch_ids) seen[static_cast<std::size_t>(id)]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  // The arg-max patch is in the deepest bin.
+  int best = 0;
+  for (int k = 1; k < 16; ++k) {
+    if (scores[static_cast<std::size_t>(k)] >
+        scores[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  const auto& top = binned.back().patch_ids;
+  EXPECT_NE(std::find(top.begin(), top.end(), best), top.end());
+  // Monotonicity: a patch in a deeper bin never has a lower score than a
+  // patch two bins shallower.
+  const auto map = adarnet::core::to_refinement_map(binned, 4, 4);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      const int la = map.level(a / 4, a % 4);
+      const int lb = map.level(b / 4, b % 4);
+      if (la >= lb + 2) {
+        EXPECT_GE(scores[static_cast<std::size_t>(a)],
+                  scores[static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, RankerProperty,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+// ---------------------------------------------------------------------------
+// SA closure monotonicity over chi.
+
+class SaClosureProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SaClosureProperty, Fv1MonotoneAndBounded) {
+  namespace sa = adarnet::solver::sa;
+  const double chi = GetParam();
+  EXPECT_GE(sa::fv1(chi), 0.0);
+  EXPECT_LE(sa::fv1(chi), 1.0);
+  EXPECT_LE(sa::fv1(chi), sa::fv1(chi * 1.5) + 1e-15);
+  // Eddy viscosity grows with nuTilda at fixed nu.
+  const double nu = 1.5e-5;
+  const double nt = chi * nu;
+  EXPECT_LE(sa::eddy_viscosity(nt, nu), sa::eddy_viscosity(nt * 1.5, nu));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChiSweep, SaClosureProperty,
+                         ::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0,
+                                           1000.0));

@@ -1,0 +1,186 @@
+// Integration tests for the SIMPLE RANS solver on uniform and composite
+// meshes: convergence, mass conservation, and qualitative flow structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/cases.hpp"
+#include "mesh/composite.hpp"
+#include "solver/rans.hpp"
+#include "solver/sa_model.hpp"
+
+namespace {
+
+using adarnet::data::GridPreset;
+using adarnet::field::Grid2Dd;
+using adarnet::mesh::CompositeField;
+using adarnet::mesh::CompositeMesh;
+using adarnet::mesh::RefinementMap;
+using adarnet::solver::RansSolver;
+using adarnet::solver::SolverConfig;
+
+// Small, fast grid: 16 x 64 cells, 2 x 8 patches of 8 x 8.
+GridPreset tiny_preset() { return GridPreset{16, 64, 8, 8}; }
+
+SolverConfig quick_config() {
+  SolverConfig cfg;
+  cfg.max_outer = 4000;
+  cfg.tol = 5e-4;
+  return cfg;
+}
+
+// Net mass flux through the vertical line at patch column `pj`'s left edge.
+double inflow_mass_flux(const CompositeMesh& mesh, const CompositeField& f) {
+  double flux = 0.0;
+  for (int pi = 0; pi < mesh.npy(); ++pi) {
+    const auto& pm = mesh.patch(pi, 0);
+    const auto& u = f.U[pi * mesh.npx()];
+    for (int i = 1; i <= pm.ny; ++i) {
+      flux += 0.5 * (u(i, 0) + u(i, 1)) * pm.dy;
+    }
+  }
+  return flux;
+}
+
+double outflow_mass_flux(const CompositeMesh& mesh, const CompositeField& f) {
+  double flux = 0.0;
+  for (int pi = 0; pi < mesh.npy(); ++pi) {
+    const auto& pm = mesh.patch(pi, mesh.npx() - 1);
+    const auto& u = f.U[pi * mesh.npx() + mesh.npx() - 1];
+    for (int i = 1; i <= pm.ny; ++i) {
+      flux += 0.5 * (u(i, pm.nx) + u(i, pm.nx + 1)) * pm.dy;
+    }
+  }
+  return flux;
+}
+
+}  // namespace
+
+TEST(RansSolver, LaminarChannelConverges) {
+  auto spec = adarnet::data::channel_case(500.0, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  SolverConfig cfg = quick_config();
+  cfg.solve_sa = false;
+  cfg.tol = 5e-5;  // tight: the mass-balance check below is global
+  RansSolver solver(mesh, cfg);
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+  EXPECT_TRUE(stats.converged) << "residual=" << stats.residual;
+  EXPECT_GT(stats.iterations, 5);
+
+  // Mass conservation: outflow matches inflow within a few percent.
+  const double in = inflow_mass_flux(mesh, f);
+  const double out = outflow_mass_flux(mesh, f);
+  ASSERT_GT(in, 0.0);
+  EXPECT_NEAR(out / in, 1.0, 0.05);
+
+  // Developed profile near the outlet: centreline faster than near-wall,
+  // and faster than the bulk (plug) inlet velocity.
+  const auto uni = adarnet::mesh::to_uniform(f, mesh, 0);
+  const int jx = spec.base_nx - 4;
+  const double u_mid = uni.U(spec.base_ny / 2, jx);
+  const double u_wall = uni.U(0, jx);
+  EXPECT_GT(u_mid, u_wall);
+  EXPECT_GT(u_mid, spec.u_ref);
+  // Symmetry about the centreline.
+  const double u_lo = uni.U(spec.base_ny / 4, jx);
+  const double u_hi = uni.U(3 * spec.base_ny / 4 - 1, jx);
+  EXPECT_NEAR(u_lo, u_hi, 0.15 * u_mid);
+}
+
+TEST(RansSolver, TurbulentChannelProducesEddyViscosity) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  RansSolver solver(mesh, quick_config());
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+  EXPECT_TRUE(stats.converged) << "residual=" << stats.residual;
+
+  const auto uni = adarnet::mesh::to_uniform(f, mesh, 0);
+  // SA transports nuTilda into the domain; interior levels should exceed
+  // the laminar viscosity somewhere (turbulent channel).
+  double nt_max = 0.0;
+  for (double v : uni.nuTilda) nt_max = std::max(nt_max, v);
+  EXPECT_GT(nt_max, spec.nu);
+  // nuTilda is non-negative everywhere.
+  for (double v : uni.nuTilda) EXPECT_GE(v, 0.0);
+}
+
+TEST(RansSolver, CompositeMixedLevelsConverge) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  // Refine the wall-adjacent patch rows (what AMR would do for a channel).
+  RefinementMap map(spec.npy(), spec.npx(), 0);
+  for (int pj = 0; pj < spec.npx(); ++pj) {
+    map.set_level(0, pj, 1);
+    map.set_level(spec.npy() - 1, pj, 1);
+  }
+  CompositeMesh mesh(spec, map);
+  EXPECT_GT(mesh.active_cells(), spec.base_ny * spec.base_nx);
+  RansSolver solver(mesh, quick_config());
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+  EXPECT_TRUE(stats.converged) << "residual=" << stats.residual;
+
+  const double in = inflow_mass_flux(mesh, f);
+  const double out = outflow_mass_flux(mesh, f);
+  EXPECT_NEAR(out / in, 1.0, 0.05);
+}
+
+TEST(RansSolver, WarmStartConvergesFaster) {
+  // The end-to-end framework's core economics: a solve started from a
+  // near-converged state takes far fewer iterations than from freestream.
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  RansSolver solver(mesh, quick_config());
+
+  auto cold = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(cold);
+  const auto cold_stats = solver.solve(cold);
+  ASSERT_TRUE(cold_stats.converged);
+
+  auto warm = cold;  // restart from the converged state
+  const auto warm_stats = solver.solve(warm);
+  EXPECT_TRUE(warm_stats.converged);
+  EXPECT_LT(warm_stats.iterations, cold_stats.iterations / 2);
+}
+
+TEST(RansSolver, CylinderHasWakeDeficit) {
+  auto spec = adarnet::data::cylinder_case(1e5, GridPreset{32, 32, 8, 8});
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  EXPECT_LT(mesh.fluid_cells(), mesh.active_cells());  // body occupies cells
+  SolverConfig cfg = quick_config();
+  cfg.max_outer = 2500;
+  RansSolver solver(mesh, cfg);
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+  // Steady RANS around a bluff body on a coarse mesh: accept slow
+  // convergence but require substantial residual reduction.
+  EXPECT_LT(stats.residual, 5e-2) << "iters=" << stats.iterations;
+
+  const auto uni = adarnet::mesh::to_uniform(f, mesh, 0);
+  const int iy = spec.base_ny / 2;                       // body centreline
+  const int j_wake = static_cast<int>(4.5 / 8.0 * spec.base_nx);
+  const int j_free = spec.base_nx / 8;                   // upstream
+  EXPECT_LT(uni.U(iy, j_wake), 0.95 * uni.U(3, j_free))
+      << "wake=" << uni.U(iy, j_wake) << " free=" << uni.U(3, j_free);
+}
+
+TEST(SaModel, ClosureFunctions) {
+  namespace sa = adarnet::solver::sa;
+  EXPECT_NEAR(sa::cw1(), 0.1355 / (0.41 * 0.41) + (1.0 + 0.622) / (2.0 / 3.0),
+              1e-12);
+  // fv1 is monotone in chi and saturates at 1.
+  EXPECT_LT(sa::fv1(1.0), sa::fv1(10.0));
+  EXPECT_LT(sa::fv1(10.0), sa::fv1(100.0));
+  EXPECT_NEAR(sa::fv1(1e6), 1.0, 1e-6);
+  // fw(1) == 1 by construction of g.
+  EXPECT_NEAR(sa::fw(sa::g_param(1.0)), 1.0, 1e-9);
+  // Eddy viscosity vanishes for nuTilda <= 0 and grows with nuTilda.
+  EXPECT_DOUBLE_EQ(sa::eddy_viscosity(-1.0, 1e-5), 0.0);
+  EXPECT_LT(sa::eddy_viscosity(1e-5, 1e-5), sa::eddy_viscosity(1e-3, 1e-5));
+  EXPECT_DOUBLE_EQ(sa::freestream_nu_tilda(1e-5), 3e-5);
+}
