@@ -1,8 +1,10 @@
 #include "adarnet/model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "field/interp.hpp"
+#include "nn/gemm.hpp"
 #include "util/timer.hpp"
 
 namespace adarnet::core {
@@ -37,33 +39,41 @@ nn::Tensor AdarNet::make_decoder_batch(const nn::Tensor& lr_norm,
     const int pj = id % npx;
     if (pi >= npy) throw std::out_of_range("make_decoder_batch: patch id");
     // Flow channels: extract the LR patch and refine bicubically.
+    const std::size_t splane = static_cast<std::size_t>(hh) * ww;
+    float* sample_base =
+        batch.data() + s * static_cast<std::size_t>(batch.c()) * splane;
     for (int c = 0; c < field::kNumFlowVars; ++c) {
       Grid2Df patch(ph, pw);
       for (int i = 0; i < ph; ++i) {
-        for (int j = 0; j < pw; ++j) {
-          patch(i, j) = lr_norm.at(0, c, pi * ph + i, pj * pw + j);
-        }
+        const float* lr_row = lr_norm.data() +
+                              (static_cast<std::size_t>(c) * h_total +
+                               pi * ph + i) *
+                                  w_total +
+                              static_cast<std::size_t>(pj) * pw;
+        float* prow = &patch(i, 0);
+        for (int j = 0; j < pw; ++j) prow[j] = lr_row[j];
       }
       const Grid2Df up = (level == 0)
                              ? patch
                              : field::resize(patch, hh, ww,
                                              field::Interp::kBicubic);
-      for (int i = 0; i < hh; ++i) {
-        for (int j = 0; j < ww; ++j) {
-          batch.at(static_cast<int>(s), c, i, j) = up(i, j);
-        }
-      }
+      float* dst = sample_base + static_cast<std::size_t>(c) * splane;
+      for (std::size_t k = 0; k < splane; ++k) dst[k] = up[k];
     }
     // Coordinate channels: global cell-centre position in [0, 1].
     const double inv_l = 1.0 / (1 << level);
+    float* xchan =
+        sample_base + static_cast<std::size_t>(field::kNumFlowVars) * splane;
+    float* ychan = xchan + splane;
     for (int i = 0; i < hh; ++i) {
       const float y =
           static_cast<float>((pi * ph + (i + 0.5) * inv_l) / h_total);
+      float* xrow = xchan + static_cast<std::size_t>(i) * ww;
+      float* yrow = ychan + static_cast<std::size_t>(i) * ww;
       for (int j = 0; j < ww; ++j) {
-        const float x =
+        xrow[j] =
             static_cast<float>((pj * pw + (j + 0.5) * inv_l) / w_total);
-        batch.at(static_cast<int>(s), field::kNumFlowVars, i, j) = x;
-        batch.at(static_cast<int>(s), field::kNumFlowVars + 1, i, j) = y;
+        yrow[j] = y;
       }
     }
   }
@@ -86,6 +96,19 @@ InferenceResult AdarNet::infer(const field::FlowField& lr) {
   result.map = to_refinement_map(bins, npy, npx);
 
   std::int64_t modeled = scorer_.estimate_memory(1, lr.ny(), lr.nx()).total();
+  // Size the GEMM workspace arena once for the largest bin batch so the
+  // per-bin decoder forwards below run with zero arena growth.
+  std::int64_t decoder_ws = 0;
+  for (const Bin& bin : bins) {
+    if (bin.patch_ids.empty()) continue;
+    const int hw_bin = config_.ph << bin.level;
+    decoder_ws = std::max(
+        decoder_ws,
+        decoder_.estimate_memory(static_cast<int>(bin.patch_ids.size()),
+                                 hw_bin, (config_.pw << bin.level))
+            .workspace_bytes);
+  }
+  nn::Arena::global().reserve(static_cast<std::size_t>(decoder_ws));
   for (const Bin& bin : bins) {
     if (bin.patch_ids.empty()) continue;
     nn::Tensor batch =

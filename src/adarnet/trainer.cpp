@@ -7,6 +7,7 @@
 #include "amr/criteria.hpp"
 #include "field/interp.hpp"
 #include "nn/adam.hpp"
+#include "nn/gemm.hpp"
 #include "nn/loss.hpp"
 #include "adarnet/pde_loss.hpp"
 #include "util/log.hpp"
@@ -56,27 +57,36 @@ std::pair<double, double> hybrid_loss(
   const PdeOptions pde_opt{spec.nu, spec.lx / (spec.base_nx << level),
                            spec.ly / (spec.base_ny << level)};
 
+  // Per-patch losses are independent, so the batch parallelises cleanly:
+  // each sample writes a disjoint slice of `grad` and the accumulators
+  // reduce. All tensor traffic is row-pointer (contiguous) rather than
+  // per-element at() indexing.
+  const std::size_t splane = static_cast<std::size_t>(hh) * ww;
+#pragma omp parallel for reduction(+ : data_acc, pde_acc) schedule(dynamic)
   for (int s = 0; s < out.n(); ++s) {
     const int id = patch_ids[static_cast<std::size_t>(s)];
     const int pi = id / npx;
     const int pj = id % npx;
+    const float* out_base =
+        out.data() + s * static_cast<std::size_t>(out.c()) * splane;
+    float* grad_base =
+        grad.data() + s * static_cast<std::size_t>(grad.c()) * splane;
 
     // --- data loss in the downsampled (LR) space ---------------------------
     const double inv_cells = 1.0 / (static_cast<double>(ph) * pw *
                                     field::kNumFlowVars);
     for (int c = 0; c < field::kNumFlowVars; ++c) {
       // Predicted patch channel as Grid2Dd (normalised space).
+      const float* out_chan = out_base + static_cast<std::size_t>(c) * splane;
       Grid2Dd pred(hh, ww);
-      for (int i = 0; i < hh; ++i) {
-        for (int j = 0; j < ww; ++j) pred(i, j) = out.at(s, c, i, j);
-      }
+      for (std::size_t k = 0; k < splane; ++k) pred[k] = out_chan[k];
       // LR ground truth patch (normalised).
+      const auto& lr_chan = sample.lr.channel(c);
       Grid2Dd truth(ph, pw);
       for (int i = 0; i < ph; ++i) {
-        for (int j = 0; j < pw; ++j) {
-          truth(i, j) =
-              stats.encode(c, sample.lr.channel(c)(pi * ph + i, pj * pw + j));
-        }
+        const double* lr_row = &lr_chan(pi * ph + i, pj * pw);
+        double* trow = &truth(i, 0);
+        for (int j = 0; j < pw; ++j) trow[j] = stats.encode(c, lr_row[j]);
       }
       Grid2Dd diff_grad;  // dL/d(pred) for this channel
       if (level == 0) {
@@ -98,21 +108,19 @@ std::pair<double, double> hybrid_loss(
         diff_grad =
             field::resize_adjoint(g_down, hh, ww, field::Interp::kBicubic);
       }
-      for (int i = 0; i < hh; ++i) {
-        for (int j = 0; j < ww; ++j) {
-          grad.at(s, c, i, j) += static_cast<float>(diff_grad(i, j));
-        }
+      float* grad_chan = grad_base + static_cast<std::size_t>(c) * splane;
+      for (std::size_t k = 0; k < splane; ++k) {
+        grad_chan[k] += static_cast<float>(diff_grad[k]);
       }
     }
 
     // --- PDE residual loss on the denormalised patch -----------------------
     field::FlowField phys(hh, ww);
     for (int c = 0; c < field::kNumFlowVars; ++c) {
+      const float* out_chan = out_base + static_cast<std::size_t>(c) * splane;
       auto& chan = phys.channel(c);
-      for (int i = 0; i < hh; ++i) {
-        for (int j = 0; j < ww; ++j) {
-          chan(i, j) = stats.decode(c, out.at(s, c, i, j));
-        }
+      for (std::size_t k = 0; k < splane; ++k) {
+        chan[k] = stats.decode(c, out_chan[k]);
       }
     }
     const PdeLossResult pde = residual(phys, pde_opt);
@@ -120,10 +128,9 @@ std::pair<double, double> hybrid_loss(
     for (int c = 0; c < field::kNumFlowVars; ++c) {
       const double chain = lambda_pde * stats.scale(c);
       const auto& g = pde.grad.channel(c);
-      for (int i = 0; i < hh; ++i) {
-        for (int j = 0; j < ww; ++j) {
-          grad.at(s, c, i, j) += static_cast<float>(chain * g(i, j));
-        }
+      float* grad_chan = grad_base + static_cast<std::size_t>(c) * splane;
+      for (std::size_t k = 0; k < splane; ++k) {
+        grad_chan[k] += static_cast<float>(chain * g[k]);
       }
     }
   }
@@ -177,6 +184,19 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
         decoder_opt.zero_grad();
         // Teacher-forced binning from the physics-derived target.
         const auto bins = rank(target, model.config().bins);
+        // Size the GEMM workspace arena once for the largest bin batch so
+        // every decoder forward/backward below reuses it without growth.
+        std::int64_t ws = 0;
+        for (const Bin& bin : bins) {
+          if (bin.patch_ids.empty()) continue;
+          ws = std::max(
+              ws, model.decoder()
+                      .estimate_memory(
+                          static_cast<int>(bin.patch_ids.size()),
+                          ph << bin.level, pw << bin.level)
+                      .workspace_bytes);
+        }
+        nn::Arena::global().reserve(static_cast<std::size_t>(ws));
         double sample_data = 0.0;
         double sample_pde = 0.0;
         for (const Bin& bin : bins) {

@@ -3,36 +3,63 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace adarnet::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool train) {
   Tensor out = input;
-  for (std::size_t k = 0; k < out.numel(); ++k) {
-    out[k] = std::max(out[k], 0.0f);
+  return forward(std::move(out), train);
+}
+
+Tensor ReLU::forward(Tensor&& input, bool train) {
+  for (std::size_t k = 0; k < input.numel(); ++k) {
+    input[k] = std::max(input[k], 0.0f);
   }
-  if (train) cached_input_ = input;
-  return out;
+  if (train) cached_output_ = input.share();
+  return std::move(input);
+}
+
+void ReLU::mask_inplace(Tensor& grad) const {
+  for (std::size_t k = 0; k < grad.numel(); ++k) {
+    if (cached_output_[k] <= 0.0f) grad[k] = 0.0f;
+  }
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
-  if (cached_input_.empty()) {
+  if (cached_output_.empty()) {
     throw std::logic_error("ReLU::backward without forward(train=true)");
   }
   Tensor grad = grad_output;
-  for (std::size_t k = 0; k < grad.numel(); ++k) {
-    if (cached_input_[k] <= 0.0f) grad[k] = 0.0f;
-  }
+  mask_inplace(grad);
   return grad;
+}
+
+Tensor ReLU::backward(Tensor&& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error("ReLU::backward without forward(train=true)");
+  }
+  mask_inplace(grad_output);
+  return std::move(grad_output);
 }
 
 Tensor SoftmaxSpatial::forward(const Tensor& input, bool train) {
   Tensor out = input;
-  const int plane = input.h() * input.w();
-  for (int s = 0; s < input.n(); ++s) {
-    for (int c = 0; c < input.c(); ++c) {
+  return forward(std::move(out), train);
+}
+
+Tensor SoftmaxSpatial::forward(Tensor&& input, bool train) {
+  normalise_inplace(input);
+  if (train) cached_output_ = input.share();
+  return std::move(input);
+}
+
+void SoftmaxSpatial::normalise_inplace(Tensor& out) const {
+  const int plane = out.h() * out.w();
+  for (int s = 0; s < out.n(); ++s) {
+    for (int c = 0; c < out.c(); ++c) {
       float* p = out.data() +
-                 (static_cast<std::size_t>(s) * input.c() + c) * plane;
+                 (static_cast<std::size_t>(s) * out.c() + c) * plane;
       float mx = p[0];
       for (int k = 1; k < plane; ++k) mx = std::max(mx, p[k]);
       double sum = 0.0;
@@ -44,8 +71,6 @@ Tensor SoftmaxSpatial::forward(const Tensor& input, bool train) {
       for (int k = 0; k < plane; ++k) p[k] *= inv;
     }
   }
-  if (train) cached_output_ = out;
-  return out;
 }
 
 Tensor SoftmaxSpatial::backward(const Tensor& grad_output) {

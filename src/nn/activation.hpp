@@ -1,4 +1,8 @@
 // Elementwise and spatial activations used by the scorer and decoder.
+//
+// Both layers compute in place when handed an rvalue (the Sequential move
+// chain) and cache what backward() needs via Tensor::share(), so a
+// training step no longer duplicates every activation tensor.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -9,7 +13,9 @@ namespace adarnet::nn {
 class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
+  Tensor forward(Tensor&& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor backward(Tensor&& grad_output) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
   [[nodiscard]] std::int64_t output_bytes(int n, int c, int h,
                                           int w) const override {
@@ -19,7 +25,10 @@ class ReLU : public Layer {
   void output_shape(int&, int&, int&) const override {}
 
  private:
-  Tensor cached_input_;
+  void mask_inplace(Tensor& grad) const;
+  // Shared alias of the *output* (out > 0 iff in > 0, so the output is
+  // exactly the gradient mask — no input copy needed).
+  Tensor cached_output_;
 };
 
 /// Softmax over the spatial positions (H x W) of each sample/channel —
@@ -28,6 +37,7 @@ class ReLU : public Layer {
 class SoftmaxSpatial : public Layer {
  public:
   Tensor forward(const Tensor& input, bool train) override;
+  Tensor forward(Tensor&& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
   [[nodiscard]] std::string name() const override { return "SoftmaxSpatial"; }
   [[nodiscard]] std::int64_t output_bytes(int n, int c, int h,
@@ -38,7 +48,8 @@ class SoftmaxSpatial : public Layer {
   void output_shape(int&, int&, int&) const override {}
 
  private:
-  Tensor cached_output_;
+  void normalise_inplace(Tensor& t) const;
+  Tensor cached_output_;  // shared alias, no copy
 };
 
 }  // namespace adarnet::nn

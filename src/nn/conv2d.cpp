@@ -1,13 +1,20 @@
 #include "nn/conv2d.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
+
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
 
 namespace adarnet::nn {
 
 namespace {
+
+std::atomic<Conv2D::Engine> g_default_engine{Conv2D::Engine::kGemm};
 
 // Contiguous (h*w) plane of sample s, channel c.
 inline const float* plane(const Tensor& t, int s, int c) {
@@ -19,7 +26,15 @@ inline float* plane(Tensor& t, int s, int c) {
                         (static_cast<std::size_t>(t.h()) * t.w());
 }
 
+// Mirrors the arena's suballocation rounding (64-byte granules).
+inline std::size_t arena_round(std::size_t floats) {
+  return (floats + 15) / 16 * 16;
+}
+
 }  // namespace
+
+Conv2D::Engine Conv2D::default_engine() { return g_default_engine.load(); }
+void Conv2D::set_default_engine(Engine e) { g_default_engine.store(e); }
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, util::Rng& rng,
                bool flipped)
@@ -56,10 +71,159 @@ std::string Deconv2D::name() const {
   return buf;
 }
 
+std::int64_t Conv2D::workspace_bytes(int, int, int h, int w) const {
+  if (engine_ != Engine::kGemm) return 0;
+  const int kk = kernel_ * kernel_;
+  const std::size_t K = static_cast<std::size_t>(in_channels_) * kk;
+  const std::size_t N = static_cast<std::size_t>(h) * w;
+  std::size_t floats = arena_round(K * N);  // im2col panel (per sample)
+  if (flipped_) floats += arena_round(K * out_channels_);
+  return static_cast<std::int64_t>(floats * sizeof(float)) +
+         static_cast<std::int64_t>(sgemm_workspace_bytes(
+             out_channels_, static_cast<int>(N), static_cast<int>(K)));
+}
+
 Tensor Conv2D::forward(const Tensor& input, bool train) {
   if (input.c() != in_channels_) {
     throw std::invalid_argument("Conv2D: channel mismatch");
   }
+  // Zero-copy cache: alias the caller's storage. Nothing mutates the
+  // input between forward and backward (see layer.hpp contract).
+  if (train) cached_input_ = input.share();
+  return engine_ == Engine::kGemm ? forward_gemm(input)
+                                  : forward_direct(input);
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("Conv2D::backward without forward(train=true)");
+  }
+  return engine_ == Engine::kGemm ? backward_gemm(grad_output)
+                                  : backward_direct(grad_output);
+}
+
+const float* Conv2D::gemm_weights() {
+  if (!flipped_) return weight_.value.data();
+  const int k = kernel_;
+  const int kk = k * k;
+  const std::size_t K = static_cast<std::size_t>(in_channels_) * kk;
+  float* packed = Arena::global().alloc_floats(
+      static_cast<std::size_t>(out_channels_) * K);
+  const float* w = weight_.value.data();
+  for (int o = 0; o < out_channels_; ++o) {
+    for (int i = 0; i < in_channels_; ++i) {
+      const float* src = w + (static_cast<std::size_t>(o) * in_channels_ +
+                              i) * kk;
+      float* dst = packed + static_cast<std::size_t>(o) * K +
+                   static_cast<std::size_t>(i) * kk;
+      for (int t = 0; t < kk; ++t) dst[t] = src[kk - 1 - t];
+    }
+  }
+  return packed;
+}
+
+Tensor Conv2D::forward_gemm(const Tensor& input) {
+  const int n = input.n();
+  const int h = input.h();
+  const int w = input.w();
+  const int M = out_channels_;
+  const int kk = kernel_ * kernel_;
+  const int K = in_channels_ * kk;
+  const int N = h * w;
+  Tensor out(n, M, h, w);
+
+  Arena& arena = Arena::global();
+  arena.reserve(static_cast<std::size_t>(workspace_bytes(n, in_channels_, h,
+                                                         w)));
+  const std::size_t m0 = arena.mark();
+  const float* A = gemm_weights();
+  float* col = arena.alloc_floats(static_cast<std::size_t>(K) * N);
+  for (int s = 0; s < n; ++s) {
+    im2col(plane(input, s, 0), in_channels_, h, w, kernel_, col);
+    float* out_s = plane(out, s, 0);
+    for (int o = 0; o < M; ++o) {
+      std::fill_n(out_s + static_cast<std::size_t>(o) * N, N,
+                  bias_.value[o]);
+    }
+    sgemm(Trans::kNo, Trans::kNo, M, N, K, 1.0f, A, K, col, N, 1.0f, out_s,
+          N);
+  }
+  arena.release(m0);
+  return out;
+}
+
+Tensor Conv2D::backward_gemm(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const int n = input.n();
+  const int h = input.h();
+  const int w = input.w();
+  const int M = out_channels_;
+  const int k = kernel_;
+  const int kk = k * k;
+  const int K = in_channels_ * kk;
+  const int N = h * w;
+  Tensor grad_input(n, in_channels_, h, w);
+
+  Arena& arena = Arena::global();
+  std::size_t need = arena_round(static_cast<std::size_t>(M) * K) +
+                     2 * arena_round(static_cast<std::size_t>(K) * N);
+  if (flipped_) need += arena_round(static_cast<std::size_t>(M) * K);
+  need = need * sizeof(float) +
+         std::max(sgemm_workspace_bytes(M, K, N),
+                  sgemm_workspace_bytes(K, N, M));
+  arena.reserve(need);
+  const std::size_t m0 = arena.mark();
+
+  const float* A = gemm_weights();
+  float* dW = arena.alloc_floats(static_cast<std::size_t>(M) * K);
+  std::memset(dW, 0, sizeof(float) * static_cast<std::size_t>(M) * K);
+  float* col = arena.alloc_floats(static_cast<std::size_t>(K) * N);
+  float* colg = arena.alloc_floats(static_cast<std::size_t>(K) * N);
+
+  for (int s = 0; s < n; ++s) {
+    const float* go = plane(grad_output, s, 0);
+    im2col(plane(input, s, 0), in_channels_, h, w, kernel_, col);
+    // dW += dY * col^T   (M x K)
+    sgemm(Trans::kNo, Trans::kYes, M, K, N, 1.0f, go, N, col, N, 1.0f, dW,
+          K);
+    // col-gradient = W^T * dY   (K x N), then scatter back to the input.
+    sgemm(Trans::kYes, Trans::kNo, K, N, M, 1.0f, A, K, go, N, 0.0f, colg,
+          N);
+    col2im_add(colg, in_channels_, h, w, kernel_, plane(grad_input, s, 0));
+  }
+
+  // Bias gradient: per-channel sum of the output gradient.
+#pragma omp parallel for schedule(static)
+  for (int o = 0; o < M; ++o) {
+    float gb = 0.0f;
+    for (int s = 0; s < n; ++s) {
+      const float* go = plane(grad_output, s, o);
+      for (int t = 0; t < N; ++t) gb += go[t];
+    }
+    bias_.grad[o] += gb;
+  }
+
+  // Accumulate dW into the stored weight gradient (taps are spatially
+  // flipped in the GEMM basis when `flipped_`).
+  float* wg = weight_.grad.data();
+  for (int o = 0; o < M; ++o) {
+    for (int i = 0; i < in_channels_; ++i) {
+      const float* src = dW + static_cast<std::size_t>(o) * K +
+                         static_cast<std::size_t>(i) * kk;
+      float* dst = wg + (static_cast<std::size_t>(o) * in_channels_ + i) *
+                       kk;
+      if (flipped_) {
+        for (int t = 0; t < kk; ++t) dst[kk - 1 - t] += src[t];
+      } else {
+        for (int t = 0; t < kk; ++t) dst[t] += src[t];
+      }
+    }
+  }
+  arena.release(m0);
+  return grad_input;
+}
+
+Tensor Conv2D::forward_direct(const Tensor& input) {
   const int n = input.n();
   const int h = input.h();
   const int w = input.w();
@@ -97,15 +261,11 @@ Tensor Conv2D::forward(const Tensor& input, bool train) {
       }
     }
   }
-  if (train) cached_input_ = input;
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_output) {
+Tensor Conv2D::backward_direct(const Tensor& grad_output) {
   const Tensor& input = cached_input_;
-  if (input.empty()) {
-    throw std::logic_error("Conv2D::backward without forward(train=true)");
-  }
   const int n = input.n();
   const int h = input.h();
   const int w = input.w();

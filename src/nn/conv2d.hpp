@@ -6,6 +6,14 @@
 // is mathematically a convolution with a spatially flipped kernel, so
 // Deconv2D shares the Conv2D implementation with `flipped = true`; it is
 // kept as a distinct layer type to mirror the paper's architecture figure.
+//
+// Two execution engines are available per layer:
+//  * kGemm (default): im2col + cache-blocked SGEMM over the shared
+//    workspace arena (see gemm.hpp / im2col.hpp). Forward, weight-gradient
+//    and input-gradient all reduce to GEMM calls.
+//  * kDirect: the original per-tap row-wise loops — kept as a reference
+//    implementation so tests can assert numerical equivalence and the
+//    benches can report the speedup.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -17,6 +25,9 @@ namespace adarnet::nn {
 /// sum_{i,ky,kx} w[o,i,ky,kx] * in[n,i,y+ky-p,x+kx-p] (zero padding).
 class Conv2D : public Layer {
  public:
+  /// Convolution execution engine.
+  enum class Engine { kDirect, kGemm };
+
   /// Creates a conv layer with He-normal initialised weights.
   Conv2D(int in_channels, int out_channels, int kernel, util::Rng& rng,
          bool flipped = false);
@@ -30,7 +41,17 @@ class Conv2D : public Layer {
     return static_cast<std::int64_t>(n) * out_channels_ * h * w *
            static_cast<std::int64_t>(sizeof(float));
   }
+  [[nodiscard]] std::int64_t workspace_bytes(int n, int c, int h,
+                                             int w) const override;
   void output_shape(int& c, int&, int&) const override { c = out_channels_; }
+
+  /// Selects the execution engine for this layer instance.
+  void set_engine(Engine e) { engine_ = e; }
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Engine newly constructed layers start with (process-wide, kGemm).
+  static Engine default_engine();
+  static void set_default_engine(Engine e);
 
   [[nodiscard]] int in_channels() const { return in_channels_; }
   [[nodiscard]] int out_channels() const { return out_channels_; }
@@ -41,11 +62,21 @@ class Conv2D : public Layer {
   Parameter& bias() { return bias_; }
 
  private:
+  Tensor forward_direct(const Tensor& input);
+  Tensor forward_gemm(const Tensor& input);
+  Tensor backward_direct(const Tensor& grad_output);
+  Tensor backward_gemm(const Tensor& grad_output);
+  // Packs the (out, in*k*k) GEMM weight operand; spatially flipped taps
+  // when `flipped_`. Returns weight_.value.data() directly when no flip is
+  // needed, otherwise packs into the arena.
+  const float* gemm_weights();
+
   int in_channels_;
   int out_channels_;
   int kernel_;
   int pad_;
   bool flipped_;
+  Engine engine_ = default_engine();
   Parameter weight_;  // (out, in, k, k)
   Parameter bias_;    // (out, 1, 1, 1)
   Tensor cached_input_;

@@ -1,0 +1,315 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "nn/tensor.hpp"  // memory counters
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define ADARNET_GEMM_X86 1
+#endif
+
+namespace adarnet::nn {
+
+namespace {
+
+// Blocking parameters (floats). Kc x Nc keeps the packed B panel in L2,
+// Mc x Kc keeps the packed A panel in L1/L2; MR x NR is the register tile.
+constexpr int kMR = 6;
+constexpr int kNR = 16;
+constexpr int kMc = 72;    // multiple of kMR
+constexpr int kKc = 256;
+constexpr int kNc = 2048;  // multiple of kNR
+
+constexpr std::size_t kAlignFloats = 16;  // 64-byte alignment
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+float* raw_alloc(std::size_t floats) {
+  return static_cast<float*>(::operator new[](
+      floats * sizeof(float), std::align_val_t(64)));
+}
+
+void raw_free(float* p, std::size_t floats) {
+  if (!p) return;
+  ::operator delete[](p, floats * sizeof(float), std::align_val_t(64));
+  (void)floats;
+}
+
+// op(A)(i, p): element (i, p) of the transposed-or-not operand.
+inline float op_at(const float* a, int lda, Trans t, int i, int p) {
+  return t == Trans::kNo ? a[static_cast<std::size_t>(i) * lda + p]
+                         : a[static_cast<std::size_t>(p) * lda + i];
+}
+
+// Packs an (mc x kc) block of op(A) into MR-row panels: panel ir holds
+// kc columns of MR interleaved row values, zero-padded past mc.
+void pack_a(const float* a, int lda, Trans ta, int i0, int p0, int mc,
+            int kc, float* dst) {
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = std::min(kMR, mc - ir);
+    for (int p = 0; p < kc; ++p) {
+      for (int r = 0; r < kMR; ++r) {
+        *dst++ = r < mr ? op_at(a, lda, ta, i0 + ir + r, p0 + p) : 0.0f;
+      }
+    }
+  }
+}
+
+// Packs a (kc x nc) block of op(B) into NR-column panels.
+void pack_b(const float* b, int ldb, Trans tb, int p0, int j0, int kc,
+            int nc, float* dst) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nr = std::min(kNR, nc - jr);
+    if (tb == Trans::kNo && nr == kNR) {
+      // Contiguous rows of B: straight 16-float copies.
+      for (int p = 0; p < kc; ++p) {
+        std::memcpy(dst, b + static_cast<std::size_t>(p0 + p) * ldb + j0 + jr,
+                    kNR * sizeof(float));
+        dst += kNR;
+      }
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        for (int q = 0; q < kNR; ++q) {
+          *dst++ =
+              q < nr ? op_at(b, ldb, tb, p0 + p, j0 + jr + q) : 0.0f;
+        }
+      }
+    }
+  }
+}
+
+// Portable microkernel: acc(MR x NR) = packed_a panel * packed_b panel.
+// The compiler vectorises the NR loop at the baseline ISA.
+void kernel_generic(int kc, const float* ap, const float* bp, float* acc) {
+  for (int p = 0; p < kc; ++p) {
+    for (int r = 0; r < kMR; ++r) {
+      const float av = ap[r];
+      float* arow = acc + r * kNR;
+      for (int q = 0; q < kNR; ++q) arow[q] += av * bp[q];
+    }
+    ap += kMR;
+    bp += kNR;
+  }
+}
+
+#ifdef ADARNET_GEMM_X86
+// AVX2+FMA microkernel: 6x16 tile, 12 ymm accumulators, 2 B vectors and a
+// broadcast A register per k step. Compiled for AVX2 in this TU only and
+// gated by a runtime CPU check.
+__attribute__((target("avx2,fma"))) void kernel_avx2(int kc, const float* ap,
+                                                     const float* bp,
+                                                     float* acc) {
+  __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();
+  __m256 c1a = _mm256_setzero_ps(), c1b = _mm256_setzero_ps();
+  __m256 c2a = _mm256_setzero_ps(), c2b = _mm256_setzero_ps();
+  __m256 c3a = _mm256_setzero_ps(), c3b = _mm256_setzero_ps();
+  __m256 c4a = _mm256_setzero_ps(), c4b = _mm256_setzero_ps();
+  __m256 c5a = _mm256_setzero_ps(), c5b = _mm256_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_load_ps(bp);
+    const __m256 b1 = _mm256_load_ps(bp + 8);
+    __m256 av;
+    av = _mm256_broadcast_ss(ap + 0);
+    c0a = _mm256_fmadd_ps(av, b0, c0a);
+    c0b = _mm256_fmadd_ps(av, b1, c0b);
+    av = _mm256_broadcast_ss(ap + 1);
+    c1a = _mm256_fmadd_ps(av, b0, c1a);
+    c1b = _mm256_fmadd_ps(av, b1, c1b);
+    av = _mm256_broadcast_ss(ap + 2);
+    c2a = _mm256_fmadd_ps(av, b0, c2a);
+    c2b = _mm256_fmadd_ps(av, b1, c2b);
+    av = _mm256_broadcast_ss(ap + 3);
+    c3a = _mm256_fmadd_ps(av, b0, c3a);
+    c3b = _mm256_fmadd_ps(av, b1, c3b);
+    av = _mm256_broadcast_ss(ap + 4);
+    c4a = _mm256_fmadd_ps(av, b0, c4a);
+    c4b = _mm256_fmadd_ps(av, b1, c4b);
+    av = _mm256_broadcast_ss(ap + 5);
+    c5a = _mm256_fmadd_ps(av, b0, c5a);
+    c5b = _mm256_fmadd_ps(av, b1, c5b);
+    ap += kMR;
+    bp += kNR;
+  }
+  _mm256_store_ps(acc + 0 * kNR, c0a);
+  _mm256_store_ps(acc + 0 * kNR + 8, c0b);
+  _mm256_store_ps(acc + 1 * kNR, c1a);
+  _mm256_store_ps(acc + 1 * kNR + 8, c1b);
+  _mm256_store_ps(acc + 2 * kNR, c2a);
+  _mm256_store_ps(acc + 2 * kNR + 8, c2b);
+  _mm256_store_ps(acc + 3 * kNR, c3a);
+  _mm256_store_ps(acc + 3 * kNR + 8, c3b);
+  _mm256_store_ps(acc + 4 * kNR, c4a);
+  _mm256_store_ps(acc + 4 * kNR + 8, c4b);
+  _mm256_store_ps(acc + 5 * kNR, c5a);
+  _mm256_store_ps(acc + 5 * kNR + 8, c5b);
+}
+
+bool have_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2") &&
+                         __builtin_cpu_supports("fma");
+  return ok;
+}
+#endif  // ADARNET_GEMM_X86
+
+// acc must be zeroed by the AVX2 kernel itself; the generic kernel
+// accumulates, so callers zero acc first for it. Wrap both behind one
+// "compute fresh tile" entry point.
+inline void run_kernel(int kc, const float* ap, const float* bp, float* acc) {
+#ifdef ADARNET_GEMM_X86
+  if (have_avx2()) {
+    kernel_avx2(kc, ap, bp, acc);
+    return;
+  }
+#endif
+  std::memset(acc, 0, sizeof(float) * kMR * kNR);
+  kernel_generic(kc, ap, bp, acc);
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  raw_free(base_, cap_floats_);
+  for (const Block& blk : overflow_) raw_free(blk.ptr, blk.floats);
+}
+
+Arena& Arena::global() {
+  static Arena arena;
+  return arena;
+}
+
+std::size_t Arena::capacity_bytes() const {
+  std::size_t total = cap_floats_;
+  for (const Block& blk : overflow_) total += blk.floats;
+  return total * sizeof(float);
+}
+
+void Arena::consolidate() {
+  if (overflow_.empty() || used_ != 0 || depth_ != 0) return;
+  std::size_t total = cap_floats_;
+  for (const Block& blk : overflow_) total += align_up(blk.floats);
+  for (const Block& blk : overflow_) {
+    raw_free(blk.ptr, blk.floats);
+    memory::detail::on_free(
+        static_cast<std::int64_t>(blk.floats * sizeof(float)));
+  }
+  overflow_.clear();
+  raw_free(base_, cap_floats_);
+  memory::detail::on_free(
+      static_cast<std::int64_t>(cap_floats_ * sizeof(float)));
+  base_ = raw_alloc(total);
+  cap_floats_ = total;
+  memory::detail::on_alloc(static_cast<std::int64_t>(total * sizeof(float)));
+}
+
+void Arena::reserve(std::size_t bytes) {
+  const std::size_t floats = align_up((bytes + sizeof(float) - 1) /
+                                      sizeof(float));
+  // Live suballocations (open scopes): overflow blocks cover any shortfall
+  // and get folded in on the closing release().
+  if (used_ != 0 || depth_ != 0) return;
+  consolidate();
+  if (floats <= cap_floats_) return;
+  raw_free(base_, cap_floats_);
+  memory::detail::on_free(
+      static_cast<std::int64_t>(cap_floats_ * sizeof(float)));
+  base_ = raw_alloc(floats);
+  cap_floats_ = floats;
+  memory::detail::on_alloc(static_cast<std::int64_t>(floats * sizeof(float)));
+}
+
+float* Arena::alloc_floats(std::size_t count) {
+  count = align_up(count);
+  if (used_ + count <= cap_floats_) {
+    float* p = base_ + used_;
+    used_ += count;
+    return p;
+  }
+  // Out of main-block space mid-operation: serve from a dedicated block so
+  // existing suballocation pointers stay valid. Folded in on next idle.
+  Block blk{raw_alloc(count), count};
+  memory::detail::on_alloc(static_cast<std::int64_t>(count * sizeof(float)));
+  overflow_.push_back(blk);
+  return blk.ptr;
+}
+
+std::size_t sgemm_workspace_bytes(int m, int n, int k) {
+  const std::size_t kc = static_cast<std::size_t>(std::min(k, kKc));
+  const std::size_t nc = static_cast<std::size_t>(std::min(
+      (n + kNR - 1) / kNR * kNR, kNc));
+  const std::size_t mc = static_cast<std::size_t>(std::min(
+      (m + kMR - 1) / kMR * kMR, kMc));
+  const std::size_t a_pack = align_up(mc * kc);
+  const std::size_t b_pack = align_up(kc * nc);
+  return (a_pack + b_pack) * sizeof(float);
+}
+
+void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
+           const float* a, int lda, const float* b, int ldb, float beta,
+           float* c, int ldc) {
+  if (m <= 0 || n <= 0) return;
+  // Apply beta once up front; every block update below is then "+=".
+  if (beta == 0.0f) {
+    for (int i = 0; i < m; ++i) {
+      std::memset(c + static_cast<std::size_t>(i) * ldc, 0,
+                  sizeof(float) * n);
+    }
+  } else if (beta != 1.0f) {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (k <= 0 || alpha == 0.0f) return;
+
+  Arena& arena = Arena::global();
+  const std::size_t m0 = arena.mark();
+  const int kc_max = std::min(k, kKc);
+  const int nc_max = std::min((n + kNR - 1) / kNR * kNR, kNc);
+  const int mc_max = std::min((m + kMR - 1) / kMR * kMR, kMc);
+  float* bpack = arena.alloc_floats(static_cast<std::size_t>(kc_max) *
+                                    nc_max);
+  float* apack = arena.alloc_floats(static_cast<std::size_t>(mc_max) *
+                                    kc_max);
+
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    const int nc_pad = (nc + kNR - 1) / kNR * kNR;
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kc = std::min(kKc, k - pc);
+      pack_b(b, ldb, tb, pc, jc, kc, nc, bpack);
+      for (int ic = 0; ic < m; ic += kMc) {
+        const int mc = std::min(kMc, m - ic);
+        pack_a(a, lda, ta, ic, pc, mc, kc, apack);
+        const int n_panels = nc_pad / kNR;
+#pragma omp parallel for schedule(static)
+        for (int jp = 0; jp < n_panels; ++jp) {
+          const int jr = jp * kNR;
+          const int nr = std::min(kNR, nc - jr);
+          const float* bp = bpack + static_cast<std::size_t>(jp) * kc * kNR;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = std::min(kMR, mc - ir);
+            const float* ap =
+                apack + static_cast<std::size_t>(ir) * kc;  // MR-row panel
+            alignas(64) float acc[kMR * kNR];
+            run_kernel(kc, ap, bp, acc);
+            // Merge the tile: C += alpha * acc (edges clipped).
+            for (int r = 0; r < mr; ++r) {
+              float* crow = c + static_cast<std::size_t>(ic + ir + r) * ldc +
+                            jc + jr;
+              const float* arow = acc + r * kNR;
+              for (int q = 0; q < nr; ++q) crow[q] += alpha * arow[q];
+            }
+          }
+        }
+      }
+    }
+  }
+  arena.release(m0);
+}
+
+}  // namespace adarnet::nn

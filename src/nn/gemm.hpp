@@ -1,0 +1,98 @@
+// Cache-blocked single-precision GEMM and the workspace arena that backs
+// the convolution engine's scratch buffers (im2col panels, GEMM pack
+// buffers, gradient accumulators).
+//
+// The GEMM follows the classic Goto/BLIS structure: the operands are
+// packed into contiguous panels blocked as (Mc x Kc) and (Kc x Nc), and an
+// (MR x NR) register-tiled microkernel runs over the packed panels. On
+// x86-64 the microkernel is compiled for AVX2+FMA and selected at runtime
+// (the rest of the library stays at the baseline ISA); elsewhere a
+// portable kernel that the compiler auto-vectorises is used.
+//
+// All scratch comes from a process-wide Arena whose capacity is tracked
+// through the nn::memory counters, so the measured inference footprint
+// (Table 2, Fig 1) includes the convolution workspace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adarnet::nn {
+
+/// Growable bump allocator for convolution/GEMM scratch. Suballocations
+/// are 64-byte aligned and freed wholesale via mark()/release(). Capacity
+/// changes are reported to the nn::memory counters. Steady state performs
+/// no allocations: once the arena has grown to the largest working set it
+/// is reused verbatim (the "no per-call allocation" training path).
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// The process-wide arena used by Conv2D's GEMM engine.
+  static Arena& global();
+
+  /// Ensures capacity() >= bytes. The main block is only replaced while no
+  /// suballocation is live (used() == 0); otherwise growth is deferred to
+  /// overflow blocks that get merged on the next idle ensure/alloc.
+  void reserve(std::size_t bytes);
+
+  /// Bump-allocates `count` floats (64-byte aligned). Never invalidates
+  /// previously returned pointers: if the main block is exhausted the
+  /// allocation is served from a dedicated overflow block that is folded
+  /// into the main block once the arena is idle again.
+  float* alloc_floats(std::size_t count);
+
+  /// Opens an allocation scope and returns the bump position to restore.
+  /// While any scope is open the arena never moves or frees blocks, so
+  /// every pointer handed out stays valid until the matching release().
+  [[nodiscard]] std::size_t mark() {
+    ++depth_;
+    return used_;
+  }
+  /// Rewinds the bump pointer to a previous mark() and closes its scope;
+  /// when the last scope closes, overflow blocks are folded into the main
+  /// block so the next operation of the same size allocates nothing.
+  void release(std::size_t m) {
+    used_ = m;
+    if (depth_ > 0) --depth_;
+    if (depth_ == 0 && used_ == 0) consolidate();
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const;
+  [[nodiscard]] std::size_t used() const { return used_; }
+
+ private:
+  void consolidate();  // merge overflow blocks; only while idle
+
+  struct Block {
+    float* ptr = nullptr;
+    std::size_t floats = 0;
+  };
+
+  float* base_ = nullptr;
+  std::size_t cap_floats_ = 0;  // capacity of the main block
+  std::size_t used_ = 0;        // bump position within the main block
+  std::size_t depth_ = 0;       // open mark() scopes
+  std::vector<Block> overflow_;
+};
+
+/// Transpose flag for sgemm operands.
+enum class Trans : std::uint8_t { kNo, kYes };
+
+/// C (m x n, row-major, leading dim ldc) = alpha * op(A) * op(B) + beta*C,
+/// with op(X) = X or X^T per the Trans flags. A is m x k after op, B is
+/// k x n after op; lda/ldb are the leading dimensions of the *stored*
+/// matrices. Pack buffers are drawn from Arena::global() (mark/released
+/// internally). OpenMP-parallel over column panels.
+void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
+           const float* a, int lda, const float* b, int ldb, float beta,
+           float* c, int ldc);
+
+/// Arena bytes one sgemm call of this shape draws for its pack buffers.
+std::size_t sgemm_workspace_bytes(int m, int n, int k);
+
+}  // namespace adarnet::nn

@@ -1,0 +1,73 @@
+#include "nn/im2col.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace adarnet::nn {
+
+void im2col(const float* src, int c, int h, int w, int k, float* col) {
+  const int pad = k / 2;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const int rows = c * k * k;
+#pragma omp parallel for schedule(static)
+  for (int r = 0; r < rows; ++r) {
+    const int ic = r / (k * k);
+    const int ky = (r / k) % k;
+    const int kx = r % k;
+    const int dy = ky - pad;
+    const int dx = kx - pad;
+    const float* in_plane = src + static_cast<std::size_t>(ic) * plane;
+    float* out_row = col + static_cast<std::size_t>(r) * plane;
+    const int y0 = std::max(0, -dy);
+    const int y1 = std::min(h, h - dy);
+    const int x0 = std::max(0, -dx);
+    const int x1 = std::min(w, w - dx);
+    if (y0 > 0) {
+      std::memset(out_row, 0, sizeof(float) * static_cast<std::size_t>(y0) *
+                                  w);
+    }
+    for (int y = y0; y < y1; ++y) {
+      float* orow = out_row + static_cast<std::size_t>(y) * w;
+      const float* irow =
+          in_plane + static_cast<std::size_t>(y + dy) * w + dx;
+      if (x0 > 0) std::memset(orow, 0, sizeof(float) * x0);
+      std::memcpy(orow + x0, irow + x0, sizeof(float) * (x1 - x0));
+      if (x1 < w) std::memset(orow + x1, 0, sizeof(float) * (w - x1));
+    }
+    if (y1 < h) {
+      std::memset(out_row + static_cast<std::size_t>(y1) * w, 0,
+                  sizeof(float) * static_cast<std::size_t>(h - y1) * w);
+    }
+  }
+}
+
+void col2im_add(const float* col, int c, int h, int w, int k, float* dst) {
+  const int pad = k / 2;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  // Rows of the same input channel overlap, so parallelise over channels
+  // and walk that channel's k*k rows serially.
+#pragma omp parallel for schedule(static)
+  for (int ic = 0; ic < c; ++ic) {
+    float* out_plane = dst + static_cast<std::size_t>(ic) * plane;
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx) {
+        const int r = (ic * k + ky) * k + kx;
+        const float* in_row = col + static_cast<std::size_t>(r) * plane;
+        const int dy = ky - pad;
+        const int dx = kx - pad;
+        const int y0 = std::max(0, -dy);
+        const int y1 = std::min(h, h - dy);
+        const int x0 = std::max(0, -dx);
+        const int x1 = std::min(w, w - dx);
+        for (int y = y0; y < y1; ++y) {
+          const float* crow = in_row + static_cast<std::size_t>(y) * w;
+          float* orow =
+              out_plane + static_cast<std::size_t>(y + dy) * w + dx;
+          for (int x = x0; x < x1; ++x) orow[x] += crow[x];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace adarnet::nn

@@ -4,6 +4,14 @@
 // run afterwards; training code calls forward -> loss -> backward and then
 // lets an optimizer step over parameters(). Inference-only paths may call
 // forward() with `train = false` to skip caching.
+//
+// Caching contract: layers cache activations via Tensor::share() (zero
+// copy), never by value. Layers that can compute in place (elementwise
+// ops) additionally override the rvalue forward/backward entry points so
+// a Sequential chain moves tensors through them without allocating; such
+// a layer mutates only the tensor handed to it, which by construction is
+// the previous layer's *output* — safe, because layers share-cache their
+// inputs (or, for elementwise ops, values the in-place update preserves).
 #pragma once
 
 #include <memory>
@@ -32,9 +40,21 @@ class Layer {
   /// needed by backward().
   virtual Tensor forward(const Tensor& input, bool train) = 0;
 
+  /// Move-aware forward: layers that can compute in place (e.g. ReLU)
+  /// override this to consume `input`'s storage. Default defers to the
+  /// const-ref overload.
+  virtual Tensor forward(Tensor&& input, bool train) {
+    return forward(static_cast<const Tensor&>(input), train);
+  }
+
   /// Propagates `grad_output` (dL/d output) back, accumulating parameter
   /// gradients and returning dL/d input. Requires a prior forward(train).
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Move-aware backward, same contract as the rvalue forward.
+  virtual Tensor backward(Tensor&& grad_output) {
+    return backward(static_cast<const Tensor&>(grad_output));
+  }
 
   /// Learnable parameters of this layer (possibly empty).
   virtual std::vector<Parameter*> parameters() { return {}; }
@@ -46,6 +66,14 @@ class Layer {
   /// shape (used by the analytic memory model; see memory_model.hpp).
   [[nodiscard]] virtual std::int64_t output_bytes(int n, int c, int h,
                                                   int w) const = 0;
+
+  /// Scratch (workspace-arena) bytes one forward draws for the given input
+  /// shape — nonzero only for layers backed by the GEMM engine. The arena
+  /// is shared, so the model takes the max over layers, not the sum.
+  [[nodiscard]] virtual std::int64_t workspace_bytes(int, int, int,
+                                                     int) const {
+    return 0;
+  }
 
   /// Output shape for a given input shape (c, h, w of one sample).
   virtual void output_shape(int& c, int& h, int& w) const = 0;

@@ -14,6 +14,8 @@ MemoryEstimate estimate_memory(const Sequential& net, int n, int c, int h,
   for (std::size_t i = 0; i < net.size(); ++i) {
     const Layer& layer = net.layer(i);
     const std::int64_t out = layer.output_bytes(n, cc, hh, ww);
+    est.workspace_bytes =
+        std::max(est.workspace_bytes, layer.workspace_bytes(n, cc, hh, ww));
     layer.output_shape(cc, hh, ww);
     est.sum_activations += out;
     est.peak_pairwise = std::max(est.peak_pairwise, prev + out);
@@ -27,12 +29,14 @@ MemoryEstimate estimate_memory(const Sequential& net, int n, int c, int h,
 
 int max_batch_size(const Sequential& net, int c, int h, int w,
                    std::int64_t budget_bytes) {
-  // total() is linear in n except the constant parameter bytes, so solve
-  // directly from the n = 1 estimate.
+  // total() is linear in n except the constant parameter and workspace
+  // bytes (the GEMM engine processes samples one at a time, so the arena
+  // does not grow with n), so solve directly from the n = 1 estimate.
   const MemoryEstimate one = estimate_memory(net, 1, c, h, w);
   const std::int64_t per_sample = one.input_bytes + one.sum_activations;
   if (per_sample <= 0) return 0;
-  const std::int64_t avail = budget_bytes - one.parameter_bytes;
+  const std::int64_t avail =
+      budget_bytes - one.parameter_bytes - one.workspace_bytes;
   if (avail <= 0) return 0;
   return static_cast<int>(avail / per_sample);
 }

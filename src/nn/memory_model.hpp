@@ -19,10 +19,15 @@ struct MemoryEstimate {
   std::int64_t sum_activations = 0;   ///< all layer outputs summed
   std::int64_t peak_pairwise = 0;     ///< max over layers of (in + out)
   std::int64_t parameter_bytes = 0;   ///< weights + biases
+  std::int64_t workspace_bytes = 0;   ///< GEMM/im2col arena: max over
+                                      ///< layers (the arena is shared and
+                                      ///< reused, not per-layer)
 
-  /// The figure the benchmarks report: input + all activations + weights.
+  /// The figure the benchmarks report: input + all activations + weights
+  /// + convolution workspace.
   [[nodiscard]] std::int64_t total() const {
-    return input_bytes + sum_activations + parameter_bytes;
+    return input_bytes + sum_activations + parameter_bytes +
+           workspace_bytes;
   }
 };
 

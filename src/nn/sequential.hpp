@@ -27,18 +27,26 @@ class Sequential {
     return *this;
   }
 
-  /// Runs all layers in order.
+  /// Runs all layers in order. Intermediate tensors are moved through the
+  /// chain, so in-place layers (ReLU) reuse their input's storage and no
+  /// layer deep-copies an activation (caching goes through
+  /// Tensor::share()).
   Tensor forward(const Tensor& input, bool train = false) {
-    Tensor x = input;
-    for (auto& layer : layers_) x = layer->forward(x, train);
+    if (layers_.empty()) return input;
+    Tensor x = layers_.front()->forward(input, train);
+    for (std::size_t i = 1; i < layers_.size(); ++i) {
+      x = layers_[i]->forward(std::move(x), train);
+    }
     return x;
   }
 
   /// Runs backward through all layers in reverse, returning dL/d input.
+  /// The gradient tensor is moved through the chain like forward().
   Tensor backward(const Tensor& grad_output) {
-    Tensor g = grad_output;
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-      g = (*it)->backward(g);
+    if (layers_.empty()) return grad_output;
+    Tensor g = layers_.back()->backward(grad_output);
+    for (auto it = std::next(layers_.rbegin()); it != layers_.rend(); ++it) {
+      g = (*it)->backward(std::move(g));
     }
     return g;
   }

@@ -28,55 +28,42 @@ void on_free(std::int64_t bytes) { g_live.fetch_sub(bytes); }
 }  // namespace memory
 
 Tensor::Tensor(int n, int c, int h, int w)
-    : n_(n), c_(c), h_(h), w_(w),
-      data_(static_cast<std::size_t>(n) * c * h * w, 0.0f) {
-  track_alloc();
-}
+    : storage_(std::make_shared<Storage>(static_cast<std::size_t>(n) * c * h *
+                                         w)),
+      n_(n), c_(c), h_(h), w_(w) {}
 
 Tensor::Tensor(const Tensor& other)
-    : n_(other.n_), c_(other.c_), h_(other.h_), w_(other.w_),
-      data_(other.data_) {
-  track_alloc();
-}
+    : storage_(other.storage_
+                   ? std::make_shared<Storage>(other.storage_->data)
+                   : nullptr),
+      n_(other.n_), c_(other.c_), h_(other.h_), w_(other.w_) {}
 
 Tensor::Tensor(Tensor&& other) noexcept
-    : n_(other.n_), c_(other.c_), h_(other.h_), w_(other.w_),
-      data_(std::move(other.data_)) {
+    : storage_(std::move(other.storage_)),
+      n_(other.n_), c_(other.c_), h_(other.h_), w_(other.w_) {
   other.n_ = other.c_ = other.h_ = other.w_ = 0;
-  other.data_.clear();
 }
 
 Tensor& Tensor::operator=(const Tensor& other) {
   if (this == &other) return *this;
-  track_free();
+  storage_ = other.storage_ ? std::make_shared<Storage>(other.storage_->data)
+                            : nullptr;
   n_ = other.n_;
   c_ = other.c_;
   h_ = other.h_;
   w_ = other.w_;
-  data_ = other.data_;
-  track_alloc();
   return *this;
 }
 
 Tensor& Tensor::operator=(Tensor&& other) noexcept {
   if (this == &other) return *this;
-  track_free();
+  storage_ = std::move(other.storage_);
   n_ = other.n_;
   c_ = other.c_;
   h_ = other.h_;
   w_ = other.w_;
-  data_ = std::move(other.data_);
   other.n_ = other.c_ = other.h_ = other.w_ = 0;
-  other.data_.clear();
   return *this;
-}
-
-Tensor::~Tensor() { track_free(); }
-
-void Tensor::track_alloc() { memory::detail::on_alloc(bytes()); }
-
-void Tensor::track_free() {
-  memory::detail::on_free(bytes());
 }
 
 }  // namespace adarnet::nn

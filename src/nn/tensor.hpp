@@ -4,11 +4,18 @@
 // benchmark harness can report real inference memory (Table 2, Fig 1)
 // rather than estimates: peak_bytes() after reset_peak() brackets the
 // working set of a forward pass.
+//
+// Storage is reference-counted so that layers can cache activations for
+// backward() without duplicating them: `share()` returns a zero-copy alias
+// of the same buffer. Copy construction/assignment still deep-copies (and
+// is tracked as a fresh allocation), so value semantics — and the memory
+// accounting the benchmarks rely on — are unchanged for ordinary code.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace adarnet::nn {
@@ -38,34 +45,61 @@ class Tensor {
   Tensor(Tensor&& other) noexcept;
   Tensor& operator=(const Tensor& other);
   Tensor& operator=(Tensor&& other) noexcept;
-  ~Tensor();
+  ~Tensor() = default;
+
+  /// Zero-copy alias of this tensor: same shape, same storage, no
+  /// allocation (live_bytes() is unchanged). Mutations through either
+  /// tensor are visible in both — callers cache activations this way and
+  /// must not write through an alias they handed out.
+  [[nodiscard]] Tensor share() const {
+    Tensor t;
+    t.n_ = n_;
+    t.c_ = c_;
+    t.h_ = h_;
+    t.w_ = w_;
+    t.storage_ = storage_;
+    return t;
+  }
+
+  /// True when both tensors alias the same storage.
+  [[nodiscard]] bool shares_storage(const Tensor& o) const {
+    return storage_ != nullptr && storage_ == o.storage_;
+  }
 
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] int c() const { return c_; }
   [[nodiscard]] int h() const { return h_; }
   [[nodiscard]] int w() const { return w_; }
-  [[nodiscard]] std::size_t numel() const { return data_.size(); }
-  [[nodiscard]] std::int64_t bytes() const {
-    return static_cast<std::int64_t>(data_.size() * sizeof(float));
+  [[nodiscard]] std::size_t numel() const {
+    return storage_ ? storage_->data.size() : 0;
   }
-  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::int64_t bytes() const {
+    return static_cast<std::int64_t>(numel() * sizeof(float));
+  }
+  [[nodiscard]] bool empty() const { return numel() == 0; }
 
   /// Element access.
   float& at(int n, int c, int h, int w) {
     assert(n >= 0 && n < n_ && c >= 0 && c < c_ && h >= 0 && h < h_ &&
            w >= 0 && w < w_);
-    return data_[((static_cast<std::size_t>(n) * c_ + c) * h_ + h) * w_ + w];
+    return storage_->data[((static_cast<std::size_t>(n) * c_ + c) * h_ + h) *
+                              w_ +
+                          w];
   }
   float at(int n, int c, int h, int w) const {
     return const_cast<Tensor*>(this)->at(n, c, h, w);
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float& operator[](std::size_t k) { return data_[k]; }
-  float operator[](std::size_t k) const { return data_[k]; }
+  float* data() { return storage_ ? storage_->data.data() : nullptr; }
+  const float* data() const {
+    return storage_ ? storage_->data.data() : nullptr;
+  }
+  float& operator[](std::size_t k) { return storage_->data[k]; }
+  float operator[](std::size_t k) const { return storage_->data[k]; }
 
-  void fill(float value) { data_.assign(data_.size(), value); }
+  void fill(float value) {
+    if (storage_) storage_->data.assign(storage_->data.size(), value);
+  }
 
   /// True when shapes match exactly.
   [[nodiscard]] bool same_shape(const Tensor& o) const {
@@ -73,11 +107,28 @@ class Tensor {
   }
 
  private:
-  void track_alloc();
-  void track_free();
+  // Tracked block of floats; alive as long as any alias references it.
+  struct Storage {
+    explicit Storage(std::size_t count) : data(count, 0.0f) {
+      memory::detail::on_alloc(static_cast<std::int64_t>(count *
+                                                         sizeof(float)));
+    }
+    explicit Storage(const std::vector<float>& src) : data(src) {
+      memory::detail::on_alloc(static_cast<std::int64_t>(data.size() *
+                                                         sizeof(float)));
+    }
+    ~Storage() {
+      memory::detail::on_free(static_cast<std::int64_t>(data.size() *
+                                                        sizeof(float)));
+    }
+    Storage(const Storage&) = delete;
+    Storage& operator=(const Storage&) = delete;
 
+    std::vector<float> data;
+  };
+
+  std::shared_ptr<Storage> storage_;
   int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
-  std::vector<float> data_;
 };
 
 }  // namespace adarnet::nn

@@ -1,0 +1,243 @@
+// Tests for the im2col + blocked-SGEMM convolution engine: numerical
+// equivalence against the direct per-tap reference across kernel sizes,
+// deconv (flipped) mode, non-square inputs and batches; raw sgemm
+// correctness against a naive triple loop; and workspace-arena reuse
+// (steady-state forwards perform no allocations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/im2col.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using adarnet::nn::Conv2D;
+using adarnet::nn::Deconv2D;
+using adarnet::nn::Tensor;
+using adarnet::nn::Trans;
+using adarnet::util::Rng;
+
+constexpr float kTol = 1e-5f;
+
+Tensor random_tensor(int n, int c, int h, int w, Rng& rng, float scale = 1.f) {
+  Tensor t(n, c, h, w);
+  for (std::size_t k = 0; k < t.numel(); ++k) {
+    t[k] = rng.uniformf(-scale, scale);
+  }
+  return t;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, float tol = kTol) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t k = 0; k < a.numel(); ++k) {
+    ASSERT_NEAR(a[k], b[k], tol) << "at flat index " << k;
+  }
+}
+
+// Runs forward(train) + backward on both engines of an identically
+// initialised conv pair and asserts outputs and all gradients agree.
+void check_engines_agree(int in_c, int out_c, int kernel, int n, int h,
+                         int w, bool flipped) {
+  Rng rng_a(91);
+  Rng rng_b(91);
+  Conv2D direct(in_c, out_c, kernel, rng_a, flipped);
+  Conv2D gemm(in_c, out_c, kernel, rng_b, flipped);
+  direct.set_engine(Conv2D::Engine::kDirect);
+  gemm.set_engine(Conv2D::Engine::kGemm);
+
+  Rng rng_in(17);
+  Tensor in = random_tensor(n, in_c, h, w, rng_in);
+  Tensor out_d = direct.forward(in, /*train=*/true);
+  Tensor out_g = gemm.forward(in, /*train=*/true);
+  expect_close(out_d, out_g);
+
+  Rng rng_g(23);
+  Tensor go = random_tensor(n, out_c, h, w, rng_g);
+  direct.weight().zero_grad();
+  direct.bias().zero_grad();
+  gemm.weight().zero_grad();
+  gemm.bias().zero_grad();
+  Tensor gi_d = direct.backward(go);
+  Tensor gi_g = gemm.backward(go);
+  expect_close(gi_d, gi_g);
+  expect_close(direct.weight().grad, gemm.weight().grad,
+               kTol * static_cast<float>(h * w));  // grads sum h*w products
+  expect_close(direct.bias().grad, gemm.bias().grad,
+               kTol * static_cast<float>(n * h * w));
+}
+
+}  // namespace
+
+TEST(GemmConv, MatchesDirectAcrossKernelSizes) {
+  for (int kernel : {1, 3, 5}) {
+    SCOPED_TRACE("kernel=" + std::to_string(kernel));
+    check_engines_agree(3, 5, kernel, 1, 8, 8, /*flipped=*/false);
+  }
+}
+
+TEST(GemmConv, MatchesDirectOnNonSquareInput) {
+  check_engines_agree(2, 4, 3, 1, 7, 13, /*flipped=*/false);
+  check_engines_agree(4, 2, 5, 1, 12, 5, /*flipped=*/false);
+}
+
+TEST(GemmConv, MatchesDirectOnBatches) {
+  check_engines_agree(3, 6, 3, 4, 9, 9, /*flipped=*/false);
+}
+
+TEST(GemmConv, MatchesDirectInFlippedDeconvMode) {
+  for (int kernel : {1, 3, 5}) {
+    SCOPED_TRACE("kernel=" + std::to_string(kernel));
+    check_engines_agree(4, 3, kernel, 2, 6, 10, /*flipped=*/true);
+  }
+}
+
+TEST(GemmConv, MatchesDirectAtBenchShape) {
+  // The shape the acceptance bench uses (16 -> 16 channels, k=3, hw=64).
+  check_engines_agree(16, 16, 3, 1, 64, 64, /*flipped=*/false);
+}
+
+TEST(GemmConv, DeconvLayerUsesGemmByDefault) {
+  Rng rng(5);
+  Deconv2D deconv(3, 2, 3, rng);
+  EXPECT_EQ(deconv.engine(), Conv2D::default_engine());
+}
+
+TEST(GemmConv, WorkspaceArenaDoesNotGrowAcrossForwards) {
+  Rng rng(29);
+  Conv2D conv(8, 8, 3, rng);
+  conv.set_engine(Conv2D::Engine::kGemm);
+  Tensor in = random_tensor(2, 8, 24, 24, rng);
+  // The first forward/backward pair may grow the arena to this shape's
+  // working set (backward needs the larger slice)...
+  {
+    Tensor warm = conv.forward(in, /*train=*/true);
+    Tensor wgrad = conv.backward(warm);
+  }
+  const std::int64_t live0 = adarnet::nn::memory::live_bytes();
+  // ...after which repeated forwards (and train-mode forwards, which cache
+  // by share()) must perform no tensor or arena allocations at steady
+  // state.
+  for (int rep = 0; rep < 5; ++rep) {
+    Tensor out = conv.forward(in, /*train=*/true);
+    Tensor grad = conv.backward(out);
+  }
+  EXPECT_EQ(adarnet::nn::memory::live_bytes(), live0);
+}
+
+TEST(GemmConv, WorkspaceEstimateCoversArenaUse) {
+  Rng rng(31);
+  Conv2D conv(6, 12, 3, rng);
+  conv.set_engine(Conv2D::Engine::kGemm);
+  const std::int64_t est = conv.workspace_bytes(1, 6, 32, 32);
+  EXPECT_GT(est, 0);
+  adarnet::nn::Arena& arena = adarnet::nn::Arena::global();
+  Tensor in = random_tensor(1, 6, 32, 32, rng);
+  { Tensor out = conv.forward(in, false); }
+  EXPECT_GE(static_cast<std::int64_t>(arena.capacity_bytes()), est);
+  // The direct engine needs no workspace.
+  conv.set_engine(Conv2D::Engine::kDirect);
+  EXPECT_EQ(conv.workspace_bytes(1, 6, 32, 32), 0);
+}
+
+TEST(Sgemm, MatchesNaiveTripleLoopAcrossTransposes) {
+  Rng rng(41);
+  // Odd sizes exercise every microkernel edge (m % 6, n % 16, k blocking).
+  const int m = 13, n = 37, k = 19;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  std::vector<float> at(static_cast<std::size_t>(k) * m);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  std::vector<float> bt(static_cast<std::size_t>(n) * k);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float v = rng.uniformf(-1.f, 1.f);
+      a[static_cast<std::size_t>(i) * k + p] = v;
+      at[static_cast<std::size_t>(p) * m + i] = v;
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) {
+      const float v = rng.uniformf(-1.f, 1.f);
+      b[static_cast<std::size_t>(p) * n + j] = v;
+      bt[static_cast<std::size_t>(j) * k + p] = v;
+    }
+  }
+  std::vector<float> c0(static_cast<std::size_t>(m) * n);
+  for (auto& v : c0) v = rng.uniformf(-1.f, 1.f);
+
+  const float alpha = 0.7f, beta = -0.3f;
+  std::vector<float> want = c0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + p]) *
+               b[static_cast<std::size_t>(p) * n + j];
+      }
+      float& w = want[static_cast<std::size_t>(i) * n + j];
+      w = static_cast<float>(alpha * acc + beta * w);
+    }
+  }
+
+  struct Case {
+    Trans ta, tb;
+    const float* a;
+    int lda;
+    const float* b;
+    int ldb;
+  };
+  const Case cases[] = {
+      {Trans::kNo, Trans::kNo, a.data(), k, b.data(), n},
+      {Trans::kYes, Trans::kNo, at.data(), m, b.data(), n},
+      {Trans::kNo, Trans::kYes, a.data(), k, bt.data(), k},
+      {Trans::kYes, Trans::kYes, at.data(), m, bt.data(), k},
+  };
+  for (const Case& cs : cases) {
+    std::vector<float> c = c0;
+    adarnet::nn::sgemm(cs.ta, cs.tb, m, n, k, alpha, cs.a, cs.lda, cs.b,
+                       cs.ldb, beta, c.data(), n);
+    for (std::size_t idx = 0; idx < c.size(); ++idx) {
+      ASSERT_NEAR(c[idx], want[idx], 1e-5f)
+          << "ta=" << static_cast<int>(cs.ta)
+          << " tb=" << static_cast<int>(cs.tb) << " idx=" << idx;
+    }
+  }
+}
+
+TEST(Im2Col, RoundTripMatchesAdjointIdentity) {
+  // <col2im_add(im2col(x)), y-ones> consistency: the adjoint of a linear
+  // packing must satisfy <im2col(x), c> == <x, col2im_add(c)> for any c.
+  Rng rng(47);
+  const int c = 2, h = 5, w = 6, k = 3;
+  Tensor x = random_tensor(1, c, h, w, rng);
+  const std::size_t rows = static_cast<std::size_t>(c) * k * k;
+  const std::size_t cols = static_cast<std::size_t>(h) * w;
+  std::vector<float> col(rows * cols);
+  adarnet::nn::im2col(x.data(), c, h, w, k, col.data());
+  std::vector<float> probe(rows * cols);
+  for (auto& v : probe) v = rng.uniformf(-1.f, 1.f);
+  Tensor back(1, c, h, w);
+  adarnet::nn::col2im_add(probe.data(), c, h, w, k, back.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col.size(); ++i) lhs += col[i] * probe[i];
+  for (std::size_t i = 0; i < x.numel(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(TensorShare, AliasesWithoutAllocating) {
+  Tensor t(1, 2, 3, 4);
+  const std::int64_t live = adarnet::nn::memory::live_bytes();
+  Tensor alias = t.share();
+  EXPECT_EQ(adarnet::nn::memory::live_bytes(), live);
+  EXPECT_TRUE(alias.shares_storage(t));
+  alias[0] = 42.0f;
+  EXPECT_EQ(t[0], 42.0f);
+  // Deep copy still allocates and detaches.
+  Tensor copy = t;
+  EXPECT_EQ(adarnet::nn::memory::live_bytes(), live + t.bytes());
+  EXPECT_FALSE(copy.shares_storage(t));
+}

@@ -83,10 +83,19 @@ TEST(Pipeline, SurfnetMemoryGrowsWithLevel) {
   const auto stats = data::NormStats::fit({lr});
   const auto r1 = surfnet.infer(lr, 1, stats);
   const auto r2 = surfnet.infer(lr, 2, stats);
-  EXPECT_NEAR(static_cast<double>(r2.modeled_bytes) / r1.modeled_bytes, 4.0,
-              0.5);
   EXPECT_EQ(r2.hr.ny(), 32);
   EXPECT_EQ(r2.hr.nx(), 128);
+  // Activations quadruple per refinement level. The GEMM workspace term is
+  // deliberately sub-linear (pack buffers cap at the cache-blocking
+  // limits), so it is excluded from the x4 check and bounded separately.
+  const auto e1 = surfnet.estimate_memory(r1.hr.ny(), r1.hr.nx());
+  const auto e2 = surfnet.estimate_memory(r2.hr.ny(), r2.hr.nx());
+  EXPECT_NEAR(static_cast<double>(e2.total() - e2.workspace_bytes) /
+                  static_cast<double>(e1.total() - e1.workspace_bytes),
+              4.0, 0.5);
+  EXPECT_LT(static_cast<double>(e2.workspace_bytes),
+            4.0 * static_cast<double>(e1.workspace_bytes));
+  EXPECT_GT(static_cast<double>(r2.modeled_bytes) / r1.modeled_bytes, 3.0);
 }
 
 TEST(Trainer, LossesDecreaseOnTinyDataset) {
