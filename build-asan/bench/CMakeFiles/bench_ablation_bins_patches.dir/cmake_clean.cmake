@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bins_patches.dir/bench_ablation_bins_patches.cpp.o"
+  "CMakeFiles/bench_ablation_bins_patches.dir/bench_ablation_bins_patches.cpp.o.d"
+  "bench_ablation_bins_patches"
+  "bench_ablation_bins_patches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bins_patches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pooling.dir/bench_ablation_pooling.cpp.o"
+  "CMakeFiles/bench_ablation_pooling.dir/bench_ablation_pooling.cpp.o.d"
+  "bench_ablation_pooling"
+  "bench_ablation_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

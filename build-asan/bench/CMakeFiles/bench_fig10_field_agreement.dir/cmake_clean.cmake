@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_field_agreement.dir/bench_fig10_field_agreement.cpp.o"
+  "CMakeFiles/bench_fig10_field_agreement.dir/bench_fig10_field_agreement.cpp.o.d"
+  "bench_fig10_field_agreement"
+  "bench_fig10_field_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_field_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

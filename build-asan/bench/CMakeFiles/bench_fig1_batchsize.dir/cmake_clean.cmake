@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_batchsize.dir/bench_fig1_batchsize.cpp.o"
+  "CMakeFiles/bench_fig1_batchsize.dir/bench_fig1_batchsize.cpp.o.d"
+  "bench_fig1_batchsize"
+  "bench_fig1_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ttc.dir/bench_table1_ttc.cpp.o"
+  "CMakeFiles/bench_table1_ttc.dir/bench_table1_ttc.cpp.o.d"
+  "bench_table1_ttc"
+  "bench_table1_ttc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ttc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

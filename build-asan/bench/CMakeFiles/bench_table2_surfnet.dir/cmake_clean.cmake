@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_surfnet.dir/bench_table2_surfnet.cpp.o"
+  "CMakeFiles/bench_table2_surfnet.dir/bench_table2_surfnet.cpp.o.d"
+  "bench_table2_surfnet"
+  "bench_table2_surfnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_surfnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

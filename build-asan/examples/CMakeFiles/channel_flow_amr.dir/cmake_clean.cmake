@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_flow_amr.dir/channel_flow_amr.cpp.o"
+  "CMakeFiles/channel_flow_amr.dir/channel_flow_amr.cpp.o.d"
+  "channel_flow_amr"
+  "channel_flow_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_flow_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

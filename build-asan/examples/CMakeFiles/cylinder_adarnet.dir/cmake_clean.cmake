@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cylinder_adarnet.dir/cylinder_adarnet.cpp.o"
+  "CMakeFiles/cylinder_adarnet.dir/cylinder_adarnet.cpp.o.d"
+  "cylinder_adarnet"
+  "cylinder_adarnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cylinder_adarnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

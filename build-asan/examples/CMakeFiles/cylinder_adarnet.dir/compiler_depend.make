@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cylinder_adarnet.
+# This may be replaced when dependencies are built.

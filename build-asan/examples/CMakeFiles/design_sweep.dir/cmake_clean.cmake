@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_sweep.dir/design_sweep.cpp.o"
+  "CMakeFiles/design_sweep.dir/design_sweep.cpp.o.d"
+  "design_sweep"
+  "design_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_adarnet.dir/train_adarnet.cpp.o"
+  "CMakeFiles/train_adarnet.dir/train_adarnet.cpp.o.d"
+  "train_adarnet"
+  "train_adarnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_adarnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

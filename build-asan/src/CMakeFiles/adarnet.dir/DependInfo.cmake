@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adarnet/decoder.cpp" "src/CMakeFiles/adarnet.dir/adarnet/decoder.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/decoder.cpp.o.d"
+  "/root/repo/src/adarnet/model.cpp" "src/CMakeFiles/adarnet.dir/adarnet/model.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/model.cpp.o.d"
+  "/root/repo/src/adarnet/pde_loss.cpp" "src/CMakeFiles/adarnet.dir/adarnet/pde_loss.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/pde_loss.cpp.o.d"
+  "/root/repo/src/adarnet/pipeline.cpp" "src/CMakeFiles/adarnet.dir/adarnet/pipeline.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/pipeline.cpp.o.d"
+  "/root/repo/src/adarnet/ranker.cpp" "src/CMakeFiles/adarnet.dir/adarnet/ranker.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/ranker.cpp.o.d"
+  "/root/repo/src/adarnet/scorer.cpp" "src/CMakeFiles/adarnet.dir/adarnet/scorer.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/scorer.cpp.o.d"
+  "/root/repo/src/adarnet/trainer.cpp" "src/CMakeFiles/adarnet.dir/adarnet/trainer.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/adarnet/trainer.cpp.o.d"
+  "/root/repo/src/amr/criteria.cpp" "src/CMakeFiles/adarnet.dir/amr/criteria.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/amr/criteria.cpp.o.d"
+  "/root/repo/src/amr/driver.cpp" "src/CMakeFiles/adarnet.dir/amr/driver.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/amr/driver.cpp.o.d"
+  "/root/repo/src/baseline/surfnet.cpp" "src/CMakeFiles/adarnet.dir/baseline/surfnet.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/baseline/surfnet.cpp.o.d"
+  "/root/repo/src/data/cases.cpp" "src/CMakeFiles/adarnet.dir/data/cases.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/data/cases.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/adarnet.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/normalize.cpp" "src/CMakeFiles/adarnet.dir/data/normalize.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/data/normalize.cpp.o.d"
+  "/root/repo/src/field/interp.cpp" "src/CMakeFiles/adarnet.dir/field/interp.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/field/interp.cpp.o.d"
+  "/root/repo/src/field/patching.cpp" "src/CMakeFiles/adarnet.dir/field/patching.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/field/patching.cpp.o.d"
+  "/root/repo/src/field/stats.cpp" "src/CMakeFiles/adarnet.dir/field/stats.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/field/stats.cpp.o.d"
+  "/root/repo/src/io/vtk.cpp" "src/CMakeFiles/adarnet.dir/io/vtk.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/io/vtk.cpp.o.d"
+  "/root/repo/src/mesh/bc.cpp" "src/CMakeFiles/adarnet.dir/mesh/bc.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/mesh/bc.cpp.o.d"
+  "/root/repo/src/mesh/composite.cpp" "src/CMakeFiles/adarnet.dir/mesh/composite.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/mesh/composite.cpp.o.d"
+  "/root/repo/src/mesh/geometry.cpp" "src/CMakeFiles/adarnet.dir/mesh/geometry.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/mesh/geometry.cpp.o.d"
+  "/root/repo/src/mesh/refinement_map.cpp" "src/CMakeFiles/adarnet.dir/mesh/refinement_map.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/mesh/refinement_map.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/adarnet.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/adarnet.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/adarnet.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/CMakeFiles/adarnet.dir/nn/gemm.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/gemm.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "src/CMakeFiles/adarnet.dir/nn/im2col.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/im2col.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/adarnet.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/memory_model.cpp" "src/CMakeFiles/adarnet.dir/nn/memory_model.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/memory_model.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/adarnet.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/adarnet.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/adarnet.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/solver/qoi.cpp" "src/CMakeFiles/adarnet.dir/solver/qoi.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/solver/qoi.cpp.o.d"
+  "/root/repo/src/solver/rans.cpp" "src/CMakeFiles/adarnet.dir/solver/rans.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/solver/rans.cpp.o.d"
+  "/root/repo/src/solver/sa_model.cpp" "src/CMakeFiles/adarnet.dir/solver/sa_model.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/solver/sa_model.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/adarnet.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/adarnet.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/adarnet.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for adarnet.
+# This may be replaced when dependencies are built.

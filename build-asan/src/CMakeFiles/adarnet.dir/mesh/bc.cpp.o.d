@@ -1,0 +1,2 @@
+src/CMakeFiles/adarnet.dir/mesh/bc.cpp.o: /root/repo/src/mesh/bc.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/mesh/bc.hpp

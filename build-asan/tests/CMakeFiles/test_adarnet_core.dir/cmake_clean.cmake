@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adarnet_core.dir/test_adarnet_core.cpp.o"
+  "CMakeFiles/test_adarnet_core.dir/test_adarnet_core.cpp.o.d"
+  "test_adarnet_core"
+  "test_adarnet_core.pdb"
+  "test_adarnet_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adarnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

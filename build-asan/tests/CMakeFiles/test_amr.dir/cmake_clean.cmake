@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amr.dir/test_amr.cpp.o"
+  "CMakeFiles/test_amr.dir/test_amr.cpp.o.d"
+  "test_amr"
+  "test_amr.pdb"
+  "test_amr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bc_ghosts.dir/test_bc_ghosts.cpp.o"
+  "CMakeFiles/test_bc_ghosts.dir/test_bc_ghosts.cpp.o.d"
+  "test_bc_ghosts"
+  "test_bc_ghosts.pdb"
+  "test_bc_ghosts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bc_ghosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bc_ghosts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_gemm.dir/test_nn_gemm.cpp.o"
+  "CMakeFiles/test_nn_gemm.dir/test_nn_gemm.cpp.o.d"
+  "test_nn_gemm"
+  "test_nn_gemm.pdb"
+  "test_nn_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

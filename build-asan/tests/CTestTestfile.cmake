@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_adarnet_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_amr[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_bc_ghosts[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_data[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_field[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_io[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nn[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_nn_gemm[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_solver[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_util[1]_include.cmake")
