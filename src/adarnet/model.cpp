@@ -5,6 +5,7 @@
 
 #include "field/interp.hpp"
 #include "nn/gemm.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace adarnet::core {
@@ -124,6 +125,14 @@ InferenceResult AdarNet::infer(const field::FlowField& lr) {
       pred.values = data::from_tensor_sample(out, static_cast<int>(s), stats_);
       result.patches[pred.id] = std::move(pred);
     }
+  }
+
+  // Fault site: simulate a poisoned network output (the hazard the guarded
+  // pipeline's finite check exists for). Corrupts the U channel of the
+  // first predicted patch.
+  if (util::fault::armed() && !result.patches.empty()) {
+    auto& u0 = result.patches.front().values.U;
+    util::fault::corrupt("adarnet.infer.nan", u0.data(), u0.size());
   }
 
   result.seconds = timer.seconds();

@@ -1,10 +1,129 @@
 #include "adarnet/pipeline.hpp"
 
+#include <cmath>
+
 #include "data/dataset.hpp"
+#include "field/interp.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace adarnet::core {
+
+const char* to_string(FallbackStage stage) {
+  switch (stage) {
+    case FallbackStage::kNone: return "none";
+    case FallbackStage::kSanitizedSeed: return "sanitized-seed";
+    case FallbackStage::kFreestreamRetry: return "freestream-retry";
+    case FallbackStage::kReferenceMap: return "reference-map";
+  }
+  return "unknown";
+}
+
+bool inference_is_finite(const InferenceResult& result) {
+  for (const PatchPrediction& pred : result.patches) {
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      for (double v : pred.values.channel(c)) {
+        if (!std::isfinite(v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+int sanitize_inference(InferenceResult& result, const field::FlowField& lr,
+                       int ph, int pw) {
+  const int npx = lr.nx() / pw;
+  int replaced = 0;
+  for (PatchPrediction& pred : result.patches) {
+    // Cheap scan first: most patches are clean.
+    bool dirty = false;
+    for (int c = 0; c < field::kNumFlowVars && !dirty; ++c) {
+      for (double v : pred.values.channel(c)) {
+        if (!std::isfinite(v)) {
+          dirty = true;
+          break;
+        }
+      }
+    }
+    if (!dirty) continue;
+    const int pi = pred.id / npx;
+    const int pj = pred.id % npx;
+    const int hh = ph << pred.level;
+    const int ww = pw << pred.level;
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      auto& chan = pred.values.channel(c);
+      // Bicubic refinement of the LR patch — the same baseline the decoder
+      // starts from, so a sanitized cell is exactly the "no correction"
+      // prediction.
+      field::Grid2Dd patch(ph, pw);
+      const auto& lr_chan = lr.channel(c);
+      for (int i = 0; i < ph; ++i) {
+        for (int j = 0; j < pw; ++j) {
+          patch(i, j) = lr_chan(pi * ph + i, pj * pw + j);
+        }
+      }
+      const field::Grid2Dd up =
+          pred.level == 0
+              ? patch
+              : field::resize(patch, hh, ww, field::Interp::kBicubic);
+      for (std::size_t k = 0; k < chan.size(); ++k) {
+        if (!std::isfinite(chan[k])) {
+          chan[k] = up[k];
+          ++replaced;
+        }
+      }
+    }
+  }
+  return replaced;
+}
+
+std::string validate_refinement_map(const mesh::RefinementMap& map,
+                                    const mesh::CaseSpec& spec, int ph,
+                                    int pw, double max_cell_fraction) {
+  if (map.count() == 0) return "empty refinement map";
+  if (map.npy() != spec.npy() || map.npx() != spec.npx()) {
+    return "patch layout mismatch";
+  }
+  for (int pi = 0; pi < map.npy(); ++pi) {
+    for (int pj = 0; pj < map.npx(); ++pj) {
+      const int l = map.level(pi, pj);
+      if (l < 0 || l > mesh::kMaxLevel) return "level out of bounds";
+    }
+  }
+  const long long budget_cells =
+      static_cast<long long>(map.count()) *
+      (static_cast<long long>(ph) << mesh::kMaxLevel) *
+      (static_cast<long long>(pw) << mesh::kMaxLevel);
+  const double budget = max_cell_fraction * static_cast<double>(budget_cells);
+  if (static_cast<double>(map.active_cells(ph, pw)) > budget) {
+    return "cell budget exceeded";
+  }
+  return "";
+}
+
+namespace {
+
+bool field_is_finite(const mesh::CompositeField& f) {
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    for (const auto& patch : f.channel(c)) {
+      for (double v : patch) {
+        if (!std::isfinite(v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// One physics solve, accumulated into the result. "Failed" means the solver
+// itself gave up (divergence through all its relaxation retries) or the
+// returned state is non-finite — not a mere iteration-cap stall, which the
+// unguarded pipeline would also return as converged = false.
+bool solve_failed(const solver::SolveStats& stats,
+                  const mesh::CompositeField& f) {
+  return stats.diverged || !field_is_finite(f);
+}
+
+}  // namespace
 
 PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
                                     const PipelineConfig& config) {
@@ -31,17 +150,90 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
   result.inference_modeled_bytes = inference.modeled_bytes;
   result.map = inference.map;
 
-  // The physics solver drives the prediction to convergence on the
-  // DNN-chosen mesh (no further refinement).
-  auto [mesh, f] = model.to_composite(inference, spec, lr);
-  solver::RansSolver rans(*mesh, config.ps_solver);
-  const auto ps_stats = rans.solve(f);
-  result.ps_seconds = ps_stats.seconds;
-  result.ps_iterations = ps_stats.iterations;
-  result.converged = ps_stats.converged;
-  result.mesh = std::move(mesh);
-  result.solution = std::move(f);
+  const GuardConfig& guards = config.guards;
+  const int ph = model.config().ph;
+  const int pw = model.config().pw;
 
+  // --- hand-off validation ---------------------------------------------------
+  bool dnn_mesh_usable = true;
+  if (guards.enabled) {
+    if (!inference_is_finite(inference)) {
+      result.sanitized_values = sanitize_inference(inference, lr, ph, pw);
+      result.fallback_stage = FallbackStage::kSanitizedSeed;
+      ADR_LOG_WARN << spec.name << " non-finite inference output; sanitized "
+                   << result.sanitized_values << " values from the LR seed";
+    }
+    const std::string reason = validate_refinement_map(
+        inference.map, spec, ph, pw, guards.max_cell_fraction);
+    if (!reason.empty()) {
+      dnn_mesh_usable = false;
+      result.fallback_stage = FallbackStage::kReferenceMap;
+      ADR_LOG_WARN << spec.name << " rejecting DNN refinement map ("
+                   << reason << "); using the feature-based reference map";
+    }
+  }
+
+  auto account = [&result](const solver::SolveStats& stats) {
+    result.ps_seconds += stats.seconds;
+    result.ps_iterations += stats.iterations;
+    result.ps_solves += 1;
+    result.converged = stats.converged;
+  };
+
+  // --- the degradation ladder ------------------------------------------------
+  // Rung 0: DNN seed on the DNN mesh (the paper's path). Rung 1: freestream
+  // re-seed on the DNN mesh. Rung 2: feature-based reference map with the
+  // LR seed (and a last-resort freestream re-seed on it).
+  bool solved = false;
+  if (dnn_mesh_usable) {
+    auto [mesh, f] = model.to_composite(inference, spec, lr);
+    solver::RansSolver rans(*mesh, config.ps_solver);
+    solver::SolveStats stats = rans.solve(f);
+    account(stats);
+    if (guards.enabled && solve_failed(stats, f)) {
+      ADR_LOG_WARN << spec.name
+                   << " physics solve diverged on the DNN seed; retrying "
+                      "from freestream on the DNN mesh";
+      result.fallback_stage = FallbackStage::kFreestreamRetry;
+      rans.initialize_freestream(f);
+      stats = rans.solve(f);
+      account(stats);
+    }
+    if (!guards.enabled || !solve_failed(stats, f)) {
+      result.mesh = std::move(mesh);
+      result.solution = std::move(f);
+      solved = true;
+    }
+  }
+  if (guards.enabled && !solved) {
+    result.fallback_stage = FallbackStage::kReferenceMap;
+    mesh::RefinementMap ref_map =
+        amr::fallback_reference_map(spec, lr, guards.fallback);
+    auto mesh = std::make_unique<mesh::CompositeMesh>(spec, ref_map);
+    mesh::CompositeField f = mesh::make_field(*mesh);
+    mesh::fill_from_uniform(f, *mesh, lr);
+    solver::RansSolver rans(*mesh, config.ps_solver);
+    solver::SolveStats stats = rans.solve(f);
+    account(stats);
+    if (solve_failed(stats, f)) {
+      ADR_LOG_WARN << spec.name
+                   << " reference-map solve diverged from the LR seed; "
+                      "last-resort freestream re-seed";
+      rans.initialize_freestream(f);
+      stats = rans.solve(f);
+      account(stats);
+    }
+    result.map = ref_map;
+    result.mesh = std::move(mesh);
+    result.solution = std::move(f);
+  }
+
+  if (result.fallback_stage != FallbackStage::kNone) {
+    ADR_LOG_WARN << spec.name << " ADARNet pipeline degraded to rung '"
+                 << to_string(result.fallback_stage) << "' ("
+                 << result.ps_solves << " physics solves, converged="
+                 << (result.converged ? "yes" : "no") << ")";
+  }
   ADR_LOG_DEBUG << spec.name << " ADARNet pipeline: lr=" << result.lr_seconds
                 << "s inf=" << result.inf_seconds
                 << "s ps=" << result.ps_seconds << "s ("

@@ -5,32 +5,68 @@
 // further refinement or coarsening: the final discretisation is the DNN's
 // output, and convergence guarantees come from the solver, exactly as in
 // the paper.
+//
+// The hand-off from DNN to physics solver is guarded (DESIGN.md §7): the
+// inference output is validated (finite values, sane refinement map), a
+// bad seed is sanitized, and a physics solve that diverges even after the
+// solver's internal relaxation retries walks a degradation ladder —
+// freestream re-seed on the DNN mesh first, then the feature-based
+// reference map. The rung that produced the returned solution is recorded
+// in PipelineResult::fallback_stage.
 #pragma once
 
 #include <memory>
 
 #include "adarnet/model.hpp"
+#include "amr/driver.hpp"
 #include "solver/rans.hpp"
 
 namespace adarnet::core {
+
+/// Which rung of the degradation ladder produced the returned solution.
+enum class FallbackStage : int {
+  kNone = 0,         ///< clean DNN seed on the DNN mesh
+  kSanitizedSeed,    ///< non-finite inference values replaced; DNN mesh kept
+  kFreestreamRetry,  ///< physics solve re-seeded from freestream, DNN mesh
+  kReferenceMap,     ///< feature-based amr reference map replaced the mesh
+};
+
+/// Human-readable rung name ("none", "sanitized-seed", ...).
+const char* to_string(FallbackStage stage);
+
+/// Hand-off validation settings of the guarded pipeline.
+struct GuardConfig {
+  bool enabled = true;          ///< false restores the unguarded hand-off
+  double max_cell_fraction = 1.0;  ///< refinement-map cell budget, as a
+                                   ///< fraction of the all-max-level mesh
+  amr::AmrConfig fallback;      ///< marking settings for the reference-map
+                                ///< rung (solver field unused)
+};
 
 /// Solver settings for the two solve stages of the pipeline.
 struct PipelineConfig {
   solver::SolverConfig lr_solver;  ///< LR (input) solve
   solver::SolverConfig ps_solver;  ///< final physics solve on the DNN mesh
+  GuardConfig guards;              ///< inference hand-off guards
 };
 
 /// Full cost breakdown and outputs of one end-to-end run.
 struct PipelineResult {
-  mesh::RefinementMap map;        ///< DNN-predicted mesh
+  mesh::RefinementMap map;        ///< mesh actually solved on (the DNN
+                                  ///< prediction unless the ladder reached
+                                  ///< kReferenceMap)
   field::FlowField lr;            ///< the LR input field
 
   double lr_seconds = 0.0;        ///< time to obtain the LR flow field
   double inf_seconds = 0.0;       ///< DNN inference time
-  double ps_seconds = 0.0;        ///< physics-solver time
+  double ps_seconds = 0.0;        ///< physics-solver time (all rungs)
   int lr_iterations = 0;          ///< LR solve SIMPLE iterations
   int ps_iterations = 0;          ///< physics-solver SIMPLE iterations (ITC)
   bool converged = false;         ///< final solve reached tolerance
+
+  FallbackStage fallback_stage = FallbackStage::kNone;  ///< rung that fired
+  int sanitized_values = 0;       ///< non-finite prediction values replaced
+  int ps_solves = 0;              ///< physics solves run across the ladder
 
   std::int64_t inference_measured_bytes = 0;  ///< allocator peak
   std::int64_t inference_modeled_bytes = 0;   ///< analytic activation model
@@ -44,7 +80,24 @@ struct PipelineResult {
   }
 };
 
-/// Runs LR solve -> inference -> physics solve for one case.
+/// True when every value of every patch prediction is finite.
+bool inference_is_finite(const InferenceResult& result);
+
+/// Replaces every non-finite prediction value with the bicubically refined
+/// LR value at the same cell (the decoder-input baseline). Returns the
+/// number of values replaced.
+int sanitize_inference(InferenceResult& result, const field::FlowField& lr,
+                       int ph, int pw);
+
+/// Refinement-map sanity for the hand-off: correct patch layout for `spec`,
+/// non-empty, levels within [0, kMaxLevel], and active cells within
+/// `max_cell_fraction` of the all-max-level mesh. Returns a reason string
+/// ("" when valid).
+std::string validate_refinement_map(const mesh::RefinementMap& map,
+                                    const mesh::CaseSpec& spec, int ph,
+                                    int pw, double max_cell_fraction);
+
+/// Runs LR solve -> inference -> guarded physics solve for one case.
 PipelineResult run_adarnet_pipeline(AdarNet& model,
                                     const mesh::CaseSpec& spec,
                                     const PipelineConfig& config);

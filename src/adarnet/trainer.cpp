@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "amr/criteria.hpp"
@@ -9,7 +11,9 @@
 #include "nn/adam.hpp"
 #include "nn/gemm.hpp"
 #include "nn/loss.hpp"
+#include "nn/serialize.hpp"
 #include "adarnet/pde_loss.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace adarnet::core {
@@ -147,10 +151,48 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
 
   nn::AdamConfig scorer_cfg;
   scorer_cfg.lr = config.scorer_lr;
+  scorer_cfg.clip_norm = config.clip_norm;
   nn::Adam scorer_opt(model.scorer().parameters(), scorer_cfg);
   nn::AdamConfig decoder_cfg;
   decoder_cfg.lr = config.lr;
+  decoder_cfg.clip_norm = config.clip_norm;
   nn::Adam decoder_opt(model.decoder().parameters(), decoder_cfg);
+
+  const std::vector<nn::Parameter*> all_params = model.parameters();
+  const std::vector<nn::Parameter*> scorer_params =
+      model.scorer().parameters();
+  const std::vector<nn::Parameter*> decoder_params =
+      model.decoder().parameters();
+
+  // Resume from an epoch checkpoint when one is present. Optimizer moments
+  // restart (lightweight resume; see DESIGN.md §7) — the parameters, which
+  // dominate, are exact.
+  if (!config.checkpoint_path.empty() && config.resume) {
+    std::uint64_t next_epoch = 0;
+    if (nn::load_parameters(all_params, config.checkpoint_path,
+                            &next_epoch)) {
+      stats.start_epoch = static_cast<int>(
+          std::min<std::uint64_t>(next_epoch, config.epochs));
+      ADR_LOG_INFO << "resuming training from epoch " << stats.start_epoch
+                   << " (" << config.checkpoint_path << ")";
+    }
+  }
+
+  // Best-epoch parameter snapshot, the rollback target on a loss spike.
+  std::vector<std::vector<float>> best_params;
+  auto snapshot = [&] {
+    best_params.resize(all_params.size());
+    for (std::size_t i = 0; i < all_params.size(); ++i) {
+      const nn::Tensor& v = all_params[i]->value;
+      best_params[i].assign(v.data(), v.data() + v.numel());
+    }
+  };
+  auto restore = [&] {
+    for (std::size_t i = 0; i < all_params.size(); ++i) {
+      std::copy(best_params[i].begin(), best_params[i].end(),
+                all_params[i]->value.data());
+    }
+  };
 
   const int ph = model.config().ph;
   const int pw = model.config().pw;
@@ -158,12 +200,13 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
   std::vector<std::size_t> order(dataset.samples.size());
   std::iota(order.begin(), order.end(), 0);
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = stats.start_epoch; epoch < config.epochs; ++epoch) {
     std::shuffle(order.begin(), order.end(), rng.engine());
     double scorer_acc = 0.0;
     double data_acc = 0.0;
     double pde_acc = 0.0;
     long patch_count = 0;
+    int epoch_skipped = 0;
 
     for (std::size_t idx : order) {
       const data::Sample& sample = dataset.samples[idx];
@@ -175,9 +218,17 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
       if (config.train_scorer) {
         scorer_opt.zero_grad();
         auto scored = model.scorer().forward(lr_norm, /*train=*/true);
-        scorer_acc += nn::mse_loss(scored.scores, target);
+        const double loss = nn::mse_loss(scored.scores, target);
         model.scorer().backward(nn::mse_loss_grad(scored.scores, target));
-        scorer_opt.step();
+        if (config.skip_nonfinite &&
+            (!std::isfinite(loss) || !nn::grads_finite(scorer_params))) {
+          ++stats.skipped_steps;
+          ADR_LOG_WARN << "skipping non-finite scorer batch (sample " << idx
+                       << ")";
+        } else {
+          scorer_acc += loss;
+          scorer_opt.step();
+        }
       }
 
       if (config.train_decoder) {
@@ -199,6 +250,10 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
         nn::Arena::global().reserve(static_cast<std::size_t>(ws));
         double sample_data = 0.0;
         double sample_pde = 0.0;
+        long sample_patches = 0;
+        // Fault site: poison this sample's first decoder gradient batch
+        // (one registry hit per sample, so tests can target exact epochs).
+        bool poison = util::fault::fires("trainer.nan_batch");
         for (const Bin& bin : bins) {
           if (bin.patch_ids.empty()) continue;
           nn::Tensor batch = model.make_decoder_batch(lr_norm, bin.patch_ids,
@@ -211,12 +266,26 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
                                           grad);
           sample_data += d;
           sample_pde += p;
-          patch_count += out.n();
+          sample_patches += out.n();
+          if (poison) {
+            grad.fill(std::numeric_limits<float>::quiet_NaN());
+            poison = false;
+          }
           model.decoder().backward(grad);
         }
-        decoder_opt.step();
-        data_acc += sample_data;
-        pde_acc += sample_pde;
+        if (config.skip_nonfinite &&
+            (!std::isfinite(sample_data) || !std::isfinite(sample_pde) ||
+             !nn::grads_finite(decoder_params))) {
+          ++stats.skipped_steps;
+          ++epoch_skipped;
+          ADR_LOG_WARN << "skipping non-finite decoder batch (sample " << idx
+                       << ")";
+        } else {
+          decoder_opt.step();
+          data_acc += sample_data;
+          pde_acc += sample_pde;
+          patch_count += sample_patches;
+        }
       }
     }
 
@@ -224,6 +293,42 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
     stats.scorer_loss.push_back(scorer_acc / n);
     stats.data_loss.push_back(patch_count ? data_acc / patch_count : 0.0);
     stats.pde_loss.push_back(patch_count ? pde_acc / patch_count : 0.0);
+
+    // --- best-epoch tracking and spike rollback ----------------------------
+    const double combined = stats.scorer_loss.back() +
+                            stats.data_loss.back() + stats.pde_loss.back();
+    const bool epoch_lost =
+        config.train_decoder && patch_count == 0 && epoch_skipped > 0;
+    const bool spiked = config.spike_factor > 0.0 &&
+                        stats.best_epoch >= 0 &&
+                        combined > config.spike_factor * stats.best_loss;
+    if (!std::isfinite(combined) || epoch_lost || spiked) {
+      if (!best_params.empty()) {
+        restore();
+        ++stats.rollbacks;
+        ADR_LOG_WARN << "epoch " << epoch << " loss "
+                     << (epoch_lost ? "lost (all batches skipped)"
+                                    : "spiked")
+                     << "; rolled parameters back to epoch "
+                     << stats.best_epoch;
+      }
+    } else if (combined < stats.best_loss) {
+      stats.best_loss = combined;
+      stats.best_epoch = epoch;
+      snapshot();
+    }
+
+    // --- resumable epoch checkpoint (atomic, CRC-checked) ------------------
+    if (!config.checkpoint_path.empty() &&
+        ((epoch + 1) % std::max(config.checkpoint_every, 1) == 0 ||
+         epoch + 1 == config.epochs)) {
+      if (!nn::save_parameters(all_params, config.checkpoint_path,
+                               static_cast<std::uint64_t>(epoch + 1))) {
+        ADR_LOG_WARN << "failed to write checkpoint "
+                     << config.checkpoint_path << " at epoch " << epoch;
+      }
+    }
+
     if (config.log_every > 0 && epoch % config.log_every == 0) {
       ADR_LOG_INFO << "epoch " << epoch << " scorer=" << stats.scorer_loss.back()
                    << " data=" << stats.data_loss.back()

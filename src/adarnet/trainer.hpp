@@ -13,8 +13,15 @@
 //
 // Refinement decisions during decoder training are teacher-forced from the
 // score target so every bin sees gradients from epoch one.
+// Training is resilient (DESIGN.md §7): non-finite losses or gradients skip
+// the optimizer step for that sample, gradients can be norm-clipped, the
+// best-epoch parameters are tracked and restored when an epoch's loss
+// spikes or is lost entirely, and epoch checkpoints (integrity-checked,
+// atomic — nn/serialize v2) make interrupted runs resumable.
 #pragma once
 
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "adarnet/model.hpp"
@@ -37,13 +44,35 @@ struct TrainConfig {
   bool train_scorer = true;
   bool train_decoder = true;
   int log_every = 1;          ///< epochs between log lines (0 = silent)
+
+  // --- resilience (DESIGN.md §7) -------------------------------------------
+  bool skip_nonfinite = true;   ///< skip the optimizer step of a sample
+                                ///< whose loss or gradients are non-finite
+  double clip_norm = 0.0;       ///< > 0: global gradient-norm clip applied
+                                ///< by the optimizers before each step
+  double spike_factor = 3.0;    ///< > 0: roll parameters back to the best
+                                ///< epoch when an epoch's combined loss
+                                ///< exceeds spike_factor * best (0 = off)
+  std::string checkpoint_path;  ///< non-empty: write an atomic epoch
+                                ///< checkpoint here (scorer + decoder)
+  int checkpoint_every = 1;     ///< epochs between checkpoints
+  bool resume = true;           ///< load checkpoint_path (if present) and
+                                ///< continue from its stored epoch
 };
 
-/// Per-epoch loss history.
+/// Per-epoch loss history plus resilience bookkeeping. The loss vectors
+/// cover only the epochs this call actually ran (start_epoch onward when
+/// resuming).
 struct TrainStats {
   std::vector<double> scorer_loss;  ///< mean scorer MSE per epoch
   std::vector<double> data_loss;    ///< mean decoder data MSE per epoch
   std::vector<double> pde_loss;     ///< mean PDE residual loss per epoch
+
+  int start_epoch = 0;      ///< first epoch run (> 0 after a resume)
+  int skipped_steps = 0;    ///< optimizer steps skipped (non-finite batch)
+  int rollbacks = 0;        ///< epochs rolled back to the best parameters
+  int best_epoch = -1;      ///< epoch of the best combined loss (-1 = none)
+  double best_loss = std::numeric_limits<double>::infinity();
 
   [[nodiscard]] double final_data_loss() const {
     return data_loss.empty() ? 0.0 : data_loss.back();

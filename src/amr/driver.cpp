@@ -82,6 +82,15 @@ AmrResult run_amr(const mesh::CaseSpec& spec, const AmrConfig& config) {
   return result;
 }
 
+RefinementMap fallback_reference_map(const mesh::CaseSpec& spec,
+                                     const field::FlowField& lr,
+                                     const AmrConfig& config) {
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  CompositeField f = mesh::make_field(mesh);
+  mesh::fill_from_uniform(f, mesh, lr);
+  return amr_reference_map(mesh, f, config);
+}
+
 RefinementMap amr_reference_map(const CompositeMesh& mesh,
                                 const CompositeField& f,
                                 const AmrConfig& config) {

@@ -58,4 +58,14 @@ mesh::RefinementMap amr_reference_map(const mesh::CompositeMesh& mesh,
                                       const mesh::CompositeField& f,
                                       const AmrConfig& config);
 
+/// Feature-based refinement map computed directly from a uniform LR field:
+/// wraps `lr` in a level-0 composite of `spec` and applies the reference
+/// marking. This is the mesh the pipeline's degradation ladder falls back
+/// to when the DNN hand-off is unusable (see DESIGN.md §7) — it needs no
+/// network and no extra solve, only the LR solution the pipeline already
+/// has.
+mesh::RefinementMap fallback_reference_map(const mesh::CaseSpec& spec,
+                                           const field::FlowField& lr,
+                                           const AmrConfig& config);
+
 }  // namespace adarnet::amr

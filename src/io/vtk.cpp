@@ -2,13 +2,46 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+#include <ios>
+
+#include "util/fault.hpp"
+#include "util/log.hpp"
 
 namespace adarnet::io {
 
+namespace {
+
+// Finishes an atomic write: flush, verify the stream survived every write
+// (disk-full and similar errors surface here at the latest), close, and
+// rename the temp file over the destination. The io.vtk.write fault site
+// simulates a mid-write failure.
+bool commit(std::ofstream& out, const std::string& tmp,
+            const std::string& path) {
+  out.flush();
+  if (util::fault::fires("io.vtk.write")) out.setstate(std::ios::badbit);
+  if (!out) {
+    ADR_LOG_WARN << "write failed for " << path << "; removing partial file";
+    out.close();
+    std::remove(tmp.c_str());
+    return false;
+  }
+  out.close();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ADR_LOG_WARN << "rename of " << tmp << " -> " << path << " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 bool write_vtk_uniform(const field::FlowField& f, double dx, double dy,
                        const std::string& path) {
-  std::ofstream out(path);
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
   if (!out) return false;
   out << "# vtk DataFile Version 3.0\n"
       << "adarnet uniform flow field\n"
@@ -28,13 +61,14 @@ bool write_vtk_uniform(const field::FlowField& f, double dx, double dy,
       }
     }
   }
-  return static_cast<bool>(out);
+  return commit(out, tmp, path);
 }
 
 bool write_vtk_composite(const mesh::CompositeField& f,
                          const mesh::CompositeMesh& mesh,
                          const std::string& path) {
-  std::ofstream out(path);
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
   if (!out) return false;
 
   long long n_cells = mesh.active_cells();
@@ -86,11 +120,12 @@ bool write_vtk_composite(const mesh::CompositeField& f,
     const auto& pm = mesh.patch_flat(k);
     for (long long c = 0; c < pm.cells(); ++c) out << pm.level << '\n';
   }
-  return static_cast<bool>(out);
+  return commit(out, tmp, path);
 }
 
 bool write_pgm(const field::Grid2Dd& f, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   double lo = f.empty() ? 0.0 : f[0];
   double hi = lo;
@@ -107,7 +142,7 @@ bool write_pgm(const field::Grid2Dd& f, const std::string& path) {
       out.put(static_cast<char>(byte));
     }
   }
-  return static_cast<bool>(out);
+  return commit(out, tmp, path);
 }
 
 }  // namespace adarnet::io

@@ -6,6 +6,12 @@
 //  * PGM images of single scalar fields for quick terminal-side checks.
 // The Fig 9/10 benches print ASCII maps; these writers produce the
 // publication-style renderings of the same data.
+//
+// All writers are atomic: output goes to `<path>.tmp` and is renamed over
+// `path` only after every write succeeded, so a failed or interrupted
+// export never leaves a truncated file where a previous good one was. On
+// failure the temp file is removed, a warning is logged, and false is
+// returned.
 #pragma once
 
 #include <string>

@@ -14,7 +14,39 @@ Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
   }
 }
 
+double grad_norm(const std::vector<Parameter*>& params) {
+  double acc = 0.0;
+  for (const Parameter* p : params) {
+    for (std::size_t k = 0; k < p->grad.numel(); ++k) {
+      const double g = p->grad[k];
+      acc += g * g;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+bool grads_finite(const std::vector<Parameter*>& params) {
+  for (const Parameter* p : params) {
+    for (std::size_t k = 0; k < p->grad.numel(); ++k) {
+      if (!std::isfinite(p->grad[k])) return false;
+    }
+  }
+  return true;
+}
+
+double clip_grad_norm(const std::vector<Parameter*>& params,
+                      double max_norm) {
+  const double norm = grad_norm(params);
+  if (max_norm <= 0.0 || norm <= max_norm || norm == 0.0) return norm;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (Parameter* p : params) {
+    for (std::size_t k = 0; k < p->grad.numel(); ++k) p->grad[k] *= scale;
+  }
+  return norm;
+}
+
 void Adam::step() {
+  if (config_.clip_norm > 0.0) clip_grad_norm(params_, config_.clip_norm);
   ++t_;
   const double bc1 = 1.0 - std::pow(config_.beta1, t_);
   const double bc2 = 1.0 - std::pow(config_.beta2, t_);

@@ -14,7 +14,20 @@ struct AdamConfig {
   double beta1 = 0.9;
   double beta2 = 0.999;
   double eps = 1e-8;
+  double clip_norm = 0.0;  ///< > 0: rescale gradients so their global L2
+                           ///< norm is at most this before each step
 };
+
+/// Global L2 norm over all parameter gradients.
+double grad_norm(const std::vector<Parameter*>& params);
+
+/// True when every parameter gradient value is finite.
+bool grads_finite(const std::vector<Parameter*>& params);
+
+/// Rescales all gradients so the global L2 norm is at most `max_norm`
+/// (no-op for max_norm <= 0 or an already-small norm). Returns the
+/// pre-clip norm.
+double clip_grad_norm(const std::vector<Parameter*>& params, double max_norm);
 
 /// Adam over a fixed set of parameters.
 class Adam {

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "solver/sa_model.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
@@ -693,7 +694,11 @@ SolveStats RansSolver::solve(CompositeField& f) {
     bool diverged = false;
     const SolverConfig saved = config_;
     config_ = cfg;
+    stats.attempts = attempt + 1;
+    stats.final_pseudo_cfl = cfg.pseudo_cfl;
+    stats.final_alpha_u = cfg.alpha_u;
     for (int it = 0; it < cfg.max_outer; ++it) {
+      util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
       res = outer_iteration(f, ws);
       stats.iterations += 1;
       stats.cell_updates += cells;
@@ -715,6 +720,7 @@ SolveStats RansSolver::solve(CompositeField& f) {
     }
     config_ = saved;
     stats.residual = res.combined();
+    stats.diverged = diverged;
     if (!diverged) break;
     cfg.pseudo_cfl *= 0.4;
     cfg.alpha_u *= 0.6;
@@ -723,6 +729,11 @@ SolveStats RansSolver::solve(CompositeField& f) {
     ADR_LOG_WARN << mesh_.spec().name << " diverged; retrying with "
                  << "pseudo_cfl=" << cfg.pseudo_cfl
                  << " alpha_u=" << cfg.alpha_u;
+    f = initial;
+  }
+  if (stats.diverged) {
+    // Hand back the (restored) initial state, not the NaN wreckage: callers
+    // walking the degradation ladder re-seed from it.
     f = initial;
   }
   refresh_ghosts(f);
@@ -734,16 +745,27 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   util::WallTimer timer;
   Workspace ws(mesh_);
   SolveStats stats;
+  stats.final_pseudo_cfl = config_.pseudo_cfl;
+  stats.final_alpha_u = config_.alpha_u;
   const long long cells = mesh_.active_cells();
   Residuals res;
   for (int it = 0; it < n; ++it) {
+    util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
     res = outer_iteration(f, ws);
     stats.iterations = it + 1;
     stats.cell_updates += cells;
+    if (res.combined() >= 1e30) {
+      // Non-finite residual: the state is already poisoned and further
+      // iterations only churn NaNs — stop and report instead.
+      stats.diverged = true;
+      ADR_LOG_WARN << mesh_.spec().name << " iterate() diverged at iteration "
+                   << it << "; stopping early";
+      break;
+    }
   }
   refresh_ghosts(f);
   stats.residual = res.combined();
-  stats.converged = res.combined() < config_.tol;
+  stats.converged = !stats.diverged && res.combined() < config_.tol;
   stats.seconds = timer.seconds();
   return stats;
 }

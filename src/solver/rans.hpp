@@ -38,13 +38,21 @@ struct SolverConfig {
 };
 
 /// Outcome of a solve: convergence, cost, and residual bookkeeping.
+/// The fault-tolerance fields (diverged, attempts, final_*) feed the
+/// pipeline's degradation ladder — see DESIGN.md §7.
 struct SolveStats {
   int iterations = 0;           ///< outer SIMPLE iterations performed (ITC)
   bool converged = false;       ///< residual target reached before the cap
+  bool diverged = false;        ///< a non-finite residual ended the solve
+                                ///< (after all relaxation retries)
+  int attempts = 1;             ///< solve(): relaxation attempts consumed
+                                ///< (1 = converged/stalled first try)
   double residual = 0.0;        ///< final normalised residual
   double seconds = 0.0;         ///< wall time of the solve
   long long cell_updates = 0;   ///< total interior-cell updates (machine-
                                 ///< independent work measure)
+  double final_pseudo_cfl = 0.0;  ///< pseudo-CFL of the last attempt run
+  double final_alpha_u = 0.0;     ///< momentum relaxation of the last attempt
 };
 
 /// Normalised residuals of the current state (diagnostics and convergence).
@@ -69,8 +77,10 @@ class RansSolver {
   /// Runs SIMPLE outer iterations until the residual target or the cap.
   SolveStats solve(mesh::CompositeField& f);
 
-  /// Performs exactly `n` outer iterations (used by the AMR driver's
+  /// Performs up to `n` outer iterations (used by the AMR driver's
   /// intermediate passes). Stats accumulate residual info as in solve().
+  /// Stops early with `diverged` set when a non-finite residual appears,
+  /// instead of silently iterating on a NaN field.
   SolveStats iterate(mesh::CompositeField& f, int n);
 
   /// Applies boundary-condition ghosts + inter-patch exchange to `f`.

@@ -1,0 +1,99 @@
+#include "util/fault.hpp"
+
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace adarnet::util::fault {
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  bool armed = false;
+  int hits = 0;
+  int fired = 0;
+};
+
+// One process-wide registry. A mutex (not finer-grained atomics) is fine:
+// the registry is only locked when at least one site is armed, i.e. in
+// fault-injection tests, never on the production fast path.
+std::mutex g_mutex;
+std::map<std::string, SiteState>& registry() {
+  static std::map<std::string, SiteState> r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool hit(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(site);
+  if (it == registry().end() || !it->second.armed) return false;
+  SiteState& s = it->second;
+  const int hit_index = s.hits++;
+  if (hit_index < s.spec.after) return false;
+  if (s.spec.count >= 0 && s.fired >= s.spec.count) return false;
+  ++s.fired;
+  return true;
+}
+
+}  // namespace detail
+
+void arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  SiteState& s = registry()[site];
+  if (!s.armed) detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  s.spec = spec;
+  s.armed = true;
+  s.hits = 0;
+  s.fired = 0;
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(site);
+  if (it == registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (auto& [name, s] : registry()) {
+    if (s.armed) detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  registry().clear();
+}
+
+int hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+int fired(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.fired;
+}
+
+bool corrupt(const char* site, float* data, std::size_t n) {
+  if (!fires(site)) return false;
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = std::numeric_limits<float>::quiet_NaN();
+  }
+  return true;
+}
+
+bool corrupt(const char* site, double* data, std::size_t n) {
+  if (!fires(site)) return false;
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = std::numeric_limits<double>::quiet_NaN();
+  }
+  return true;
+}
+
+}  // namespace adarnet::util::fault

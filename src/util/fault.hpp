@@ -1,0 +1,72 @@
+// Deterministic fault-injection registry for robustness testing.
+//
+// Production code declares *sites* — named places where a failure can be
+// simulated — via fires()/corrupt()/io_fails(). Tests arm a site with a
+// FaultSpec that says on which hit to start firing and for how many hits;
+// the registry counts hits deterministically, so a test can target "the
+// third outer iteration of the second solve" exactly.
+//
+// Disarmed cost: every site entry first reads one process-wide relaxed
+// atomic counter (armed_sites() == 0) and returns immediately — no lock,
+// no string hashing, no branch beyond the counter check. Sites may
+// therefore sit inside solver iteration loops.
+//
+// Sites currently wired in (see DESIGN.md §7 for the full fault model):
+//   solver.diverge      rans solve()/iterate(): NaN the state this iteration
+//   adarnet.infer.nan   AdarNet::infer(): corrupt the decoder predictions
+//   trainer.nan_batch   trainer: corrupt one decoder gradient batch
+//   nn.serialize.write  save_parameters(): simulated write failure
+//   io.vtk.write        vtk/pgm writers: simulated write failure
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace adarnet::util::fault {
+
+/// When an armed site fires: hits `after` times without firing, then fires
+/// on the next `count` hits (count < 0 = every hit from then on).
+struct FaultSpec {
+  int after = 0;
+  int count = 1;
+};
+
+namespace detail {
+/// Number of armed sites; the disarmed fast path is a single relaxed load.
+inline std::atomic<int> g_armed_sites{0};
+
+/// Slow path: counts one hit of `site` and reports whether it fires.
+bool hit(const char* site);
+}  // namespace detail
+
+/// True while at least one site is armed.
+inline bool armed() {
+  return detail::g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms `site` (replacing any previous spec and resetting its counters).
+void arm(const std::string& site, FaultSpec spec = {});
+
+/// Disarms `site`; hit/fire counters of the site are kept for inspection.
+void disarm(const std::string& site);
+
+/// Disarms everything and clears all counters. Tests call this in
+/// SetUp/TearDown so arming never leaks across tests.
+void reset();
+
+/// Times `site` was hit / fired since the last reset (0 if never seen).
+int hits(const std::string& site);
+int fired(const std::string& site);
+
+/// Counts one hit of `site`; true when the armed spec says to fire.
+/// Always false (and counts nothing) while no site is armed.
+inline bool fires(const char* site) {
+  return armed() && detail::hit(site);
+}
+
+/// NaN-corrupts `n` values if `site` fires; returns whether it fired.
+bool corrupt(const char* site, float* data, std::size_t n);
+bool corrupt(const char* site, double* data, std::size_t n);
+
+}  // namespace adarnet::util::fault
