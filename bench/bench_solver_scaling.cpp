@@ -1,0 +1,187 @@
+// Solver thread-scaling: cells/s and parallel speedup of the red-black
+// SIMPLE solver at 1/2/4/N threads on an LR mesh, a uniform-HR mesh
+// (256x256-class), and a non-uniform composite mesh, plus the per-phase
+// wall-time breakdown (SolveStats::phase_seconds) and a bitwise
+// determinism check: every thread count must produce the exact field the
+// single-threaded run produces (DESIGN.md §8).
+//
+// Emits BENCH_solver.json so the perf trajectory is tracked across PRs.
+//
+// Knobs: ADARNET_BENCH_SCALING_ITERS (outer iterations per timing, def 8).
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using adarnet::mesh::CompositeField;
+using adarnet::mesh::CompositeMesh;
+using adarnet::mesh::RefinementMap;
+using adarnet::solver::RansSolver;
+using adarnet::solver::SolveStats;
+
+bool fields_identical(const CompositeField& a, const CompositeField& b) {
+  for (int c = 0; c < 4; ++c) {
+    const auto& ca = a.channel(c);
+    const auto& cb = b.channel(c);
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      if (std::memcmp(ca[k].data(), cb[k].data(),
+                      ca[k].size() * sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct MeshCase {
+  std::string name;
+  CompositeMesh mesh;
+};
+
+struct Run {
+  int threads = 1;
+  SolveStats stats;
+  double cells_per_s = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+std::string pct(double part, double total) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f", 100.0 * part / total);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace adarnet;
+
+  // Channel at bench scale: LR 64 x 128 over 4 x 8 patches of 16 x 16.
+  // Uniform HR refines every patch to level 2 (256 x 512 cells,
+  // a 256x256-class solve); the composite mixes levels 2 and 1 the way
+  // wall-driven AMR does (refined wall rows, coarser core).
+  const auto spec = data::channel_case(2.5e3, data::GridPreset{64, 128, 16, 16});
+  const int iters = bench::env_int("ADARNET_BENCH_SCALING_ITERS", 8);
+
+  std::vector<MeshCase> cases;
+  cases.push_back({"uniform-lr",
+                   CompositeMesh(spec, RefinementMap(spec.npy(), spec.npx(), 0))});
+  cases.push_back({"uniform-hr",
+                   CompositeMesh(spec, RefinementMap(spec.npy(), spec.npx(), 2))});
+  {
+    RefinementMap map(spec.npy(), spec.npx(), 1);
+    for (int pj = 0; pj < spec.npx(); ++pj) {
+      map.set_level(0, pj, 2);
+      map.set_level(spec.npy() - 1, pj, 2);
+    }
+    cases.push_back({"composite", CompositeMesh(spec, map)});
+  }
+
+  std::vector<int> thread_counts{1};
+#ifdef _OPENMP
+  const int hw = omp_get_max_threads();
+  for (int t : {2, 4}) thread_counts.push_back(t);
+  if (hw > 4) thread_counts.push_back(hw);
+#endif
+
+  util::Table table({"mesh", "cells", "threads", "seconds", "cells/s",
+                     "speedup", "identical", "mom%", "rc%", "press%", "sa%",
+                     "ghost%"});
+  bench::JsonArray mesh_json;
+  double hr_speedup_4t = 1.0;
+
+  for (auto& mc : cases) {
+    const long long cells = mc.mesh.active_cells();
+    std::fprintf(stderr, "[scaling] %s: %lld cells, %d iters\n",
+                 mc.name.c_str(), cells, iters);
+
+    CompositeField reference;  // 1-thread result, the determinism baseline
+    std::vector<Run> runs;
+    for (int nt : thread_counts) {
+#ifdef _OPENMP
+      omp_set_num_threads(nt);
+#endif
+      RansSolver solver(mc.mesh, bench::bench_solver_config());
+      auto f = mesh::make_field(mc.mesh);
+      solver.initialize_freestream(f);
+      solver.iterate(f, 1);  // warm-up: touch every array once
+      const SolveStats warm = solver.iterate(f, iters);
+
+      Run run;
+      run.threads = nt;
+      run.stats = warm;
+      run.cells_per_s =
+          warm.seconds > 0.0 ? warm.cell_updates / warm.seconds : 0.0;
+      if (runs.empty()) {
+        reference = f;
+      } else {
+        run.speedup = runs.front().stats.seconds / warm.seconds;
+        run.identical = fields_identical(reference, f);
+      }
+      runs.push_back(run);
+    }
+#ifdef _OPENMP
+    omp_set_num_threads(thread_counts.back());
+#endif
+
+    bench::JsonArray config_json;
+    for (const Run& run : runs) {
+      const auto& ph = run.stats.phase_seconds;
+      const double total = std::max(ph.total(), 1e-30);
+      table.add_row(
+          {mc.name, std::to_string(cells), std::to_string(run.threads),
+           util::fmt(run.stats.seconds, 3),
+           util::fmt(run.cells_per_s / 1e6, 2) + "M",
+           util::fmt_speedup(run.speedup), run.identical ? "yes" : "NO",
+           pct(ph.momentum, total), pct(ph.rhie_chow, total),
+           pct(ph.pressure, total), pct(ph.sa, total),
+           pct(ph.ghosts, total)});
+      if (mc.name == "uniform-hr" && run.threads == 4) {
+        hr_speedup_4t = run.speedup;
+      }
+      bench::JsonObject phases;
+      phases.add("momentum", ph.momentum)
+          .add("rhie_chow", ph.rhie_chow)
+          .add("pressure", ph.pressure)
+          .add("sa", ph.sa)
+          .add("ghosts", ph.ghosts);
+      bench::JsonObject cfg;
+      cfg.add("threads", run.threads)
+          .add("seconds", run.stats.seconds)
+          .add("cells_per_s", run.cells_per_s)
+          .add("speedup_vs_1t", run.speedup)
+          .add("bitwise_identical", run.identical)
+          .add_raw("phase_seconds", phases.str());
+      config_json.push(cfg.str());
+    }
+    bench::JsonObject mesh_obj;
+    mesh_obj.add("mesh", mc.name)
+        .add("cells", cells)
+        .add("iterations", iters)
+        .add_raw("configs", config_json.str());
+    mesh_json.push(mesh_obj.str());
+  }
+
+  std::printf("Solver thread scaling (red-black SIMPLE, %d outer iters; "
+              "acceptance: >= 2.5x at 4 threads on uniform-hr)\n\n",
+              iters);
+  bench::emit(table, "solver_scaling");
+  std::printf("uniform-hr speedup at 4 threads: %.2fx\n", hr_speedup_4t);
+
+  bench::JsonObject doc;
+  doc.add("bench", "solver_scaling")
+      .add("iterations", iters)
+      .add("hr_speedup_4t", hr_speedup_4t)
+      .add_raw("meshes", mesh_json.str());
+  bench::write_json("BENCH_solver.json", doc.str());
+  return 0;
+}

@@ -9,6 +9,9 @@
 // every case, with the bluff-body (cylinder) case the hardest.
 #include "common.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "adarnet/pipeline.hpp"
 #include "amr/driver.hpp"
 
@@ -20,6 +23,10 @@ int main() {
 
   util::Table table({"case", "AMR TTC(s)", "AMR ITC", "ADARNet TTC(s)",
                      "ADARNet ITC", "lr + inf + ps (s)", "speedup"});
+  bench::JsonArray case_json;
+  double speedup_min = 1e30;
+  double speedup_geomean = 1.0;
+  int case_count = 0;
 
   for (const auto& spec : bench::paper_test_cases()) {
     std::fprintf(stderr, "[table1] %s\n", spec.name.c_str());
@@ -42,10 +49,33 @@ int main() {
                    util::fmt(adar.ttc_seconds(), 4),
                    std::to_string(adar.lr_iterations + adar.ps_iterations),
                    split, util::fmt_speedup(speedup)});
+
+    bench::JsonObject obj;
+    obj.add("case", spec.name)
+        .add("amr_ttc_s", amr_result.total_seconds)
+        .add("amr_itc", amr_result.total_iterations)
+        .add("adarnet_ttc_s", adar.ttc_seconds())
+        .add("adarnet_itc", adar.lr_iterations + adar.ps_iterations)
+        .add("lr_s", adar.lr_seconds)
+        .add("inf_s", adar.inf_seconds)
+        .add("ps_s", adar.ps_seconds)
+        .add("speedup", speedup);
+    case_json.push(obj.str());
+    speedup_min = std::min(speedup_min, speedup);
+    speedup_geomean *= speedup;
+    ++case_count;
   }
 
   std::printf("Table 1: ADARNet vs iterative AMR solver "
               "(paper: 2.6x - 4.5x speedups)\n\n");
   bench::emit(table, "table1_ttc");
+
+  bench::JsonObject doc;
+  doc.add("bench", "table1_ttc")
+      .add("speedup_min", case_count ? speedup_min : 0.0)
+      .add("speedup_geomean",
+           case_count ? std::pow(speedup_geomean, 1.0 / case_count) : 0.0)
+      .add_raw("cases", case_json.str());
+  bench::write_json("BENCH_ttc.json", doc.str());
   return 0;
 }

@@ -160,4 +160,97 @@ inline void emit(const util::Table& table, const std::string& name) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output (BENCH_*.json trajectory files).
+//
+// Every bench that measures wall time also appends its headline metrics to
+// a small JSON file next to the binary, so the perf trajectory can be
+// tracked across PRs by diffing / plotting the files — the CSVs are for
+// humans, the JSON is for tooling. The writers below are deliberately
+// minimal (ordered insertion, no dependency): numbers, strings, booleans,
+// and nesting via raw sub-documents.
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Ordered {"key": value} builder. Values: numbers, strings, bools, or raw
+/// pre-encoded JSON (for nesting objects/arrays).
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double v) {
+    return add_raw(key, json_number(v));
+  }
+  JsonObject& add(const std::string& key, long long v) {
+    return add_raw(key, std::to_string(v));
+  }
+  JsonObject& add(const std::string& key, int v) {
+    return add_raw(key, std::to_string(v));
+  }
+  JsonObject& add(const std::string& key, bool v) {
+    return add_raw(key, v ? "true" : "false");
+  }
+  JsonObject& add(const std::string& key, const std::string& v) {
+    return add_raw(key, "\"" + json_escape(v) + "\"");
+  }
+  JsonObject& add(const std::string& key, const char* v) {
+    return add(key, std::string(v));
+  }
+  JsonObject& add_raw(const std::string& key, const std::string& json) {
+    body_ += first_ ? "" : ", ";
+    body_ += "\"" + json_escape(key) + "\": " + json;
+    first_ = false;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+  bool first_ = true;
+};
+
+/// Ordered [v, v, ...] builder of pre-encoded JSON values.
+class JsonArray {
+ public:
+  JsonArray& push(const std::string& json) {
+    body_ += first_ ? "" : ", ";
+    body_ += json;
+    first_ = false;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return "[" + body_ + "]"; }
+
+ private:
+  std::string body_;
+  bool first_ = true;
+};
+
+/// Writes a JSON document to `path` (e.g. "BENCH_solver.json").
+inline bool write_json(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json << "\n";
+  if (out) {
+    std::printf("(json written to %s)\n", path.c_str());
+  }
+  return static_cast<bool>(out);
+}
+
 }  // namespace adarnet::bench

@@ -103,7 +103,8 @@ CompositeField make_field(const CompositeMesh& mesh);
 /// interpolation along the interface. Domain-boundary ghosts are untouched.
 void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh);
 
-/// Exchanges ghosts for all four variables.
+/// Exchanges ghosts for all four variables in one fused thread-parallel
+/// pass (4 x patch_count independent work items, a single parallel region).
 void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh);
 
 /// Initialises the composite state by sampling a uniform LR field (shape

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "solver/sa_model.hpp"
 #include "util/fault.hpp"
@@ -33,6 +34,204 @@ double dirichlet_ghost(double face_value, double interior) {
   return 2.0 * face_value - interior;
 }
 
+// One interior row of one patch: the unit of thread-parallel sweep work.
+// Rows are the natural grain because a red-black half-sweep touches every
+// other cell of a row, and rows of different patches balance the load on
+// composite meshes where refined patches carry 4x the cells.
+struct RowRef {
+  int k = 0;  // flat patch index
+  int i = 0;  // interior row (1-based)
+};
+
+// Runs one in-place sweep over all rows. Red-black: two colored
+// half-sweeps, each thread-parallel over rows — cells of one color only
+// read the other color (plus ghosts frozen for the sweep), so the update
+// is race-free and the result is independent of the thread count.
+// Lexicographic: the classic serial (k, i, j) order.
+// row_fn(r, k, i, color) updates row r's cells with (i + j) % 2 == color;
+// color -1 means all columns.
+template <typename RowFn>
+void run_sweep(const std::vector<RowRef>& rows, SweepOrdering ordering,
+               RowFn&& row_fn) {
+  const int n = static_cast<int>(rows.size());
+  if (ordering == SweepOrdering::kRedBlack) {
+    for (int color = 0; color < 2; ++color) {
+#pragma omp parallel for schedule(static)
+      for (int r = 0; r < n; ++r) {
+        row_fn(r, rows[r].k, rows[r].i, color);
+      }
+    }
+  } else {
+    for (int r = 0; r < n; ++r) {
+      row_fn(r, rows[r].k, rows[r].i, -1);
+    }
+  }
+}
+
+// Read-only pass over all rows (defect evaluation): always thread-parallel,
+// no coloring needed because nothing is updated in place.
+template <typename RowFn>
+void run_scan(const std::vector<RowRef>& rows, RowFn&& row_fn) {
+  const int n = static_cast<int>(rows.size());
+#pragma omp parallel for schedule(static)
+  for (int r = 0; r < n; ++r) {
+    row_fn(r, rows[r].k, rows[r].i);
+  }
+}
+
+// First column of a row's cells with color (i + j) % 2 == color, and the
+// column stride; color -1 visits every column.
+inline int color_j0(int i, int color) {
+  if (color < 0) return 1;
+  return (((i + 1) & 1) == color) ? 1 : 2;
+}
+inline int color_jstep(int color) { return color < 0 ? 1 : 2; }
+
+// Fixed-order serial sums of the per-row reduction partials. Every
+// residual/sweep-change reduction funnels through these buffers so the
+// summation order — and therefore the result, bit for bit — does not
+// depend on the number of threads.
+double sum_rows(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+void zero_rows(std::vector<double>& v) { std::fill(v.begin(), v.end(), 0.0); }
+
+// Momentum coefficients, pressure gradient and neighbour sums of one fluid
+// cell, assembled from the current state. Shared by the Gauss-Seidel update
+// (outer_iteration) and the read-only defect evaluation (residuals()), so
+// the two can never drift apart.
+struct MomentumCell {
+  double ae = 0, aw = 0, an = 0, as = 0;  // neighbour coefficients
+  double a_time = 0;                      // pseudo-transient diagonal term
+  double dpdx = 0, dpdy = 0;              // central pressure gradient
+  double nb_u = 0, nb_v = 0;              // sum of a_nb * neighbour values
+
+  [[nodiscard]] double sum_a() const { return ae + aw + an + as; }
+};
+
+inline MomentumCell momentum_cell(const Grid2Dd& U, const Grid2Dd& V,
+                                  const Grid2Dd& P, const Grid2Dd& NT,
+                                  double nu, double u_ref, double pseudo_cfl,
+                                  double dx, double dy, int i, int j) {
+  MomentumCell c;
+  // Face velocities (linear interpolation) drive the upwinding.
+  const double fe = 0.5 * (U(i, j) + U(i, j + 1)) * dy;
+  const double fw_ = 0.5 * (U(i, j) + U(i, j - 1)) * dy;
+  const double fn = 0.5 * (V(i, j) + V(i + 1, j)) * dx;
+  const double fs = 0.5 * (V(i, j) + V(i - 1, j)) * dx;
+  // Face diffusion with effective viscosity.
+  const double de = 0.5 * (2.0 * nu + NT(i, j) + NT(i, j + 1)) * dy / dx;
+  const double dw = 0.5 * (2.0 * nu + NT(i, j) + NT(i, j - 1)) * dy / dx;
+  const double dn = 0.5 * (2.0 * nu + NT(i, j) + NT(i + 1, j)) * dx / dy;
+  const double ds = 0.5 * (2.0 * nu + NT(i, j) + NT(i - 1, j)) * dx / dy;
+  c.ae = de + std::max(-fe, 0.0);
+  c.aw = dw + std::max(fw_, 0.0);
+  c.an = dn + std::max(-fn, 0.0);
+  c.as = ds + std::max(fs, 0.0);
+  // The continuity-defect term (fe - fw + fn - fs) is omitted from the
+  // diagonal: it vanishes at convergence and breaks diagonal dominance
+  // while the mass residual is still large. A local pseudo-transient term
+  // bounds Vol/aP in near-stagnation cells, where a purely viscous
+  // diagonal would make the pressure correction explosively stiff.
+  const double speed =
+      std::abs(U(i, j)) + std::abs(V(i, j)) + 0.3 * std::abs(u_ref) + 1e-30;
+  const double dt = pseudo_cfl * std::min(dx, dy) / speed;
+  c.a_time = dx * dy / dt;
+  c.dpdx = (P(i, j + 1) - P(i, j - 1)) / (2.0 * dx);
+  c.dpdy = (P(i + 1, j) - P(i - 1, j)) / (2.0 * dy);
+  c.nb_u = c.ae * U(i, j + 1) + c.aw * U(i, j - 1) + c.an * U(i + 1, j) +
+           c.as * U(i - 1, j);
+  c.nb_v = c.ae * V(i, j + 1) + c.aw * V(i, j - 1) + c.an * V(i + 1, j) +
+           c.as * V(i - 1, j);
+  return c;
+}
+
+// True steady momentum defect of one cell (pseudo-time and relaxation
+// excluded), normalised per cell by the diagonal times u_ref. An
+// interpolated coarse solution does not satisfy the fine equations, so
+// this measure cannot be fooled by small steps.
+inline double momentum_defect(const MomentumCell& c, double u, double v,
+                              double vol, double u_ref) {
+  const double denom = c.sum_a() * std::max(std::abs(u_ref), 1e-30);
+  return std::abs(c.nb_u - c.dpdx * vol - c.sum_a() * u) / denom +
+         std::abs(c.nb_v - c.dpdy * vol - c.sum_a() * v) / denom;
+}
+
+// SA transport coefficients and sources of one fluid cell, shared by the
+// Gauss-Seidel update and the defect evaluation like MomentumCell.
+struct SaCell {
+  double ae = 0, aw = 0, an = 0, as = 0;
+  double destr = 0;   // implicitly linearised destruction (diagonal)
+  double a_time = 0;  // pseudo-transient diagonal term
+  double production = 0;
+  double cross = 0;   // cb2/sigma |grad nt|^2 (explicit)
+  double nb_sum = 0;  // sum of a_nb * neighbour values
+
+  [[nodiscard]] double sum_a() const { return ae + aw + an + as + destr; }
+};
+
+inline SaCell sa_cell(const Grid2Dd& U, const Grid2Dd& V, const Grid2Dd& NT,
+                      double nu, double u_ref, double pseudo_cfl, double dx,
+                      double dy, double d_wall, int i, int j) {
+  SaCell c;
+  const double vol = dx * dy;
+  // Convection fluxes (upwind).
+  const double fe = 0.5 * (U(i, j) + U(i, j + 1)) * dy;
+  const double fw_ = 0.5 * (U(i, j) + U(i, j - 1)) * dy;
+  const double fn = 0.5 * (V(i, j) + V(i + 1, j)) * dx;
+  const double fs = 0.5 * (V(i, j) + V(i - 1, j)) * dx;
+  // Diffusion (nu + nuTilda) / sigma at faces.
+  auto dface = [&](double nt_a, double nt_b, double len_over) {
+    const double nt_face = 0.5 * (std::max(nt_a, 0.0) + std::max(nt_b, 0.0));
+    return (nu + nt_face) / sa::kSigma * len_over;
+  };
+  const double de = dface(NT(i, j), NT(i, j + 1), dy / dx);
+  const double dw = dface(NT(i, j), NT(i, j - 1), dy / dx);
+  const double dn = dface(NT(i, j), NT(i + 1, j), dx / dy);
+  const double ds = dface(NT(i, j), NT(i - 1, j), dx / dy);
+  c.ae = de + std::max(-fe, 0.0);
+  c.aw = dw + std::max(fw_, 0.0);
+  c.an = dn + std::max(-fn, 0.0);
+  c.as = ds + std::max(fs, 0.0);
+
+  // Sources.
+  const double nt_here = std::max(NT(i, j), 0.0);
+  const double dudy = (U(i + 1, j) - U(i - 1, j)) / (2.0 * dy);
+  const double dvdx = (V(i, j + 1) - V(i, j - 1)) / (2.0 * dx);
+  const double vort = std::abs(dvdx - dudy);
+  const double st = sa::s_tilde(vort, nt_here, nu, d_wall);
+  c.production = sa::kCb1 * st * nt_here * vol;
+  const double r = sa::r_param(nt_here, st, d_wall);
+  const double fw_fn = sa::fw(sa::g_param(r));
+  // Destruction linearised implicitly: cw1 fw (nt/d)^2 =
+  // [cw1 fw nt/d^2] * nt -> goes to the diagonal.
+  c.destr = sa::cw1() * fw_fn * nt_here / (d_wall * d_wall) * vol;
+  // cb2/sigma |grad nt|^2 (explicit).
+  const double dntdx = (NT(i, j + 1) - NT(i, j - 1)) / (2.0 * dx);
+  const double dntdy = (NT(i + 1, j) - NT(i - 1, j)) / (2.0 * dy);
+  c.cross =
+      sa::kCb2 / sa::kSigma * (dntdx * dntdx + dntdy * dntdy) * vol;
+
+  const double speed =
+      std::abs(U(i, j)) + std::abs(V(i, j)) + 0.3 * std::abs(u_ref) + 1e-30;
+  const double dt = pseudo_cfl * std::min(dx, dy) / speed;
+  c.a_time = vol / dt;
+  c.nb_sum = c.ae * NT(i, j + 1) + c.aw * NT(i, j - 1) +
+             c.an * NT(i + 1, j) + c.as * NT(i - 1, j);
+  return c;
+}
+
+// True steady SA defect of one cell, normalised by the diagonal times a
+// turbulence scale.
+inline double sa_defect(const SaCell& c, double nt, double nu,
+                        double nt_inflow) {
+  const double nt_ref = std::max({nt_inflow, 3.0 * nu, nt});
+  return std::abs(c.nb_sum + c.production + c.cross - c.sum_a() * nt) /
+         (c.sum_a() * nt_ref);
+}
+
 }  // namespace
 
 double Residuals::combined() const {
@@ -43,7 +242,10 @@ double Residuals::combined() const {
   return std::max({continuity, momentum, sa});
 }
 
-// Per-solve scratch arrays, allocated once per patch.
+// Per-solver scratch arrays and reduction buffers. Allocated once on first
+// use and cached (the mesh, hence every shape, is fixed per solver): the
+// AMR driver calls iterate()/solve() in a loop, and reallocating six full
+// composite scalars per call dominated small-mesh solves.
 struct RansSolver::Workspace {
   CompositeScalar ap;      // relaxed momentum diagonal a_P / alpha_u
   CompositeScalar pc;      // pressure correction p'
@@ -52,21 +254,41 @@ struct RansSolver::Workspace {
   CompositeScalar face_u;  // face_u(i,j): u at x-face between (i,j),(i,j+1)
   CompositeScalar face_v;  // face_v(i,j): v at y-face between (i,j),(i+1,j)
 
+  std::vector<RowRef> rows;  // flattened (patch, interior row) work items
+  // Per-row reduction partials (fixed-order summation: see sum_rows).
+  std::vector<double> acc_a;
+  std::vector<double> acc_b;
+
   explicit Workspace(const CompositeMesh& mesh)
       : ap(mesh::make_scalar(mesh)),
         pc(mesh::make_scalar(mesh)),
         imb(mesh::make_scalar(mesh)),
         nut(mesh::make_scalar(mesh)),
         face_u(mesh::make_scalar(mesh)),
-        face_v(mesh::make_scalar(mesh)) {}
+        face_v(mesh::make_scalar(mesh)) {
+    for (int k = 0; k < mesh.patch_count(); ++k) {
+      const PatchMesh& pm = mesh.patch_flat(k);
+      for (int i = 1; i <= pm.ny; ++i) rows.push_back({k, i});
+    }
+    acc_a.assign(rows.size(), 0.0);
+    acc_b.assign(rows.size(), 0.0);
+  }
 };
 
 RansSolver::RansSolver(const CompositeMesh& mesh, SolverConfig config)
     : mesh_(mesh), config_(config) {}
 
+RansSolver::~RansSolver() = default;
+
+RansSolver::Workspace& RansSolver::workspace() const {
+  if (!ws_) ws_ = std::make_unique<Workspace>(mesh_);
+  return *ws_;
+}
+
 void RansSolver::initialize_freestream(CompositeField& f) const {
   const mesh::CaseSpec& spec = mesh_.spec();
   const SideBc& in = spec.bc.left;
+#pragma omp parallel for schedule(static)
   for (int k = 0; k < mesh_.patch_count(); ++k) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     for (int i = 0; i <= pm.ny + 1; ++i) {
@@ -114,6 +336,7 @@ void RansSolver::apply_bc_ghosts(CompositeScalar& s, int channel) const {
     return interior;
   };
 
+#pragma omp parallel for schedule(static)
   for (int k = 0; k < mesh_.patch_count(); ++k) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     Grid2Dd& a = s[k];
@@ -143,124 +366,29 @@ void RansSolver::apply_bc_ghosts(CompositeScalar& s, int channel) const {
 }
 
 void RansSolver::refresh_ghosts(CompositeField& f) const {
+  exchange_ghosts(f, mesh_);  // fused: all four channels, one parallel region
   for (int c = 0; c < field::kNumFlowVars; ++c) {
-    exchange_ghosts(f.channel(c), mesh_);
     apply_bc_ghosts(f.channel(c), c);
   }
 }
 
-Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
-  const mesh::CaseSpec& spec = mesh_.spec();
-  const double nu = spec.nu;
-  const double alpha_u = config_.alpha_u;
-  Residuals res;
-
-  refresh_ghosts(f);
-
-  // --- eddy viscosity from nuTilda (ghosts included) -----------------------
+void RansSolver::compute_nut(const CompositeField& f, Workspace& ws) const {
+  const double nu = mesh_.spec().nu;
+#pragma omp parallel for schedule(static)
   for (int k = 0; k < mesh_.patch_count(); ++k) {
     const PatchMesh& pm = mesh_.patch_flat(k);
+    const Grid2Dd& NT = f.nuTilda[k];
+    Grid2Dd& out = ws.nut[k];
     for (int i = 0; i <= pm.ny + 1; ++i) {
       for (int j = 0; j <= pm.nx + 1; ++j) {
-        ws.nut[k](i, j) = sa::eddy_viscosity(f.nuTilda[k](i, j), nu);
+        out(i, j) = sa::eddy_viscosity(NT(i, j), nu);
       }
     }
   }
+}
 
-  // --- momentum predictor ---------------------------------------------------
-  // Assemble upwind/central coefficients from the current face fluxes and do
-  // Gauss-Seidel sweeps on U and V with implicit under-relaxation. The
-  // relaxed diagonal is kept in ws.ap for Rhie-Chow and the corrector.
-  double du_acc = 0.0;
-  double u_scale_acc = 0.0;
-
-  for (int sweep = 0; sweep < config_.momentum_sweeps; ++sweep) {
-    const bool last = (sweep + 1 == config_.momentum_sweeps);
-    for (int k = 0; k < mesh_.patch_count(); ++k) {
-      const PatchMesh& pm = mesh_.patch_flat(k);
-      Grid2Dd& U = f.U[k];
-      Grid2Dd& V = f.V[k];
-      const Grid2Dd& P = f.p[k];
-      const Grid2Dd& NT = ws.nut[k];
-      Grid2Dd& AP = ws.ap[k];
-      const double dx = pm.dx;
-      const double dy = pm.dy;
-      const double vol = dx * dy;
-      for (int i = 1; i <= pm.ny; ++i) {
-        for (int j = 1; j <= pm.nx; ++j) {
-          if (pm.solid(i, j)) {
-            U(i, j) = 0.0;
-            V(i, j) = 0.0;
-            AP(i, j) = vol;  // harmless positive diagonal for d coefficients
-            continue;
-          }
-          // Face velocities (linear interpolation) drive the upwinding.
-          const double fe = 0.5 * (U(i, j) + U(i, j + 1)) * dy;
-          const double fw_ = 0.5 * (U(i, j) + U(i, j - 1)) * dy;
-          const double fn = 0.5 * (V(i, j) + V(i + 1, j)) * dx;
-          const double fs = 0.5 * (V(i, j) + V(i - 1, j)) * dx;
-          // Face diffusion with effective viscosity.
-          const double de = 0.5 * (2.0 * nu + NT(i, j) + NT(i, j + 1)) * dy / dx;
-          const double dw = 0.5 * (2.0 * nu + NT(i, j) + NT(i, j - 1)) * dy / dx;
-          const double dn = 0.5 * (2.0 * nu + NT(i, j) + NT(i + 1, j)) * dx / dy;
-          const double ds = 0.5 * (2.0 * nu + NT(i, j) + NT(i - 1, j)) * dx / dy;
-          const double ae = de + std::max(-fe, 0.0);
-          const double aw = dw + std::max(fw_, 0.0);
-          const double an = dn + std::max(-fn, 0.0);
-          const double as = ds + std::max(fs, 0.0);
-          // The continuity-defect term (fe - fw + fn - fs) is omitted from
-          // the diagonal: it vanishes at convergence and breaks diagonal
-          // dominance while the mass residual is still large. A local
-          // pseudo-transient term bounds Vol/aP in near-stagnation cells,
-          // where a purely viscous diagonal would make the pressure
-          // correction explosively stiff.
-          const double speed = std::abs(U(i, j)) + std::abs(V(i, j)) +
-                               0.3 * std::abs(spec.bc.left.u) + 1e-30;
-          const double dt = config_.pseudo_cfl * std::min(dx, dy) / speed;
-          const double a_time = vol / dt;
-          const double ap0 = ae + aw + an + as + a_time;
-          const double ap = std::max(ap0, 1e-30) / alpha_u;
-          AP(i, j) = ap;
-          const double relax = (1.0 - alpha_u) * ap + a_time;
-
-          const double dpdx = (P(i, j + 1) - P(i, j - 1)) / (2.0 * dx);
-          const double dpdy = (P(i + 1, j) - P(i - 1, j)) / (2.0 * dy);
-
-          const double u_old = U(i, j);
-          const double v_old = V(i, j);
-          const double nb_u = ae * U(i, j + 1) + aw * U(i, j - 1) +
-                              an * U(i + 1, j) + as * U(i - 1, j);
-          const double nb_v = ae * V(i, j + 1) + aw * V(i, j - 1) +
-                              an * V(i + 1, j) + as * V(i - 1, j);
-          if (last) {
-            // True steady-equation residual (pseudo-time and relaxation
-            // excluded): |sum a_nb u_nb - dp dx vol - sum a_nb * u_P|,
-            // normalised per cell by the diagonal times u_ref. An
-            // interpolated coarse solution does not satisfy the fine
-            // equations, so this measure cannot be fooled by small steps.
-            const double sum_a = ae + aw + an + as;
-            const double denom =
-                sum_a * std::max(std::abs(spec.bc.left.u), 1e-30);
-            du_acc += std::abs(nb_u - dpdx * vol - sum_a * u_old) / denom +
-                      std::abs(nb_v - dpdy * vol - sum_a * v_old) / denom;
-            u_scale_acc += 2.0;
-          }
-          U(i, j) = (nb_u - dpdx * vol + relax * u_old) / ap;
-          V(i, j) = (nb_v - dpdy * vol + relax * v_old) / ap;
-        }
-      }
-    }
-    exchange_ghosts(f.U, mesh_);
-    exchange_ghosts(f.V, mesh_);
-    apply_bc_ghosts(f.U, kU);
-    apply_bc_ghosts(f.V, kV);
-  }
-  res.momentum = du_acc / std::max(u_scale_acc, 1e-30);
-
-  // Make the momentum diagonal available across interfaces (Rhie-Chow reads
-  // the neighbour's aP through the ghost ring) and at domain boundaries
-  // (zero-gradient extrapolation).
-  exchange_ghosts(ws.ap, mesh_);
+void RansSolver::extrapolate_ap(Workspace& ws) const {
+#pragma omp parallel for schedule(static)
   for (int k = 0; k < mesh_.patch_count(); ++k) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     Grid2Dd& AP = ws.ap[k];
@@ -277,18 +405,22 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
       for (int j = 1; j <= pm.nx; ++j) AP(pm.ny + 1, j) = AP(pm.ny, j);
     }
   }
+}
 
-  // --- face velocities with Rhie-Chow interpolation --------------------------
-  // Pass 1: every patch computes its own face velocities (interior faces get
-  // the Rhie-Chow pressure-dissipation term to suppress checkerboarding).
-  // Pass 2 makes interface fluxes conservative across patches (refluxing).
+double RansSolver::assemble_faces_imbalance(const CompositeField& f,
+                                            Workspace& ws) const {
+  const mesh::CaseSpec& spec = mesh_.spec();
+
+  // Pass 1: every patch computes its own face velocities (interior faces
+  // get the Rhie-Chow pressure-dissipation term to suppress
+  // checkerboarding). Patches only write their own face arrays.
+#pragma omp parallel for schedule(static)
   for (int k = 0; k < mesh_.patch_count(); ++k) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     const Grid2Dd& U = f.U[k];
     const Grid2Dd& V = f.V[k];
     const Grid2Dd& P = f.p[k];
     const Grid2Dd& AP = ws.ap[k];
-    Grid2Dd& B = ws.imb[k];
     const double dx = pm.dx;
     const double dy = pm.dy;
     const double vol = dx * dy;
@@ -358,11 +490,16 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
   // authoritative: the coarse face value becomes the area mean of the fine
   // faces it covers (coarse flux = sum of fine fluxes). Same-level sides
   // are averaged (their Rhie-Chow stencils differ slightly at the edge).
-  for (int pi = 0; pi < mesh_.npy(); ++pi) {
-    for (int pj = 0; pj < mesh_.npx(); ++pj) {
+  // Each (pi, pj) iteration touches only its own east/north interface
+  // columns/rows, so the collapsed loop is race-free.
+  const int npy = mesh_.npy();
+  const int npx = mesh_.npx();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int pi = 0; pi < npy; ++pi) {
+    for (int pj = 0; pj < npx; ++pj) {
       const PatchMesh& pm = mesh_.patch(pi, pj);
-      const int k = pi * mesh_.npx() + pj;
-      if (pj + 1 < mesh_.npx()) {  // vertical interface with east neighbour
+      const int k = pi * npx + pj;
+      if (pj + 1 < npx) {  // vertical interface with east neighbour
         const PatchMesh& nb = mesh_.patch(pi, pj + 1);
         const int kn = k + 1;
         Grid2Dd& mine = ws.face_u[k];
@@ -389,9 +526,9 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
           }
         }
       }
-      if (pi + 1 < mesh_.npy()) {  // horizontal interface with north neighbour
+      if (pi + 1 < npy) {  // horizontal interface with north neighbour
         const PatchMesh& nb = mesh_.patch(pi + 1, pj);
-        const int kn = k + mesh_.npx();
+        const int kn = k + npx;
         Grid2Dd& mine = ws.face_v[k];
         Grid2Dd& theirs = ws.face_v[kn];
         if (nb.nx == pm.nx) {
@@ -424,48 +561,155 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
   // its own face-flux magnitude (u_ref * cell perimeter / 2), which makes
   // the measure — and therefore the tolerance — consistent across grid
   // resolutions and composite level mixes.
-  double mass_acc = 0.0;
-  long long fluid_cells = 0;
   const double u_scale = std::max(std::abs(spec.bc.left.u), 1e-30);
-  for (int k = 0; k < mesh_.patch_count(); ++k) {
+  zero_rows(ws.acc_a);
+  zero_rows(ws.acc_b);
+  run_scan(ws.rows, [&](int r, int k, int i) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     const Grid2Dd& FU = ws.face_u[k];
     const Grid2Dd& FV = ws.face_v[k];
     Grid2Dd& B = ws.imb[k];
     const double cell_flux_scale = u_scale * (pm.dx + pm.dy);
-    for (int i = 1; i <= pm.ny; ++i) {
-      for (int j = 1; j <= pm.nx; ++j) {
-        if (pm.solid(i, j)) {
-          B(i, j) = 0.0;
-          continue;
-        }
-        const double imb = (FU(i, j) - FU(i, j - 1)) * pm.dy +
-                           (FV(i, j) - FV(i - 1, j)) * pm.dx;
-        B(i, j) = imb;
-        mass_acc += std::abs(imb) / cell_flux_scale;
-        ++fluid_cells;
+    double mass = 0.0;
+    double fluid = 0.0;
+    for (int j = 1; j <= pm.nx; ++j) {
+      if (pm.solid(i, j)) {
+        B(i, j) = 0.0;
+        continue;
       }
+      const double imb = (FU(i, j) - FU(i, j - 1)) * pm.dy +
+                         (FV(i, j) - FV(i - 1, j)) * pm.dx;
+      B(i, j) = imb;
+      mass += std::abs(imb) / cell_flux_scale;
+      fluid += 1.0;
+    }
+    ws.acc_a[r] = mass;
+    ws.acc_b[r] = fluid;
+  });
+  const double fluid_cells = sum_rows(ws.acc_b);
+  return fluid_cells > 0.0 ? sum_rows(ws.acc_a) / fluid_cells : 0.0;
+}
+
+Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
+                                      const SolverConfig& cfg,
+                                      PhaseTimes& ph) const {
+  const mesh::CaseSpec& spec = mesh_.spec();
+  const double nu = spec.nu;
+  const double u_ref = spec.bc.left.u;
+  const double alpha_u = cfg.alpha_u;
+  Residuals res;
+
+  {
+    util::ScopedAccum t(&ph.ghosts);
+    refresh_ghosts(f);
+  }
+
+  // --- eddy viscosity from nuTilda (ghosts included) -----------------------
+  {
+    util::ScopedAccum t(&ph.sa);
+    compute_nut(f, ws);
+  }
+
+  // --- momentum predictor ---------------------------------------------------
+  // Assemble upwind/central coefficients from the current face fluxes and do
+  // red-black (or lexicographic) Gauss-Seidel sweeps on U and V with
+  // implicit under-relaxation. The relaxed diagonal is kept in ws.ap for
+  // Rhie-Chow and the corrector.
+  zero_rows(ws.acc_a);
+  zero_rows(ws.acc_b);
+  for (int sweep = 0; sweep < cfg.momentum_sweeps; ++sweep) {
+    const bool measure = (sweep + 1 == cfg.momentum_sweeps);
+    {
+      util::ScopedAccum t(&ph.momentum);
+      run_sweep(ws.rows, cfg.ordering, [&](int r, int k, int i, int color) {
+        const PatchMesh& pm = mesh_.patch_flat(k);
+        Grid2Dd& U = f.U[k];
+        Grid2Dd& V = f.V[k];
+        const Grid2Dd& P = f.p[k];
+        const Grid2Dd& NT = ws.nut[k];
+        Grid2Dd& AP = ws.ap[k];
+        const double dx = pm.dx;
+        const double dy = pm.dy;
+        const double vol = dx * dy;
+        double acc = 0.0;
+        double scale = 0.0;
+        const int js = color_jstep(color);
+        for (int j = color_j0(i, color); j <= pm.nx; j += js) {
+          if (pm.solid(i, j)) {
+            U(i, j) = 0.0;
+            V(i, j) = 0.0;
+            AP(i, j) = vol;  // harmless positive diagonal for d coefficients
+            continue;
+          }
+          const MomentumCell c = momentum_cell(U, V, P, NT, nu, u_ref,
+                                               cfg.pseudo_cfl, dx, dy, i, j);
+          const double ap = std::max(c.sum_a() + c.a_time, 1e-30) / alpha_u;
+          AP(i, j) = ap;
+          const double relax = (1.0 - alpha_u) * ap + c.a_time;
+          const double u_old = U(i, j);
+          const double v_old = V(i, j);
+          if (measure) {
+            acc += momentum_defect(c, u_old, v_old, vol, u_ref);
+            scale += 2.0;
+          }
+          U(i, j) = (c.nb_u - c.dpdx * vol + relax * u_old) / ap;
+          V(i, j) = (c.nb_v - c.dpdy * vol + relax * v_old) / ap;
+        }
+        if (measure) {
+          ws.acc_a[r] += acc;
+          ws.acc_b[r] += scale;
+        }
+      });
+    }
+    {
+      util::ScopedAccum t(&ph.ghosts);
+      exchange_ghosts(f.U, mesh_);
+      exchange_ghosts(f.V, mesh_);
+      apply_bc_ghosts(f.U, kU);
+      apply_bc_ghosts(f.V, kV);
     }
   }
-  res.continuity = fluid_cells ? mass_acc / fluid_cells : 0.0;
+  res.momentum = sum_rows(ws.acc_a) / std::max(sum_rows(ws.acc_b), 1e-30);
+
+  // Make the momentum diagonal available across interfaces (Rhie-Chow reads
+  // the neighbour's aP through the ghost ring) and at domain boundaries
+  // (zero-gradient extrapolation).
+  {
+    util::ScopedAccum t(&ph.ghosts);
+    exchange_ghosts(ws.ap, mesh_);
+  }
+  {
+    util::ScopedAccum t(&ph.rhie_chow);
+    extrapolate_ap(ws);
+    res.continuity = assemble_faces_imbalance(f, ws);
+  }
 
   // --- pressure correction ---------------------------------------------------
-  for (auto& g : ws.pc) g.fill(0.0);
   const bool outlet_right = spec.bc.right.type == BcType::kOutlet;
-  double first_sweep_change = 0.0;
-  for (int sweep = 0; sweep < config_.pressure_sweeps; ++sweep) {
-    double sweep_change = 0.0;
+  {
+    util::ScopedAccum t(&ph.pressure);
+#pragma omp parallel for schedule(static)
     for (int k = 0; k < mesh_.patch_count(); ++k) {
-      const PatchMesh& pm = mesh_.patch_flat(k);
-      Grid2Dd& PC = ws.pc[k];
-      const Grid2Dd& AP = ws.ap[k];
-      const Grid2Dd& B = ws.imb[k];
-      const double dx = pm.dx;
-      const double dy = pm.dy;
-      const double vol = dx * dy;
-      const bool right_edge = (pm.pj == mesh_.npx() - 1);
-      for (int i = 1; i <= pm.ny; ++i) {
-        for (int j = 1; j <= pm.nx; ++j) {
+      ws.pc[k].fill(0.0);
+    }
+  }
+  double first_sweep_change = 0.0;
+  for (int sweep = 0; sweep < cfg.pressure_sweeps; ++sweep) {
+    zero_rows(ws.acc_a);
+    {
+      util::ScopedAccum t(&ph.pressure);
+      run_sweep(ws.rows, cfg.ordering, [&](int r, int k, int i, int color) {
+        const PatchMesh& pm = mesh_.patch_flat(k);
+        Grid2Dd& PC = ws.pc[k];
+        const Grid2Dd& AP = ws.ap[k];
+        const Grid2Dd& B = ws.imb[k];
+        const double dx = pm.dx;
+        const double dy = pm.dy;
+        const double vol = dx * dy;
+        const bool right_edge = (pm.pj == mesh_.npx() - 1);
+        double change = 0.0;
+        const int js = color_jstep(color);
+        for (int j = color_j0(i, color); j <= pm.nx; j += js) {
           if (pm.solid(i, j)) {
             PC(i, j) = 0.0;
             continue;
@@ -516,15 +760,20 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
             continue;
           }
           const double gs = rhs / apc;
-          const double delta = config_.sor_omega * (gs - PC(i, j));
+          const double delta = cfg.sor_omega * (gs - PC(i, j));
           PC(i, j) += delta;
-          sweep_change += std::abs(delta);
+          change += std::abs(delta);
         }
-      }
+        ws.acc_a[r] += change;
+      });
     }
-    exchange_ghosts(ws.pc, mesh_);
+    {
+      util::ScopedAccum t(&ph.ghosts);
+      exchange_ghosts(ws.pc, mesh_);
+    }
     // Early exit: once a sweep changes p' by under 5% of the first sweep,
     // further sweeps buy nothing this outer iteration.
+    const double sweep_change = sum_rows(ws.acc_a);
     if (sweep == 0) {
       first_sweep_change = sweep_change;
     } else if (sweep_change < 0.05 * first_sweep_change) {
@@ -532,146 +781,184 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws) {
     }
   }
 
-  // Domain-boundary ghosts for p': zero-gradient everywhere except the
-  // outlet, where p' = 0 at the face. Needed by the corrector's gradients.
-  for (int k = 0; k < mesh_.patch_count(); ++k) {
-    const PatchMesh& pm = mesh_.patch_flat(k);
-    Grid2Dd& PC = ws.pc[k];
-    if (pm.pj == 0) {
-      for (int i = 1; i <= pm.ny; ++i) PC(i, 0) = PC(i, 1);
-    }
-    if (pm.pj == mesh_.npx() - 1) {
-      for (int i = 1; i <= pm.ny; ++i) {
-        PC(i, pm.nx + 1) = outlet_right ? -PC(i, pm.nx) : PC(i, pm.nx);
+  {
+    util::ScopedAccum t(&ph.pressure);
+    // Domain-boundary ghosts for p': zero-gradient everywhere except the
+    // outlet, where p' = 0 at the face. Needed by the corrector's gradients.
+#pragma omp parallel for schedule(static)
+    for (int k = 0; k < mesh_.patch_count(); ++k) {
+      const PatchMesh& pm = mesh_.patch_flat(k);
+      Grid2Dd& PC = ws.pc[k];
+      if (pm.pj == 0) {
+        for (int i = 1; i <= pm.ny; ++i) PC(i, 0) = PC(i, 1);
+      }
+      if (pm.pj == mesh_.npx() - 1) {
+        for (int i = 1; i <= pm.ny; ++i) {
+          PC(i, pm.nx + 1) = outlet_right ? -PC(i, pm.nx) : PC(i, pm.nx);
+        }
+      }
+      if (pm.pi == 0) {
+        for (int j = 1; j <= pm.nx; ++j) PC(0, j) = PC(1, j);
+      }
+      if (pm.pi == mesh_.npy() - 1) {
+        for (int j = 1; j <= pm.nx; ++j) PC(pm.ny + 1, j) = PC(pm.ny, j);
       }
     }
-    if (pm.pi == 0) {
-      for (int j = 1; j <= pm.nx; ++j) PC(0, j) = PC(1, j);
-    }
-    if (pm.pi == mesh_.npy() - 1) {
-      for (int j = 1; j <= pm.nx; ++j) PC(pm.ny + 1, j) = PC(pm.ny, j);
-    }
-  }
 
-  // --- corrector -------------------------------------------------------------
-  for (int k = 0; k < mesh_.patch_count(); ++k) {
-    const PatchMesh& pm = mesh_.patch_flat(k);
-    Grid2Dd& U = f.U[k];
-    Grid2Dd& V = f.V[k];
-    Grid2Dd& P = f.p[k];
-    const Grid2Dd& PC = ws.pc[k];
-    const Grid2Dd& AP = ws.ap[k];
-    const double vol = pm.dx * pm.dy;
-    for (int i = 1; i <= pm.ny; ++i) {
-      for (int j = 1; j <= pm.nx; ++j) {
-        if (pm.solid(i, j)) continue;
-        P(i, j) += config_.alpha_p * PC(i, j);
-        const double d_p = vol / AP(i, j);
-        U(i, j) -= d_p * (PC(i, j + 1) - PC(i, j - 1)) / (2.0 * pm.dx);
-        V(i, j) -= d_p * (PC(i + 1, j) - PC(i - 1, j)) / (2.0 * pm.dy);
+    // --- corrector -----------------------------------------------------------
+#pragma omp parallel for schedule(static)
+    for (int k = 0; k < mesh_.patch_count(); ++k) {
+      const PatchMesh& pm = mesh_.patch_flat(k);
+      Grid2Dd& U = f.U[k];
+      Grid2Dd& V = f.V[k];
+      Grid2Dd& P = f.p[k];
+      const Grid2Dd& PC = ws.pc[k];
+      const Grid2Dd& AP = ws.ap[k];
+      const double vol = pm.dx * pm.dy;
+      for (int i = 1; i <= pm.ny; ++i) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          if (pm.solid(i, j)) continue;
+          P(i, j) += cfg.alpha_p * PC(i, j);
+          const double d_p = vol / AP(i, j);
+          U(i, j) -= d_p * (PC(i, j + 1) - PC(i, j - 1)) / (2.0 * pm.dx);
+          V(i, j) -= d_p * (PC(i + 1, j) - PC(i - 1, j)) / (2.0 * pm.dy);
+        }
       }
     }
   }
 
   // --- SA transport ----------------------------------------------------------
-  if (config_.solve_sa) {
-    exchange_ghosts(f.nuTilda, mesh_);
-    apply_bc_ghosts(f.nuTilda, kNt);
-    exchange_ghosts(f.U, mesh_);
-    exchange_ghosts(f.V, mesh_);
-    apply_bc_ghosts(f.U, kU);
-    apply_bc_ghosts(f.V, kV);
+  if (cfg.solve_sa) {
+    {
+      util::ScopedAccum t(&ph.ghosts);
+      exchange_ghosts(f.nuTilda, mesh_);
+      apply_bc_ghosts(f.nuTilda, kNt);
+      exchange_ghosts(f.U, mesh_);
+      exchange_ghosts(f.V, mesh_);
+      apply_bc_ghosts(f.U, kU);
+      apply_bc_ghosts(f.V, kV);
+    }
 
-    double dnt_acc = 0.0;
-    double nt_scale_acc = 0.0;
-    for (int sweep = 0; sweep < config_.sa_sweeps; ++sweep) {
-      const bool last = (sweep + 1 == config_.sa_sweeps);
-      for (int k = 0; k < mesh_.patch_count(); ++k) {
-        const PatchMesh& pm = mesh_.patch_flat(k);
-        const Grid2Dd& U = f.U[k];
-        const Grid2Dd& V = f.V[k];
-        Grid2Dd& NT = f.nuTilda[k];
-        const double dx = pm.dx;
-        const double dy = pm.dy;
-        const double vol = dx * dy;
-        for (int i = 1; i <= pm.ny; ++i) {
-          for (int j = 1; j <= pm.nx; ++j) {
+    zero_rows(ws.acc_a);
+    zero_rows(ws.acc_b);
+    for (int sweep = 0; sweep < cfg.sa_sweeps; ++sweep) {
+      const bool measure = (sweep + 1 == cfg.sa_sweeps);
+      {
+        util::ScopedAccum t(&ph.sa);
+        run_sweep(ws.rows, cfg.ordering, [&](int r, int k, int i, int color) {
+          const PatchMesh& pm = mesh_.patch_flat(k);
+          const Grid2Dd& U = f.U[k];
+          const Grid2Dd& V = f.V[k];
+          Grid2Dd& NT = f.nuTilda[k];
+          const double dx = pm.dx;
+          const double dy = pm.dy;
+          double acc = 0.0;
+          double scale = 0.0;
+          const int js = color_jstep(color);
+          for (int j = color_j0(i, color); j <= pm.nx; j += js) {
             if (pm.solid(i, j)) {
               NT(i, j) = 0.0;
               continue;
             }
-            const double d_wall = pm.wall_dist(i, j);
-            // Convection fluxes (upwind).
-            const double fe = 0.5 * (U(i, j) + U(i, j + 1)) * dy;
-            const double fw_ = 0.5 * (U(i, j) + U(i, j - 1)) * dy;
-            const double fn = 0.5 * (V(i, j) + V(i + 1, j)) * dx;
-            const double fs = 0.5 * (V(i, j) + V(i - 1, j)) * dx;
-            // Diffusion (nu + nuTilda) / sigma at faces.
-            auto dface = [&](double nt_a, double nt_b, double len_over) {
-              const double nt_face =
-                  0.5 * (std::max(nt_a, 0.0) + std::max(nt_b, 0.0));
-              return (nu + nt_face) / sa::kSigma * len_over;
-            };
-            const double de = dface(NT(i, j), NT(i, j + 1), dy / dx);
-            const double dw = dface(NT(i, j), NT(i, j - 1), dy / dx);
-            const double dn = dface(NT(i, j), NT(i + 1, j), dx / dy);
-            const double ds = dface(NT(i, j), NT(i - 1, j), dx / dy);
-            const double ae = de + std::max(-fe, 0.0);
-            const double aw = dw + std::max(fw_, 0.0);
-            const double an = dn + std::max(-fn, 0.0);
-            const double as = ds + std::max(fs, 0.0);
-
-            // Sources.
-            const double nt_here = std::max(NT(i, j), 0.0);
-            const double dudy = (U(i + 1, j) - U(i - 1, j)) / (2.0 * dy);
-            const double dvdx = (V(i, j + 1) - V(i, j - 1)) / (2.0 * dx);
-            const double vort = std::abs(dvdx - dudy);
-            const double st = sa::s_tilde(vort, nt_here, nu, d_wall);
-            const double production = sa::kCb1 * st * nt_here * vol;
-            const double r = sa::r_param(nt_here, st, d_wall);
-            const double fw_fn = sa::fw(sa::g_param(r));
-            // Destruction linearised implicitly: cw1 fw (nt/d)^2 =
-            // [cw1 fw nt/d^2] * nt -> goes to the diagonal.
-            const double destr_coeff =
-                sa::cw1() * fw_fn * nt_here / (d_wall * d_wall) * vol;
-            // cb2/sigma |grad nt|^2 (explicit).
-            const double dntdx = (NT(i, j + 1) - NT(i, j - 1)) / (2.0 * dx);
-            const double dntdy = (NT(i + 1, j) - NT(i - 1, j)) / (2.0 * dy);
-            const double cross = sa::kCb2 / sa::kSigma *
-                                 (dntdx * dntdx + dntdy * dntdy) * vol;
-
-            const double speed = std::abs(U(i, j)) + std::abs(V(i, j)) +
-                                 0.3 * std::abs(spec.bc.left.u) + 1e-30;
-            const double dt = config_.pseudo_cfl * std::min(dx, dy) / speed;
-            const double a_time = vol / dt;
-            const double ap0 = ae + aw + an + as + destr_coeff + a_time;
-            const double ap = std::max(ap0, 1e-30) / config_.alpha_nt;
-            const double relax = (1.0 - config_.alpha_nt) * ap + a_time;
+            const SaCell c = sa_cell(U, V, NT, nu, u_ref, cfg.pseudo_cfl, dx,
+                                     dy, pm.wall_dist(i, j), i, j);
+            const double ap =
+                std::max(c.sum_a() + c.a_time, 1e-30) / cfg.alpha_nt;
+            const double relax = (1.0 - cfg.alpha_nt) * ap + c.a_time;
             const double old = NT(i, j);
-            const double nb_sum = ae * NT(i, j + 1) + aw * NT(i, j - 1) +
-                                  an * NT(i + 1, j) + as * NT(i - 1, j);
-            if (last) {
-              // True steady SA residual, normalised by the diagonal times
-              // a turbulence scale.
-              const double sum_a = ae + aw + an + as + destr_coeff;
-              const double nt_ref =
-                  std::max({spec.bc.left.nuTilda, 3.0 * nu, old});
-              dnt_acc += std::abs(nb_sum + production + cross -
-                                  sum_a * old) /
-                         (sum_a * nt_ref);
-              nt_scale_acc += 1.0;
+            if (measure) {
+              acc += sa_defect(c, old, nu, spec.bc.left.nuTilda);
+              scale += 1.0;
             }
             double fresh =
-                (nb_sum + production + cross + relax * old) / ap;
+                (c.nb_sum + c.production + c.cross + relax * old) / ap;
             fresh = std::max(fresh, 0.0);
             NT(i, j) = fresh;
           }
-        }
+          if (measure) {
+            ws.acc_a[r] += acc;
+            ws.acc_b[r] += scale;
+          }
+        });
       }
-      exchange_ghosts(f.nuTilda, mesh_);
-      apply_bc_ghosts(f.nuTilda, kNt);
+      {
+        util::ScopedAccum t(&ph.ghosts);
+        exchange_ghosts(f.nuTilda, mesh_);
+        apply_bc_ghosts(f.nuTilda, kNt);
+      }
     }
-    res.sa = dnt_acc / std::max(nt_scale_acc, 1e-30);
+    res.sa = sum_rows(ws.acc_a) / std::max(sum_rows(ws.acc_b), 1e-30);
+  }
+
+  return res;
+}
+
+Residuals RansSolver::evaluate_residuals(const CompositeField& f,
+                                         Workspace& ws) const {
+  const mesh::CaseSpec& spec = mesh_.spec();
+  const double nu = spec.nu;
+  const double u_ref = spec.bc.left.u;
+  Residuals res;
+
+  compute_nut(f, ws);
+
+  // Momentum defect at the state as-is; also fills ws.ap, which the
+  // continuity evaluation's Rhie-Chow faces need.
+  zero_rows(ws.acc_a);
+  zero_rows(ws.acc_b);
+  run_scan(ws.rows, [&](int r, int k, int i) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    const Grid2Dd& U = f.U[k];
+    const Grid2Dd& V = f.V[k];
+    const Grid2Dd& P = f.p[k];
+    const Grid2Dd& NT = ws.nut[k];
+    Grid2Dd& AP = ws.ap[k];
+    const double dx = pm.dx;
+    const double dy = pm.dy;
+    const double vol = dx * dy;
+    double acc = 0.0;
+    double scale = 0.0;
+    for (int j = 1; j <= pm.nx; ++j) {
+      if (pm.solid(i, j)) {
+        AP(i, j) = vol;
+        continue;
+      }
+      const MomentumCell c = momentum_cell(U, V, P, NT, nu, u_ref,
+                                           config_.pseudo_cfl, dx, dy, i, j);
+      AP(i, j) = std::max(c.sum_a() + c.a_time, 1e-30) / config_.alpha_u;
+      acc += momentum_defect(c, U(i, j), V(i, j), vol, u_ref);
+      scale += 2.0;
+    }
+    ws.acc_a[r] = acc;
+    ws.acc_b[r] = scale;
+  });
+  res.momentum = sum_rows(ws.acc_a) / std::max(sum_rows(ws.acc_b), 1e-30);
+
+  exchange_ghosts(ws.ap, mesh_);
+  extrapolate_ap(ws);
+  res.continuity = assemble_faces_imbalance(f, ws);
+
+  if (config_.solve_sa) {
+    zero_rows(ws.acc_a);
+    zero_rows(ws.acc_b);
+    run_scan(ws.rows, [&](int r, int k, int i) {
+      const PatchMesh& pm = mesh_.patch_flat(k);
+      const Grid2Dd& U = f.U[k];
+      const Grid2Dd& V = f.V[k];
+      const Grid2Dd& NT = f.nuTilda[k];
+      double acc = 0.0;
+      double scale = 0.0;
+      for (int j = 1; j <= pm.nx; ++j) {
+        if (pm.solid(i, j)) continue;
+        const SaCell c = sa_cell(U, V, NT, nu, u_ref, config_.pseudo_cfl,
+                                 pm.dx, pm.dy, pm.wall_dist(i, j), i, j);
+        acc += sa_defect(c, NT(i, j), nu, spec.bc.left.nuTilda);
+        scale += 1.0;
+      }
+      ws.acc_a[r] = acc;
+      ws.acc_b[r] = scale;
+    });
+    res.sa = sum_rows(ws.acc_a) / std::max(sum_rows(ws.acc_b), 1e-30);
   }
 
   return res;
@@ -681,6 +968,7 @@ SolveStats RansSolver::solve(CompositeField& f) {
   util::WallTimer timer;
   SolveStats stats;
   const long long cells = mesh_.active_cells();
+  Workspace& ws = workspace();
 
   // On divergence, restore the initial state and retry with progressively
   // more conservative relaxation (halved pseudo-CFL and under-relaxation).
@@ -689,17 +977,14 @@ SolveStats RansSolver::solve(CompositeField& f) {
   constexpr int kMaxAttempts = 3;
 
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    Workspace ws(mesh_);
     Residuals res;
     bool diverged = false;
-    const SolverConfig saved = config_;
-    config_ = cfg;
     stats.attempts = attempt + 1;
     stats.final_pseudo_cfl = cfg.pseudo_cfl;
     stats.final_alpha_u = cfg.alpha_u;
     for (int it = 0; it < cfg.max_outer; ++it) {
       util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
-      res = outer_iteration(f, ws);
+      res = outer_iteration(f, ws, cfg, stats.phase_seconds);
       stats.iterations += 1;
       stats.cell_updates += cells;
       if (cfg.log_every > 0 && (it % cfg.log_every == 0)) {
@@ -718,7 +1003,6 @@ SolveStats RansSolver::solve(CompositeField& f) {
         break;
       }
     }
-    config_ = saved;
     stats.residual = res.combined();
     stats.diverged = diverged;
     if (!diverged) break;
@@ -743,7 +1027,7 @@ SolveStats RansSolver::solve(CompositeField& f) {
 
 SolveStats RansSolver::iterate(CompositeField& f, int n) {
   util::WallTimer timer;
-  Workspace ws(mesh_);
+  Workspace& ws = workspace();
   SolveStats stats;
   stats.final_pseudo_cfl = config_.pseudo_cfl;
   stats.final_alpha_u = config_.alpha_u;
@@ -751,7 +1035,7 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   Residuals res;
   for (int it = 0; it < n; ++it) {
     util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
-    res = outer_iteration(f, ws);
+    res = outer_iteration(f, ws, config_, stats.phase_seconds);
     stats.iterations = it + 1;
     stats.cell_updates += cells;
     if (res.combined() >= 1e30) {
@@ -771,11 +1055,7 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
 }
 
 Residuals RansSolver::residuals(const CompositeField& f) const {
-  // One throwaway iteration on a copy measures the residuals non-destructively.
-  CompositeField copy = f;
-  Workspace ws(mesh_);
-  RansSolver* self = const_cast<RansSolver*>(this);
-  return self->outer_iteration(copy, ws);
+  return evaluate_residuals(f, workspace());
 }
 
 }  // namespace adarnet::solver

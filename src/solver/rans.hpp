@@ -14,11 +14,26 @@
 // HR solves (all patches level n) and non-uniform composite solves — which
 // is what makes the AMR cost model real: work per outer iteration is
 // proportional to the mesh's active cells.
+//
+// All in-place sweeps use red-black (checkerboard) coloring by default and
+// are thread-parallel over (patch, row) work items; every floating-point
+// reduction goes through fixed-order per-row partial buffers, so results
+// are bitwise identical across thread counts (DESIGN.md §8).
 #pragma once
+
+#include <memory>
 
 #include "mesh/composite.hpp"
 
 namespace adarnet::solver {
+
+/// Update order of the in-place sweeps (momentum GS, pressure SOR, SA GS).
+enum class SweepOrdering {
+  kRedBlack,       ///< two colored half-sweeps; thread-parallel, results
+                   ///< independent of thread count (the default)
+  kLexicographic,  ///< classic serial (k, i, j) order; kept as the serial
+                   ///< reference for parity tests
+};
 
 /// Tuning knobs for the SIMPLE iteration.
 struct SolverConfig {
@@ -35,6 +50,26 @@ struct SolverConfig {
   double pseudo_cfl = 2.0;    ///< local pseudo-time-step CFL number; bounds
                               ///< Vol/aP in near-stagnation cells (stability)
   int log_every = 0;          ///< 0 = silent, n = log residual every n iters
+  SweepOrdering ordering = SweepOrdering::kRedBlack;  ///< sweep update order
+};
+
+/// Wall time spent in each phase of the outer iteration, accumulated over a
+/// whole solve()/iterate() call. `ghosts` covers every inter-patch exchange
+/// and boundary-ghost application (inside and between the other phases);
+/// the compute phases exclude it. `sa` includes the eddy-viscosity
+/// evaluation that feeds the momentum coefficients.
+struct PhaseTimes {
+  double momentum = 0.0;   ///< momentum coefficient assembly + GS sweeps
+  double rhie_chow = 0.0;  ///< aP extrapolation, face velocities, reflux,
+                           ///< mass imbalance
+  double pressure = 0.0;   ///< p' SOR sweeps, p' boundary ghosts, corrector
+  double sa = 0.0;         ///< eddy viscosity + SA transport sweeps
+  double ghosts = 0.0;     ///< exchange_ghosts + apply_bc_ghosts traffic
+
+  /// Sum of all phases (excludes untimed glue, so <= the solve wall time).
+  [[nodiscard]] double total() const {
+    return momentum + rhie_chow + pressure + sa + ghosts;
+  }
 };
 
 /// Outcome of a solve: convergence, cost, and residual bookkeeping.
@@ -53,6 +88,7 @@ struct SolveStats {
                                 ///< independent work measure)
   double final_pseudo_cfl = 0.0;  ///< pseudo-CFL of the last attempt run
   double final_alpha_u = 0.0;     ///< momentum relaxation of the last attempt
+  PhaseTimes phase_seconds;       ///< per-phase wall-time breakdown
 };
 
 /// Normalised residuals of the current state (diagnostics and convergence).
@@ -69,6 +105,7 @@ struct Residuals {
 class RansSolver {
  public:
   RansSolver(const mesh::CompositeMesh& mesh, SolverConfig config);
+  ~RansSolver();
 
   /// Initialises `f` to a uniform freestream guess (inlet velocity
   /// everywhere, zero pressure, freestream nuTilda), zero inside solids.
@@ -86,7 +123,9 @@ class RansSolver {
   /// Applies boundary-condition ghosts + inter-patch exchange to `f`.
   void refresh_ghosts(mesh::CompositeField& f) const;
 
-  /// Current residuals of the state (one evaluation, no update).
+  /// Residuals of the state as-is: one read-only evaluation of the steady
+  /// defect, no sweeps, no field copy. Expects refreshed ghosts — every
+  /// solver entry point (solve/iterate/refresh_ghosts) leaves them so.
   Residuals residuals(const mesh::CompositeField& f) const;
 
   [[nodiscard]] const SolverConfig& config() const { return config_; }
@@ -95,13 +134,38 @@ class RansSolver {
  private:
   struct Workspace;
 
-  /// One SIMPLE outer iteration; returns the residuals measured during it.
-  Residuals outer_iteration(mesh::CompositeField& f, Workspace& ws);
+  /// The cached per-solver scratch workspace (allocated on first use; the
+  /// mesh, and therefore every array shape, is fixed for the solver's
+  /// lifetime). mutable: residuals() is logically const but needs scratch.
+  Workspace& workspace() const;
+
+  /// One SIMPLE outer iteration under `cfg`; returns the residuals
+  /// measured during it and accumulates phase timings into `phases`.
+  Residuals outer_iteration(mesh::CompositeField& f, Workspace& ws,
+                            const SolverConfig& cfg, PhaseTimes& phases) const;
+
+  /// Read-only steady-defect evaluation of `f` (residuals() backend):
+  /// writes only into `ws`, never into `f`.
+  Residuals evaluate_residuals(const mesh::CompositeField& f,
+                               Workspace& ws) const;
+
+  /// Eddy viscosity ws.nut from f.nuTilda (ghosts included).
+  void compute_nut(const mesh::CompositeField& f, Workspace& ws) const;
+
+  /// Zero-gradient extrapolation of the momentum diagonal ws.ap into the
+  /// domain-boundary ghost ring (interfaces are handled by exchange).
+  void extrapolate_ap(Workspace& ws) const;
+
+  /// Rhie-Chow face velocities, interface refluxing, and the per-cell mass
+  /// imbalance ws.imb; returns the normalised continuity residual.
+  double assemble_faces_imbalance(const mesh::CompositeField& f,
+                                  Workspace& ws) const;
 
   void apply_bc_ghosts(mesh::CompositeScalar& s, int channel) const;
 
   const mesh::CompositeMesh& mesh_;
   SolverConfig config_;
+  mutable std::unique_ptr<Workspace> ws_;
 };
 
 }  // namespace adarnet::solver

@@ -27,6 +27,21 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// RAII section timer: adds the enclosed scope's duration to `*sink` on
+/// destruction. Used for the solver's per-phase breakdown
+/// (SolveStats::phase_seconds); cost is two steady_clock reads per scope.
+class ScopedAccum {
+ public:
+  explicit ScopedAccum(double* sink) : sink_(sink) {}
+  ~ScopedAccum() { *sink_ += timer_.seconds(); }
+  ScopedAccum(const ScopedAccum&) = delete;
+  ScopedAccum& operator=(const ScopedAccum&) = delete;
+
+ private:
+  WallTimer timer_;
+  double* sink_;
+};
+
 /// Accumulating timer: sums the duration of several timed sections.
 class AccumTimer {
  public:

@@ -1,0 +1,261 @@
+// Determinism, parity, and profiling tests for the thread-parallel
+// red-black SIMPLE solver (DESIGN.md §8): bitwise-identical results across
+// thread counts, red-black vs lexicographic convergence parity, read-only
+// residual evaluation, workspace reuse, and the per-phase timing breakdown.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "data/cases.hpp"
+#include "mesh/composite.hpp"
+#include "solver/rans.hpp"
+
+namespace {
+
+using adarnet::data::GridPreset;
+using adarnet::mesh::CompositeField;
+using adarnet::mesh::CompositeMesh;
+using adarnet::mesh::RefinementMap;
+using adarnet::solver::RansSolver;
+using adarnet::solver::SolveStats;
+using adarnet::solver::SolverConfig;
+using adarnet::solver::SweepOrdering;
+
+GridPreset tiny_preset() { return GridPreset{16, 64, 8, 8}; }
+
+SolverConfig quick_config() {
+  SolverConfig cfg;
+  cfg.max_outer = 4000;
+  cfg.tol = 5e-4;
+  return cfg;
+}
+
+// Non-uniform composite mesh: wall patch rows refined (mixed patch sizes
+// exercise the row-level load balancing and the level-jump reflux).
+CompositeMesh mixed_channel_mesh(const adarnet::mesh::CaseSpec& spec) {
+  RefinementMap map(spec.npy(), spec.npx(), 0);
+  for (int pj = 0; pj < spec.npx(); ++pj) {
+    map.set_level(0, pj, 1);
+    map.set_level(spec.npy() - 1, pj, 1);
+  }
+  return CompositeMesh(spec, map);
+}
+
+// Exact (bitwise) equality of two composite fields, ghosts included.
+::testing::AssertionResult fields_identical(const CompositeField& a,
+                                            const CompositeField& b) {
+  for (int c = 0; c < 4; ++c) {
+    const auto& ca = a.channel(c);
+    const auto& cb = b.channel(c);
+    if (ca.size() != cb.size()) {
+      return ::testing::AssertionFailure() << "patch count mismatch";
+    }
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      for (std::size_t n = 0; n < ca[k].size(); ++n) {
+        if (std::memcmp(&ca[k][n], &cb[k][n], sizeof(double)) != 0) {
+          return ::testing::AssertionFailure()
+                 << "channel " << c << " patch " << k << " cell " << n
+                 << ": " << ca[k][n] << " != " << cb[k][n];
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+SolveStats run_iterations(const CompositeMesh& mesh, const SolverConfig& cfg,
+                          CompositeField& f, int iters) {
+  RansSolver solver(mesh, cfg);
+  solver.initialize_freestream(f);
+  return solver.iterate(f, iters);
+}
+
+}  // namespace
+
+#ifdef _OPENMP
+// The tentpole guarantee: red-black coloring makes the parallel sweeps
+// deterministic, so SolveStats.residual and every field value are bitwise
+// identical for OMP_NUM_THREADS=1 vs 4 (unlike naively parallelised
+// lexicographic Gauss-Seidel, whose result depends on the thread
+// interleaving).
+TEST(ParallelSolver, BitwiseIdenticalAcrossThreadCounts) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh = mixed_channel_mesh(spec);
+  const int saved = omp_get_max_threads();
+
+  omp_set_num_threads(1);
+  auto f1 = adarnet::mesh::make_field(mesh);
+  const auto s1 = run_iterations(mesh, quick_config(), f1, 30);
+
+  omp_set_num_threads(4);
+  auto f4 = adarnet::mesh::make_field(mesh);
+  const auto s4 = run_iterations(mesh, quick_config(), f4, 30);
+
+  omp_set_num_threads(saved);
+
+  EXPECT_EQ(s1.iterations, s4.iterations);
+  EXPECT_EQ(s1.residual, s4.residual);  // exact, not NEAR
+  EXPECT_TRUE(fields_identical(f1, f4));
+}
+
+// Oversubscription (more threads than row work items on the coarse
+// patches) must not change the result either.
+TEST(ParallelSolver, BitwiseIdenticalWhenOversubscribed) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  const int saved = omp_get_max_threads();
+
+  omp_set_num_threads(1);
+  auto f1 = adarnet::mesh::make_field(mesh);
+  run_iterations(mesh, quick_config(), f1, 10);
+
+  omp_set_num_threads(13);  // deliberately odd, > 2 * patch rows
+  auto fn = adarnet::mesh::make_field(mesh);
+  run_iterations(mesh, quick_config(), fn, 10);
+
+  omp_set_num_threads(saved);
+  EXPECT_TRUE(fields_identical(f1, fn));
+}
+#endif  // _OPENMP
+
+// Parity: red-black sweeps converge the seed channel case to the same
+// tolerance in a comparable iteration count as the classic lexicographic
+// ordering (coloring reorders the updates but must not degrade SIMPLE).
+TEST(ParallelSolver, RedBlackMatchesLexicographicConvergence) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+
+  SolverConfig lex = quick_config();
+  lex.ordering = SweepOrdering::kLexicographic;
+  RansSolver solver_lex(mesh, lex);
+  auto f_lex = adarnet::mesh::make_field(mesh);
+  solver_lex.initialize_freestream(f_lex);
+  const auto stats_lex = solver_lex.solve(f_lex);
+  ASSERT_TRUE(stats_lex.converged) << "residual=" << stats_lex.residual;
+
+  SolverConfig rb = quick_config();
+  rb.ordering = SweepOrdering::kRedBlack;
+  RansSolver solver_rb(mesh, rb);
+  auto f_rb = adarnet::mesh::make_field(mesh);
+  solver_rb.initialize_freestream(f_rb);
+  const auto stats_rb = solver_rb.solve(f_rb);
+  ASSERT_TRUE(stats_rb.converged) << "residual=" << stats_rb.residual;
+
+  // Comparable cost: within 60% of each other in either direction.
+  EXPECT_LT(stats_rb.iterations, 1.6 * stats_lex.iterations)
+      << "rb=" << stats_rb.iterations << " lex=" << stats_lex.iterations;
+  EXPECT_LT(stats_lex.iterations, 1.6 * stats_rb.iterations)
+      << "rb=" << stats_rb.iterations << " lex=" << stats_lex.iterations;
+}
+
+// Parity on a body case (immersed solid cells + symmetry boundaries).
+TEST(ParallelSolver, RedBlackMatchesLexicographicOnCylinder) {
+  auto spec = adarnet::data::cylinder_case(1e5, GridPreset{32, 32, 8, 8});
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+
+  SolverConfig lex = quick_config();
+  lex.max_outer = 600;
+  lex.ordering = SweepOrdering::kLexicographic;
+  auto f_lex = adarnet::mesh::make_field(mesh);
+  const auto stats_lex = run_iterations(mesh, lex, f_lex, 600);
+
+  SolverConfig rb = lex;
+  rb.ordering = SweepOrdering::kRedBlack;
+  auto f_rb = adarnet::mesh::make_field(mesh);
+  const auto stats_rb = run_iterations(mesh, rb, f_rb, 600);
+
+  ASSERT_FALSE(stats_lex.diverged);
+  ASSERT_FALSE(stats_rb.diverged);
+  // Same fixed iteration budget ends at a comparable residual level.
+  EXPECT_LT(stats_rb.residual, 3.0 * stats_lex.residual + 1e-12)
+      << "rb=" << stats_rb.residual << " lex=" << stats_lex.residual;
+}
+
+// residuals() evaluates the state read-only: no sweeps, no copy, and the
+// field — ghosts included — is bitwise untouched.
+TEST(ParallelSolver, ResidualsIsReadOnly) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh = mixed_channel_mesh(spec);
+  RansSolver solver(mesh, quick_config());
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  solver.iterate(f, 20);
+
+  const CompositeField snapshot = f;
+  const auto res = solver.residuals(f);
+  EXPECT_TRUE(fields_identical(snapshot, f));
+  EXPECT_TRUE(std::isfinite(res.combined()));
+  EXPECT_GT(res.combined(), 0.0);
+
+  // The evaluation agrees with the residual the next iteration measures
+  // (same defect formula, evaluated at the same state) within the drift
+  // of one outer iteration.
+  const auto stats = solver.iterate(f, 1);
+  EXPECT_NEAR(std::log10(res.combined()), std::log10(stats.residual), 1.0);
+}
+
+// A converged state must evaluate as converged.
+TEST(ParallelSolver, ResidualsAgreesWithConvergedSolve) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  SolverConfig cfg = quick_config();
+  RansSolver solver(mesh, cfg);
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+  ASSERT_TRUE(stats.converged);
+  // One more sweep moves a converged state very little, so the steady
+  // defect stays within an order of magnitude of the target.
+  EXPECT_LT(solver.residuals(f).combined(), 10.0 * cfg.tol);
+}
+
+// The cached workspace must not leak state between calls: two back-to-back
+// iterate() calls give exactly the same trajectory as one combined call.
+TEST(ParallelSolver, WorkspaceReuseIsStateless) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh = mixed_channel_mesh(spec);
+
+  RansSolver split(mesh, quick_config());
+  auto f_split = adarnet::mesh::make_field(mesh);
+  split.initialize_freestream(f_split);
+  split.iterate(f_split, 7);
+  split.iterate(f_split, 13);
+
+  RansSolver whole(mesh, quick_config());
+  auto f_whole = adarnet::mesh::make_field(mesh);
+  whole.initialize_freestream(f_whole);
+  whole.iterate(f_whole, 20);
+
+  EXPECT_TRUE(fields_identical(f_split, f_whole));
+}
+
+// Phase timings: every phase non-negative, the breakdown accounts for the
+// bulk of the solve, and it never exceeds the wall time.
+TEST(ParallelSolver, PhaseTimesCoverTheSolve) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh = mixed_channel_mesh(spec);
+  RansSolver solver(mesh, quick_config());
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.iterate(f, 30);
+
+  const auto& ph = stats.phase_seconds;
+  EXPECT_GE(ph.momentum, 0.0);
+  EXPECT_GE(ph.rhie_chow, 0.0);
+  EXPECT_GE(ph.pressure, 0.0);
+  EXPECT_GE(ph.sa, 0.0);
+  EXPECT_GE(ph.ghosts, 0.0);
+  EXPECT_GT(ph.total(), 0.0);
+  // Timer scopes nest inside the solve: the sum cannot exceed wall time
+  // (allow a sliver of clock granularity).
+  EXPECT_LE(ph.total(), stats.seconds * 1.02 + 1e-6);
+  // The five phases are the solver: expect them to cover most of the wall.
+  EXPECT_GT(ph.total(), 0.5 * stats.seconds);
+  // Pressure (60 SOR sweeps/iter vs 2 momentum sweeps) dominates compute.
+  EXPECT_GT(ph.pressure, 0.0);
+}
