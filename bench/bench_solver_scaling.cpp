@@ -65,6 +65,9 @@ std::string pct(double part, double total) {
 int main() {
   using namespace adarnet;
 
+  util::metrics::reset();
+  util::WallTimer wall;
+
   // Channel at bench scale: LR 64 x 128 over 4 x 8 patches of 16 x 16.
   // Uniform HR refines every patch to level 2 (256 x 512 cells,
   // a 256x256-class solve); the composite mixes levels 2 and 1 the way
@@ -182,6 +185,7 @@ int main() {
       .add("iterations", iters)
       .add("hr_speedup_4t", hr_speedup_4t)
       .add_raw("meshes", mesh_json.str());
+  bench::add_observability(doc, wall.seconds());
   bench::write_json("BENCH_solver.json", doc.str());
   return 0;
 }

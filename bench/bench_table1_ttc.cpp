@@ -18,6 +18,11 @@
 int main() {
   using namespace adarnet;
 
+  // Scope the metrics snapshot to this run: everything below (training on a
+  // cache miss, AMR sweeps, pipeline runs) lands in one registry snapshot.
+  util::metrics::reset();
+  util::WallTimer wall;
+
   auto trained = bench::trained_model();
   core::AdarNet& model = *trained.model;
 
@@ -76,6 +81,7 @@ int main() {
       .add("speedup_geomean",
            case_count ? std::pow(speedup_geomean, 1.0 / case_count) : 0.0)
       .add_raw("cases", case_json.str());
+  bench::add_observability(doc, wall.seconds());
   bench::write_json("BENCH_ttc.json", doc.str());
   return 0;
 }

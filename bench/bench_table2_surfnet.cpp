@@ -15,6 +15,9 @@
 int main() {
   using namespace adarnet;
 
+  util::metrics::reset();
+  util::WallTimer wall;
+
   auto trained = bench::trained_model();
   core::AdarNet& model = *trained.model;
   util::Rng rng(99);
@@ -24,6 +27,7 @@ int main() {
 
   util::Table table({"case", "SURFNet MB", "ADARNet MB", "mem rf",
                      "SURFNet inf+ps (s)", "ADARNet inf+ps (s)", "speedup"});
+  bench::JsonArray case_json;
 
   for (const auto& spec : bench::paper_test_cases()) {
     std::fprintf(stderr, "[table2] %s\n", spec.name.c_str());
@@ -54,10 +58,25 @@ int main() {
                    util::fmt_speedup(surf_mb / adar_mb),
                    util::fmt(surf_time, 4), util::fmt(adar_time, 4),
                    util::fmt_speedup(surf_time / adar_time)});
+
+    bench::JsonObject obj;
+    obj.add("case", spec.name)
+        .add("surfnet_mb", surf_mb)
+        .add("adarnet_mb", adar_mb)
+        .add("memory_reduction", surf_mb / adar_mb)
+        .add("surfnet_s", surf_time)
+        .add("adarnet_s", adar_time)
+        .add("speedup", surf_time / adar_time);
+    case_json.push(obj.str());
   }
 
   std::printf("Table 2: ADARNet vs SURFNet at 64x SR "
               "(paper: 7x - 28.5x time, 4.4x - 7.65x memory)\n\n");
   bench::emit(table, "table2_surfnet");
+
+  bench::JsonObject doc;
+  doc.add("bench", "table2_surfnet").add_raw("cases", case_json.str());
+  bench::add_observability(doc, wall.seconds());
+  bench::write_json("BENCH_surfnet.json", doc.str());
   return 0;
 }

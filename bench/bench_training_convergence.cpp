@@ -11,6 +11,9 @@
 int main() {
   using namespace adarnet;
 
+  util::metrics::reset();
+  util::WallTimer wall;
+
   const int per_flow = bench::env_int("ADARNET_BENCH_SAMPLES", 3);
   const int epochs = bench::env_int("ADARNET_BENCH_EPOCHS", 30);
 
@@ -65,5 +68,19 @@ int main() {
   const double drop_pde = stats.pde_loss.front() / (stats.final_pde_loss() + 1e-30);
   std::printf("loss reduction over training: data %.1fx, pde %.1fx\n",
               drop_data, drop_pde);
+
+  bench::JsonObject doc;
+  doc.add("bench", "training_convergence")
+      .add("epochs", epochs)
+      .add("samples", static_cast<long long>(dataset.samples.size()))
+      .add("train_s", train_s)
+      .add("final_data_loss", stats.final_data_loss())
+      .add("final_pde_loss", stats.final_pde_loss())
+      .add("val_data_loss", val_data)
+      .add("val_pde_loss", val_pde)
+      .add("data_loss_reduction", drop_data)
+      .add("pde_loss_reduction", drop_pde);
+  bench::add_observability(doc, wall.seconds());
+  bench::write_json("BENCH_training.json", doc.str());
   return 0;
 }

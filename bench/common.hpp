@@ -27,8 +27,10 @@
 #include "data/cases.hpp"
 #include "data/dataset.hpp"
 #include "nn/serialize.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace adarnet::bench {
 
@@ -208,14 +210,20 @@ class JsonObject {
     return add_raw(key, v ? "true" : "false");
   }
   JsonObject& add(const std::string& key, const std::string& v) {
-    return add_raw(key, "\"" + json_escape(v) + "\"");
+    std::string quoted = "\"";
+    quoted += json_escape(v);
+    quoted += '"';
+    return add_raw(key, quoted);
   }
   JsonObject& add(const std::string& key, const char* v) {
     return add(key, std::string(v));
   }
   JsonObject& add_raw(const std::string& key, const std::string& json) {
-    body_ += first_ ? "" : ", ";
-    body_ += "\"" + json_escape(key) + "\": " + json;
+    if (!first_) body_ += ", ";
+    body_ += '"';
+    body_ += json_escape(key);
+    body_ += "\": ";
+    body_ += json;
     first_ = false;
     return *this;
   }
@@ -251,6 +259,38 @@ inline bool write_json(const std::string& path, const std::string& json) {
     std::printf("(json written to %s)\n", path.c_str());
   }
   return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// Observability plumbing (DESIGN.md §9). Benches call metrics::reset() at
+// startup so the snapshot covers exactly one run, then embed the snapshot
+// in their BENCH_*.json document together with the attributed wall-time
+// fraction.
+
+/// Wall time covered by the disjoint top-level stage timers: training
+/// epochs, model inference, and physics solves. Everything the benches do
+/// that is expensive (dataset generation, AMR sweeps, pipeline runs) bottoms
+/// out in one of these three, so the sum over the run's wall time is the
+/// fraction of time attributed to named stages.
+inline double attributed_stage_seconds() {
+  namespace metrics = util::metrics;
+  const long long ns = metrics::counter("train.epoch.ns").value() +
+                       metrics::counter("infer.ns").value() +
+                       metrics::counter("solver.ns").value();
+  return static_cast<double>(ns) * 1e-9;
+}
+
+/// Adds the run's wall time, the stage-attributed share of it, and the full
+/// metrics snapshot to a bench JSON document, then flushes the trace file
+/// (a no-op unless ADARNET_TRACE is set).
+inline void add_observability(JsonObject& doc, double wall_seconds) {
+  const double attributed = attributed_stage_seconds();
+  doc.add("wall_s", wall_seconds)
+      .add("attributed_s", attributed)
+      .add("attributed_fraction",
+           wall_seconds > 0.0 ? attributed / wall_seconds : 0.0)
+      .add_raw("metrics", util::metrics::snapshot_json());
+  util::trace::flush();
 }
 
 }  // namespace adarnet::bench

@@ -37,7 +37,10 @@ class Decoder {
     return net_.backward(grad_output);
   }
 
-  std::vector<nn::Parameter*> parameters() { return net_.parameters(); }
+  /// All learnable parameters (shallow const, see nn::Layer::parameters).
+  [[nodiscard]] std::vector<nn::Parameter*> parameters() const {
+    return net_.parameters();
+  }
 
   /// Analytic inference memory for a batch of (n, h, w) patches.
   [[nodiscard]] nn::MemoryEstimate estimate_memory(int n, int h, int w) const {

@@ -6,7 +6,9 @@
 #include "field/interp.hpp"
 #include "nn/gemm.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace adarnet::core {
 
@@ -17,7 +19,7 @@ AdarNet::AdarNet(AdarNetConfig config, util::Rng& rng)
       scorer_(field::kNumFlowVars, config.ph, config.pw, rng),
       decoder_(rng, field::kNumFlowVars) {}
 
-std::vector<nn::Parameter*> AdarNet::parameters() {
+std::vector<nn::Parameter*> AdarNet::parameters() const {
   std::vector<nn::Parameter*> out = scorer_.parameters();
   for (nn::Parameter* p : decoder_.parameters()) out.push_back(p);
   return out;
@@ -82,6 +84,21 @@ nn::Tensor AdarNet::make_decoder_batch(const nn::Tensor& lr_norm,
 }
 
 InferenceResult AdarNet::infer(const field::FlowField& lr) {
+  // Per-stage observability (DESIGN.md §9): scorer forward, rank, per-bin
+  // batch assembly and decoder forward, plus a bin-occupancy histogram.
+  namespace metrics = util::metrics;
+  metrics::Counter& m_calls = metrics::counter("infer.calls");
+  metrics::Counter& m_ns = metrics::counter("infer.ns");
+  metrics::Counter& m_scorer_ns = metrics::counter("infer.scorer.ns");
+  metrics::Counter& m_rank_ns = metrics::counter("infer.rank.ns");
+  metrics::Counter& m_batch_ns = metrics::counter("infer.batch.ns");
+  metrics::Counter& m_decoder_ns = metrics::counter("infer.decoder.ns");
+  metrics::Histogram& m_occupancy =
+      metrics::histogram("infer.bin.occupancy");
+  const util::trace::Span infer_span("infer");
+  const metrics::ScopedNs infer_timer(m_ns);
+  m_calls.add();
+
   util::WallTimer timer;
   nn::memory::reset_peak();
   const std::int64_t base_bytes = nn::memory::peak_bytes();
@@ -92,8 +109,21 @@ InferenceResult AdarNet::infer(const field::FlowField& lr) {
   result.patches.resize(static_cast<std::size_t>(npy) * npx);
 
   const nn::Tensor input = data::to_tensor(lr, stats_);
-  ScorerOutput scored = scorer_.forward(input, /*train=*/false);
-  const std::vector<Bin> bins = rank(scored.scores, config_.bins);
+  ScorerOutput scored;
+  {
+    const util::trace::Span span("infer.scorer");
+    const metrics::ScopedNs t(m_scorer_ns);
+    scored = scorer_.forward(input, /*train=*/false);
+  }
+  std::vector<Bin> bins;
+  {
+    const util::trace::Span span("infer.rank");
+    const metrics::ScopedNs t(m_rank_ns);
+    bins = rank(scored.scores, config_.bins);
+  }
+  for (const Bin& bin : bins) {
+    m_occupancy.observe(static_cast<long long>(bin.patch_ids.size()));
+  }
   result.map = to_refinement_map(bins, npy, npx);
 
   std::int64_t modeled = scorer_.estimate_memory(1, lr.ny(), lr.nx()).total();
@@ -112,11 +142,17 @@ InferenceResult AdarNet::infer(const field::FlowField& lr) {
   nn::Arena::global().reserve(static_cast<std::size_t>(decoder_ws));
   for (const Bin& bin : bins) {
     if (bin.patch_ids.empty()) continue;
-    nn::Tensor batch =
-        make_decoder_batch(input, bin.patch_ids, bin.level, npx, npy);
+    nn::Tensor batch;
+    {
+      const util::trace::Span span("infer.batch");
+      const metrics::ScopedNs t(m_batch_ns);
+      batch = make_decoder_batch(input, bin.patch_ids, bin.level, npx, npy);
+    }
     modeled += decoder_
                    .estimate_memory(batch.n(), batch.h(), batch.w())
                    .total();
+    const util::trace::Span span("infer.decoder");
+    const metrics::ScopedNs t(m_decoder_ns);
     nn::Tensor out = decoder_.forward(batch, /*train=*/false);
     for (std::size_t s = 0; s < bin.patch_ids.size(); ++s) {
       PatchPrediction pred;

@@ -72,8 +72,8 @@ class AdarNet {
   [[nodiscard]] const AdarNetConfig& config() const { return config_; }
 
   /// All learnable parameters (scorer + decoder), for optimizers and
-  /// serialisation.
-  std::vector<nn::Parameter*> parameters();
+  /// serialisation (shallow const, see nn::Layer::parameters).
+  [[nodiscard]] std::vector<nn::Parameter*> parameters() const;
 
  private:
   AdarNetConfig config_;

@@ -5,7 +5,9 @@
 #include "data/dataset.hpp"
 #include "field/interp.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace adarnet::core {
 
@@ -128,6 +130,7 @@ bool solve_failed(const solver::SolveStats& stats,
 PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
                                     const PipelineConfig& config) {
   util::WallTimer timer;
+  const util::trace::Span span("pipeline.lr_solve");
   solver::SolveStats lr_stats;
   field::FlowField lr = data::solve_lr(spec, config.lr_solver, &lr_stats);
   return run_adarnet_pipeline(model, spec, config, lr, timer.seconds(),
@@ -138,6 +141,15 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
                                     const PipelineConfig& config,
                                     const field::FlowField& lr,
                                     double lr_seconds, int lr_iterations) {
+  // Observability (DESIGN.md §9): run/solve counters, solver retry attempts
+  // and which rung of the degradation ladder the run ended on.
+  namespace metrics = util::metrics;
+  metrics::Counter& m_runs = metrics::counter("pipeline.runs");
+  metrics::Counter& m_solves = metrics::counter("pipeline.solves");
+  metrics::Counter& m_attempts = metrics::counter("pipeline.solver.attempts");
+  const util::trace::Span pipeline_span("pipeline");
+  m_runs.add();
+
   PipelineResult result;
   result.lr = lr;
   result.lr_seconds = lr_seconds;
@@ -173,11 +185,13 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
     }
   }
 
-  auto account = [&result](const solver::SolveStats& stats) {
+  auto account = [&](const solver::SolveStats& stats) {
     result.ps_seconds += stats.seconds;
     result.ps_iterations += stats.iterations;
     result.ps_solves += 1;
     result.converged = stats.converged;
+    m_solves.add();
+    m_attempts.add(stats.attempts);
   };
 
   // --- the degradation ladder ------------------------------------------------
@@ -226,6 +240,22 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
     result.map = ref_map;
     result.mesh = std::move(mesh);
     result.solution = std::move(f);
+  }
+
+  // One rung counter per run: the deepest rung the ladder reached.
+  switch (result.fallback_stage) {
+    case FallbackStage::kNone:
+      metrics::counter("pipeline.fallback.none").add();
+      break;
+    case FallbackStage::kSanitizedSeed:
+      metrics::counter("pipeline.fallback.sanitized_seed").add();
+      break;
+    case FallbackStage::kFreestreamRetry:
+      metrics::counter("pipeline.fallback.freestream_retry").add();
+      break;
+    case FallbackStage::kReferenceMap:
+      metrics::counter("pipeline.fallback.reference_map").add();
+      break;
   }
 
   if (result.fallback_stage != FallbackStage::kNone) {

@@ -1,6 +1,7 @@
 #include "adarnet/ranker.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace adarnet::core {
@@ -11,17 +12,26 @@ std::vector<Bin> rank(const nn::Tensor& scores, int b) {
   }
   if (b < 1) throw std::invalid_argument("rank: need at least one bin");
   const int count = scores.h() * scores.w();
+  // Rescale by the largest *finite* score: a NaN/inf score (a poisoned
+  // scorer reaches this function before the pipeline's finite guard runs)
+  // must neither become the rescale denominator nor pick a bin itself.
   float max_score = 0.0f;
   for (int k = 0; k < count; ++k) {
-    max_score = std::max(max_score, scores[static_cast<std::size_t>(k)]);
+    const float s = scores[static_cast<std::size_t>(k)];
+    if (std::isfinite(s)) max_score = std::max(max_score, s);
   }
   std::vector<Bin> bins(b);
   for (int level = 0; level < b; ++level) bins[level].level = level;
   for (int k = 0; k < count; ++k) {
+    const float s = scores[static_cast<std::size_t>(k)];
     int bin = 0;
-    if (max_score > 0.0f) {
-      const float rescaled = scores[static_cast<std::size_t>(k)] / max_score;
-      bin = std::min(static_cast<int>(rescaled * b), b - 1);
+    // Non-finite and non-positive scores land in bin 0 (level 0, no
+    // refinement): a negative or NaN rescaled value would otherwise cast
+    // to a negative/unspecified int and index out of bounds.
+    if (max_score > 0.0f && std::isfinite(s) && s > 0.0f) {
+      const float rescaled = std::min(s / max_score, 1.0f);
+      bin = std::min(static_cast<int>(rescaled * static_cast<float>(b)),
+                     b - 1);
     }
     bins[bin].patch_ids.push_back(k);
   }

@@ -25,7 +25,11 @@ struct Bin {
 };
 
 /// Bins patch scores into `b` uniform bins after max-rescaling. `scores`
-/// is the scorer output for one sample: (1, 1, npy, npx).
+/// is the scorer output for one sample: (1, 1, npy, npx). Defensive
+/// binning: the bin index is clamped to [0, b-1], and non-finite or
+/// non-positive scores (possible when a poisoned scorer output reaches the
+/// ranker ahead of the pipeline's finite guard) are rejected to bin 0 and
+/// excluded from the rescale maximum.
 std::vector<Bin> rank(const nn::Tensor& scores, int b);
 
 /// The refinement map implied by a binning (bin index == level).

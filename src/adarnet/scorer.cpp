@@ -53,7 +53,7 @@ nn::MemoryEstimate Scorer::estimate_memory(int n, int h, int w) const {
   // symbolic walk's max over the feature convs.
   est.workspace_bytes =
       nn::estimate_memory(features_, n, in_channels_, h, w).workspace_bytes;
-  for (nn::Parameter* p : const_cast<Scorer*>(this)->parameters()) {
+  for (nn::Parameter* p : parameters()) {
     est.parameter_bytes += p->value.bytes();
   }
   return est;

@@ -40,8 +40,10 @@ class Scorer {
   /// Backward from dL/d scores; returns dL/d input.
   nn::Tensor backward(const nn::Tensor& grad_scores);
 
-  /// All learnable parameters.
-  std::vector<nn::Parameter*> parameters() { return features_.parameters(); }
+  /// All learnable parameters (shallow const, see nn::Layer::parameters).
+  [[nodiscard]] std::vector<nn::Parameter*> parameters() const {
+    return features_.parameters();
+  }
 
   /// Analytic inference-memory estimate for a batch of (n, h, w) inputs.
   [[nodiscard]] nn::MemoryEstimate estimate_memory(int n, int h, int w) const;

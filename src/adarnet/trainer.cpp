@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <numeric>
+#include <tuple>
 
 #include "amr/criteria.hpp"
 #include "field/interp.hpp"
@@ -15,6 +16,9 @@
 #include "adarnet/pde_loss.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace adarnet::core {
 
@@ -45,16 +49,20 @@ namespace {
 
 // Hybrid loss and its gradient for one decoder output batch of patches at
 // `level`. Returns {data_loss_sum, pde_loss_sum} over the batch and fills
-// `grad` (same shape as `out`).
+// `*grad` (same shape as `out`). A null `grad` skips the whole adjoint
+// path — no gradient tensor allocation, no resize_adjoint, no chain-rule
+// accumulation — which is what evaluate() wants for eval-only forwards.
 std::pair<double, double> hybrid_loss(
     const nn::Tensor& out, const std::vector<int>& patch_ids, int level,
     const data::Sample& sample, const data::NormStats& stats, int ph, int pw,
-    double lambda_pde, ResidualFn residual, nn::Tensor& grad) {
+    double lambda_pde, ResidualFn residual, nn::Tensor* grad) {
   const mesh::CaseSpec& spec = sample.spec;
   const int npx = spec.npx();
   const int hh = ph << level;
   const int ww = pw << level;
-  grad = nn::Tensor(out.n(), out.c(), out.h(), out.w());
+  if (grad != nullptr) {
+    *grad = nn::Tensor(out.n(), out.c(), out.h(), out.w());
+  }
   double data_acc = 0.0;
   double pde_acc = 0.0;
 
@@ -74,7 +82,9 @@ std::pair<double, double> hybrid_loss(
     const float* out_base =
         out.data() + s * static_cast<std::size_t>(out.c()) * splane;
     float* grad_base =
-        grad.data() + s * static_cast<std::size_t>(grad.c()) * splane;
+        grad != nullptr
+            ? grad->data() + s * static_cast<std::size_t>(grad->c()) * splane
+            : nullptr;
 
     // --- data loss in the downsampled (LR) space ---------------------------
     const double inv_cells = 1.0 / (static_cast<double>(ph) * pw *
@@ -94,11 +104,11 @@ std::pair<double, double> hybrid_loss(
       }
       Grid2Dd diff_grad;  // dL/d(pred) for this channel
       if (level == 0) {
-        diff_grad = Grid2Dd(ph, pw);
+        if (grad != nullptr) diff_grad = Grid2Dd(ph, pw);
         for (std::size_t k = 0; k < truth.size(); ++k) {
           const double d = pred[k] - truth[k];
           data_acc += d * d * inv_cells;
-          diff_grad[k] = 2.0 * d * inv_cells;
+          if (grad != nullptr) diff_grad[k] = 2.0 * d * inv_cells;
         }
       } else {
         const Grid2Dd down =
@@ -109,12 +119,16 @@ std::pair<double, double> hybrid_loss(
           data_acc += d * d * inv_cells;
           g_down[k] = 2.0 * d * inv_cells;
         }
-        diff_grad =
-            field::resize_adjoint(g_down, hh, ww, field::Interp::kBicubic);
+        if (grad != nullptr) {
+          diff_grad =
+              field::resize_adjoint(g_down, hh, ww, field::Interp::kBicubic);
+        }
       }
-      float* grad_chan = grad_base + static_cast<std::size_t>(c) * splane;
-      for (std::size_t k = 0; k < splane; ++k) {
-        grad_chan[k] += static_cast<float>(diff_grad[k]);
+      if (grad != nullptr) {
+        float* grad_chan = grad_base + static_cast<std::size_t>(c) * splane;
+        for (std::size_t k = 0; k < splane; ++k) {
+          grad_chan[k] += static_cast<float>(diff_grad[k]);
+        }
       }
     }
 
@@ -129,12 +143,14 @@ std::pair<double, double> hybrid_loss(
     }
     const PdeLossResult pde = residual(phys, pde_opt);
     pde_acc += pde.loss;
-    for (int c = 0; c < field::kNumFlowVars; ++c) {
-      const double chain = lambda_pde * stats.scale(c);
-      const auto& g = pde.grad.channel(c);
-      float* grad_chan = grad_base + static_cast<std::size_t>(c) * splane;
-      for (std::size_t k = 0; k < splane; ++k) {
-        grad_chan[k] += static_cast<float>(chain * g[k]);
+    if (grad != nullptr) {
+      for (int c = 0; c < field::kNumFlowVars; ++c) {
+        const double chain = lambda_pde * stats.scale(c);
+        const auto& g = pde.grad.channel(c);
+        float* grad_chan = grad_base + static_cast<std::size_t>(c) * splane;
+        for (std::size_t k = 0; k < splane; ++k) {
+          grad_chan[k] += static_cast<float>(chain * g[k]);
+        }
       }
     }
   }
@@ -148,6 +164,20 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
   TrainStats stats;
   if (dataset.samples.empty()) return stats;
   model.stats() = dataset.stats;
+
+  // Observability instruments (DESIGN.md §9). Lookups are once-per-call;
+  // updates inside the loops are relaxed atomics.
+  namespace metrics = util::metrics;
+  metrics::Counter& m_epochs = metrics::counter("train.epochs");
+  metrics::Counter& m_epoch_ns = metrics::counter("train.epoch.ns");
+  metrics::Counter& m_scorer_ns = metrics::counter("train.scorer.ns");
+  metrics::Counter& m_decoder_ns = metrics::counter("train.decoder.ns");
+  metrics::Counter& m_loss_ns = metrics::counter("train.loss.ns");
+  metrics::Counter& m_skipped = metrics::counter("train.steps.skipped");
+  metrics::Counter& m_rollbacks = metrics::counter("train.rollbacks");
+  metrics::Counter& m_checkpoints = metrics::counter("train.checkpoints");
+  metrics::Counter& m_ckpt_failures =
+      metrics::counter("train.checkpoint.failures");
 
   nn::AdamConfig scorer_cfg;
   scorer_cfg.lr = config.scorer_lr;
@@ -201,11 +231,14 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
   std::iota(order.begin(), order.end(), 0);
 
   for (int epoch = stats.start_epoch; epoch < config.epochs; ++epoch) {
+    const util::trace::Span epoch_span("train.epoch");
+    const metrics::ScopedNs epoch_timer(m_epoch_ns);
     std::shuffle(order.begin(), order.end(), rng.engine());
     double scorer_acc = 0.0;
     double data_acc = 0.0;
     double pde_acc = 0.0;
     long patch_count = 0;
+    long scorer_steps = 0;
     int epoch_skipped = 0;
 
     for (std::size_t idx : order) {
@@ -216,6 +249,8 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
       const int npx = target.w();
 
       if (config.train_scorer) {
+        const util::trace::Span span("train.scorer");
+        const metrics::ScopedNs timer(m_scorer_ns);
         scorer_opt.zero_grad();
         auto scored = model.scorer().forward(lr_norm, /*train=*/true);
         const double loss = nn::mse_loss(scored.scores, target);
@@ -223,15 +258,18 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
         if (config.skip_nonfinite &&
             (!std::isfinite(loss) || !nn::grads_finite(scorer_params))) {
           ++stats.skipped_steps;
+          m_skipped.add();
           ADR_LOG_WARN << "skipping non-finite scorer batch (sample " << idx
                        << ")";
         } else {
           scorer_acc += loss;
+          ++scorer_steps;
           scorer_opt.step();
         }
       }
 
       if (config.train_decoder) {
+        const util::trace::Span span("train.decoder");
         decoder_opt.zero_grad();
         // Teacher-forced binning from the physics-derived target.
         const auto bins = rank(target, model.config().bins);
@@ -256,14 +294,23 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
         bool poison = util::fault::fires("trainer.nan_batch");
         for (const Bin& bin : bins) {
           if (bin.patch_ids.empty()) continue;
-          nn::Tensor batch = model.make_decoder_batch(lr_norm, bin.patch_ids,
-                                                      bin.level, npx, npy);
-          nn::Tensor out = model.decoder().forward(batch, /*train=*/true);
+          nn::Tensor out;
+          {
+            const metrics::ScopedNs timer(m_decoder_ns);
+            nn::Tensor batch = model.make_decoder_batch(
+                lr_norm, bin.patch_ids, bin.level, npx, npy);
+            out = model.decoder().forward(batch, /*train=*/true);
+          }
           nn::Tensor grad;
-          const auto [d, p] = hybrid_loss(out, bin.patch_ids, bin.level,
-                                          sample, model.stats(), ph, pw,
-                                          config.lambda_pde, config.residual,
-                                          grad);
+          double d = 0.0;
+          double p = 0.0;
+          {
+            const metrics::ScopedNs timer(m_loss_ns);
+            std::tie(d, p) = hybrid_loss(out, bin.patch_ids, bin.level,
+                                         sample, model.stats(), ph, pw,
+                                         config.lambda_pde, config.residual,
+                                         &grad);
+          }
           sample_data += d;
           sample_pde += p;
           sample_patches += out.n();
@@ -271,13 +318,16 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
             grad.fill(std::numeric_limits<float>::quiet_NaN());
             poison = false;
           }
+          const metrics::ScopedNs timer(m_decoder_ns);
           model.decoder().backward(grad);
         }
+        const metrics::ScopedNs timer(m_decoder_ns);
         if (config.skip_nonfinite &&
             (!std::isfinite(sample_data) || !std::isfinite(sample_pde) ||
              !nn::grads_finite(decoder_params))) {
           ++stats.skipped_steps;
           ++epoch_skipped;
+          m_skipped.add();
           ADR_LOG_WARN << "skipping non-finite decoder batch (sample " << idx
                        << ")";
         } else {
@@ -289,10 +339,14 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
       }
     }
 
-    const double n = static_cast<double>(dataset.samples.size());
-    stats.scorer_loss.push_back(scorer_acc / n);
+    // Average over the optimizer steps actually applied: dividing by the
+    // full dataset size would bias the reported loss low on exactly the
+    // epochs where non-finite batches were skipped.
+    stats.scorer_loss.push_back(scorer_steps ? scorer_acc / scorer_steps
+                                             : 0.0);
     stats.data_loss.push_back(patch_count ? data_acc / patch_count : 0.0);
     stats.pde_loss.push_back(patch_count ? pde_acc / patch_count : 0.0);
+    m_epochs.add();
 
     // --- best-epoch tracking and spike rollback ----------------------------
     const double combined = stats.scorer_loss.back() +
@@ -306,6 +360,7 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
       if (!best_params.empty()) {
         restore();
         ++stats.rollbacks;
+        m_rollbacks.add();
         ADR_LOG_WARN << "epoch " << epoch << " loss "
                      << (epoch_lost ? "lost (all batches skipped)"
                                     : "spiked")
@@ -322,8 +377,11 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
     if (!config.checkpoint_path.empty() &&
         ((epoch + 1) % std::max(config.checkpoint_every, 1) == 0 ||
          epoch + 1 == config.epochs)) {
-      if (!nn::save_parameters(all_params, config.checkpoint_path,
-                               static_cast<std::uint64_t>(epoch + 1))) {
+      if (nn::save_parameters(all_params, config.checkpoint_path,
+                              static_cast<std::uint64_t>(epoch + 1))) {
+        m_checkpoints.add();
+      } else {
+        m_ckpt_failures.add();
         ADR_LOG_WARN << "failed to write checkpoint "
                      << config.checkpoint_path << " at epoch " << epoch;
       }
@@ -355,10 +413,11 @@ std::pair<double, double> evaluate(AdarNet& model,
       nn::Tensor batch = model.make_decoder_batch(
           lr_norm, bin.patch_ids, bin.level, target.w(), target.h());
       nn::Tensor out = model.decoder().forward(batch, /*train=*/false);
-      nn::Tensor grad;
+      // Eval-only forward: no gradient output, so hybrid_loss skips the
+      // adjoint work (gradient allocation, resize_adjoint, accumulation).
       const auto [d, p] =
           hybrid_loss(out, bin.patch_ids, bin.level, sample, model.stats(),
-                      ph, pw, lambda_pde, &pde_residual_loss, grad);
+                      ph, pw, lambda_pde, &pde_residual_loss, nullptr);
       data_acc += d;
       pde_acc += p;
       patch_count += out.n();

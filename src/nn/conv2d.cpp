@@ -46,14 +46,14 @@ Conv2D::Conv2D(int in_channels, int out_channels, int kernel, util::Rng& rng,
   if (kernel % 2 == 0) {
     throw std::invalid_argument("Conv2D: kernel must be odd (same padding)");
   }
-  weight_.value = Tensor(out_channels, in_channels, kernel, kernel);
-  weight_.grad = Tensor(out_channels, in_channels, kernel, kernel);
-  bias_.value = Tensor(out_channels, 1, 1, 1);
-  bias_.grad = Tensor(out_channels, 1, 1, 1);
+  weight_->value = Tensor(out_channels, in_channels, kernel, kernel);
+  weight_->grad = Tensor(out_channels, in_channels, kernel, kernel);
+  bias_->value = Tensor(out_channels, 1, 1, 1);
+  bias_->grad = Tensor(out_channels, 1, 1, 1);
   // He-normal init: std = sqrt(2 / fan_in).
   const double std = std::sqrt(2.0 / (in_channels * kernel * kernel));
-  for (std::size_t k = 0; k < weight_.value.numel(); ++k) {
-    weight_.value[k] = static_cast<float>(rng.normal(0.0, std));
+  for (std::size_t k = 0; k < weight_->value.numel(); ++k) {
+    weight_->value[k] = static_cast<float>(rng.normal(0.0, std));
   }
 }
 
@@ -103,13 +103,13 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
 }
 
 const float* Conv2D::gemm_weights() {
-  if (!flipped_) return weight_.value.data();
+  if (!flipped_) return weight_->value.data();
   const int k = kernel_;
   const int kk = k * k;
   const std::size_t K = static_cast<std::size_t>(in_channels_) * kk;
   float* packed = Arena::global().alloc_floats(
       static_cast<std::size_t>(out_channels_) * K);
-  const float* w = weight_.value.data();
+  const float* w = weight_->value.data();
   for (int o = 0; o < out_channels_; ++o) {
     for (int i = 0; i < in_channels_; ++i) {
       const float* src = w + (static_cast<std::size_t>(o) * in_channels_ +
@@ -143,7 +143,7 @@ Tensor Conv2D::forward_gemm(const Tensor& input) {
     float* out_s = plane(out, s, 0);
     for (int o = 0; o < M; ++o) {
       std::fill_n(out_s + static_cast<std::size_t>(o) * N, N,
-                  bias_.value[o]);
+                  bias_->value[o]);
     }
     sgemm(Trans::kNo, Trans::kNo, M, N, K, 1.0f, A, K, col, N, 1.0f, out_s,
           N);
@@ -200,12 +200,12 @@ Tensor Conv2D::backward_gemm(const Tensor& grad_output) {
       const float* go = plane(grad_output, s, o);
       for (int t = 0; t < N; ++t) gb += go[t];
     }
-    bias_.grad[o] += gb;
+    bias_->grad[o] += gb;
   }
 
   // Accumulate dW into the stored weight gradient (taps are spatially
   // flipped in the GEMM basis when `flipped_`).
-  float* wg = weight_.grad.data();
+  float* wg = weight_->grad.data();
   for (int o = 0; o < M; ++o) {
     for (int i = 0; i < in_channels_; ++i) {
       const float* src = dW + static_cast<std::size_t>(o) * K +
@@ -234,16 +234,16 @@ Tensor Conv2D::forward_direct(const Tensor& input) {
   for (int s = 0; s < n; ++s) {
     for (int o = 0; o < out_channels_; ++o) {
       float* out_plane = plane(out, s, o);
-      const float b = bias_.value[o];
+      const float b = bias_->value[o];
       for (int k = 0; k < h * w; ++k) out_plane[k] = b;
       for (int i = 0; i < in_channels_; ++i) {
         const float* in_plane = plane(input, s, i);
         for (int ky = 0; ky < kernel_; ++ky) {
           for (int kx = 0; kx < kernel_; ++kx) {
             const float wv =
-                flipped_ ? weight_.value.at(o, i, kernel_ - 1 - ky,
+                flipped_ ? weight_->value.at(o, i, kernel_ - 1 - ky,
                                             kernel_ - 1 - kx)
-                         : weight_.value.at(o, i, ky, kx);
+                         : weight_->value.at(o, i, ky, kx);
             const int dy = ky - pad_;
             const int dx = kx - pad_;
             const int y0 = std::max(0, -dy);
@@ -280,7 +280,7 @@ Tensor Conv2D::backward_direct(const Tensor& grad_output) {
       const float* go_plane = plane(grad_output, s, o);
       for (int k = 0; k < h * w; ++k) gb += go_plane[k];
     }
-    bias_.grad[o] += gb;
+    bias_->grad[o] += gb;
     for (int i = 0; i < in_channels_; ++i) {
       for (int ky = 0; ky < kernel_; ++ky) {
         for (int kx = 0; kx < kernel_; ++kx) {
@@ -302,9 +302,9 @@ Tensor Conv2D::backward_direct(const Tensor& grad_output) {
             }
           }
           if (flipped_) {
-            weight_.grad.at(o, i, kernel_ - 1 - ky, kernel_ - 1 - kx) += gw;
+            weight_->grad.at(o, i, kernel_ - 1 - ky, kernel_ - 1 - kx) += gw;
           } else {
-            weight_.grad.at(o, i, ky, kx) += gw;
+            weight_->grad.at(o, i, ky, kx) += gw;
           }
         }
       }
@@ -320,9 +320,9 @@ Tensor Conv2D::backward_direct(const Tensor& grad_output) {
         for (int ky = 0; ky < kernel_; ++ky) {
           for (int kx = 0; kx < kernel_; ++kx) {
             const float wv =
-                flipped_ ? weight_.value.at(o, i, kernel_ - 1 - ky,
+                flipped_ ? weight_->value.at(o, i, kernel_ - 1 - ky,
                                             kernel_ - 1 - kx)
-                         : weight_.value.at(o, i, ky, kx);
+                         : weight_->value.at(o, i, ky, kx);
             const int dy = ky - pad_;
             const int dx = kx - pad_;
             const int y0 = std::max(0, -dy);

@@ -34,7 +34,9 @@ class Conv2D : public Layer {
 
   Tensor forward(const Tensor& input, bool train) override;
   Tensor backward(const Tensor& grad_output) override;
-  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::vector<Parameter*> parameters() const override {
+    return {weight_.get(), bias_.get()};
+  }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::int64_t output_bytes(int n, int, int h,
                                           int w) const override {
@@ -58,8 +60,8 @@ class Conv2D : public Layer {
   [[nodiscard]] int kernel() const { return kernel_; }
 
   /// Direct access for serialisation.
-  Parameter& weight() { return weight_; }
-  Parameter& bias() { return bias_; }
+  Parameter& weight() { return *weight_; }
+  Parameter& bias() { return *bias_; }
 
  private:
   Tensor forward_direct(const Tensor& input);
@@ -77,8 +79,12 @@ class Conv2D : public Layer {
   int pad_;
   bool flipped_;
   Engine engine_ = default_engine();
-  Parameter weight_;  // (out, in, k, k)
-  Parameter bias_;    // (out, 1, 1, 1)
+  // Owning pointers so parameters() can hand out mutable Parameter* from a
+  // const layer (shallow const) without a const_cast.
+  std::unique_ptr<Parameter> weight_ =
+      std::make_unique<Parameter>();  // (out, in, k, k)
+  std::unique_ptr<Parameter> bias_ =
+      std::make_unique<Parameter>();  // (out, 1, 1, 1)
   Tensor cached_input_;
 };
 

@@ -56,8 +56,14 @@ class Layer {
     return backward(static_cast<const Tensor&>(grad_output));
   }
 
-  /// Learnable parameters of this layer (possibly empty).
-  virtual std::vector<Parameter*> parameters() { return {}; }
+  /// Learnable parameters of this layer (possibly empty). Const: the
+  /// parameter *list* is part of the layer's immutable identity, while the
+  /// parameters themselves stay mutable handles (optimizers step them
+  /// through the returned pointers). Layers with parameters hold them
+  /// behind an owning pointer so this is expressible without const_cast.
+  [[nodiscard]] virtual std::vector<Parameter*> parameters() const {
+    return {};
+  }
 
   /// Human-readable layer name for summaries.
   [[nodiscard]] virtual std::string name() const = 0;

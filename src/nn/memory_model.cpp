@@ -21,7 +21,7 @@ MemoryEstimate estimate_memory(const Sequential& net, int n, int c, int h,
     est.peak_pairwise = std::max(est.peak_pairwise, prev + out);
     prev = out;
   }
-  for (Parameter* p : const_cast<Sequential&>(net).parameters()) {
+  for (Parameter* p : net.parameters()) {
     est.parameter_bytes += p->value.bytes();
   }
   return est;

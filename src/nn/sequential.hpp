@@ -51,10 +51,10 @@ class Sequential {
     return g;
   }
 
-  /// All learnable parameters across layers.
-  std::vector<Parameter*> parameters() {
+  /// All learnable parameters across layers (shallow const, as in Layer).
+  [[nodiscard]] std::vector<Parameter*> parameters() const {
     std::vector<Parameter*> out;
-    for (auto& layer : layers_) {
+    for (const auto& layer : layers_) {
       for (Parameter* p : layer->parameters()) out.push_back(p);
     }
     return out;
@@ -68,11 +68,7 @@ class Sequential {
   /// Total number of learnable scalars.
   [[nodiscard]] std::size_t parameter_count() const {
     std::size_t total = 0;
-    for (const auto& layer : layers_) {
-      for (Parameter* p : const_cast<Layer&>(*layer).parameters()) {
-        total += p->value.numel();
-      }
-    }
+    for (Parameter* p : parameters()) total += p->value.numel();
     return total;
   }
 

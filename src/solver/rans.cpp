@@ -8,7 +8,9 @@
 #include "solver/sa_model.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace adarnet::solver {
 
@@ -964,8 +966,34 @@ Residuals RansSolver::evaluate_residuals(const CompositeField& f,
   return res;
 }
 
+namespace {
+
+// Bridges one finished solve's SolveStats into the process-wide metrics
+// registry (DESIGN.md §9). The per-phase wall times already live in
+// stats.phase_seconds; this just re-publishes them under solver.* names so
+// snapshot consumers see solver cost next to train/infer/pipeline cost.
+void bridge_stats_to_metrics(const SolveStats& stats) {
+  namespace metrics = util::metrics;
+  if (!metrics::enabled()) return;
+  metrics::counter("solver.solves").add();
+  metrics::counter("solver.ns").add_seconds(stats.seconds);
+  metrics::counter("solver.iterations").add(stats.iterations);
+  metrics::counter("solver.cell_updates").add(stats.cell_updates);
+  metrics::counter("solver.momentum.ns")
+      .add_seconds(stats.phase_seconds.momentum);
+  metrics::counter("solver.rhie_chow.ns")
+      .add_seconds(stats.phase_seconds.rhie_chow);
+  metrics::counter("solver.pressure.ns")
+      .add_seconds(stats.phase_seconds.pressure);
+  metrics::counter("solver.sa.ns").add_seconds(stats.phase_seconds.sa);
+  metrics::counter("solver.ghosts.ns").add_seconds(stats.phase_seconds.ghosts);
+}
+
+}  // namespace
+
 SolveStats RansSolver::solve(CompositeField& f) {
   util::WallTimer timer;
+  const util::trace::Span span("solver.solve");
   SolveStats stats;
   const long long cells = mesh_.active_cells();
   Workspace& ws = workspace();
@@ -1022,11 +1050,13 @@ SolveStats RansSolver::solve(CompositeField& f) {
   }
   refresh_ghosts(f);
   stats.seconds = timer.seconds();
+  bridge_stats_to_metrics(stats);
   return stats;
 }
 
 SolveStats RansSolver::iterate(CompositeField& f, int n) {
   util::WallTimer timer;
+  const util::trace::Span span("solver.iterate");
   Workspace& ws = workspace();
   SolveStats stats;
   stats.final_pseudo_cfl = config_.pseudo_cfl;
@@ -1051,6 +1081,7 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   stats.residual = res.combined();
   stats.converged = !stats.diverged && res.combined() < config_.tol;
   stats.seconds = timer.seconds();
+  bridge_stats_to_metrics(stats);
   return stats;
 }
 

@@ -1,0 +1,244 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace adarnet::util::metrics {
+
+namespace detail {
+
+bool env_enabled() {
+  const char* v = std::getenv("ADARNET_METRICS");
+  if (v == nullptr) return true;
+  const std::string s(v);
+  return !(s == "0" || s == "off" || s == "OFF" || s == "false");
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Gauge::max(double v) {
+  if (!enabled()) return;
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_of(long long v) {
+  if (v <= 0) return 0;
+  int b = 0;
+  for (unsigned long long u = static_cast<unsigned long long>(v); u != 0;
+       u >>= 1) {
+    ++b;
+  }
+  return b;  // 1 + floor(log2 v)
+}
+
+long long Histogram::bucket_upper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kBuckets - 1) return std::numeric_limits<long long>::max();
+  return (1LL << bucket) - 1;
+}
+
+void Histogram::observe(long long v) {
+  if (!enabled()) return;
+  const int b = bucket_of(v);
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(std::max(v, 0LL), std::memory_order_relaxed);
+  long long cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const long long n = count();
+  return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+long long Histogram::quantile(double q) const {
+  const long long n = count();
+  if (n <= 0) return 0;
+  const long long rank = static_cast<long long>(q * static_cast<double>(n));
+  long long seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket_count(b);
+    if (seen > rank) return bucket_upper(b);
+  }
+  return max_value();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Registry: name -> one instrument. Locked only on lookup (call sites
+// cache the reference) and on snapshot/reset, never on the update path.
+struct Instrument {
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Instrument>& registry() {
+  static std::map<std::string, Instrument>* r =
+      new std::map<std::string, Instrument>();  // leaked: outlives atexit users
+  return *r;
+}
+
+[[noreturn]] void kind_mismatch(const std::string& name) {
+  throw std::logic_error("metrics: instrument '" + name +
+                         "' already registered with a different kind");
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Instrument& ins = registry()[name];
+  if (ins.gauge || ins.histogram) kind_mismatch(name);
+  if (!ins.counter) ins.counter = std::make_unique<Counter>();
+  return *ins.counter;
+}
+
+Gauge& gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Instrument& ins = registry()[name];
+  if (ins.counter || ins.histogram) kind_mismatch(name);
+  if (!ins.gauge) ins.gauge = std::make_unique<Gauge>();
+  return *ins.gauge;
+}
+
+Histogram& histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Instrument& ins = registry()[name];
+  if (ins.counter || ins.gauge) kind_mismatch(name);
+  if (!ins.histogram) ins.histogram = std::make_unique<Histogram>();
+  return *ins.histogram;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (auto& [name, ins] : registry()) {
+    if (ins.counter) ins.counter->reset();
+    if (ins.gauge) ins.gauge->reset();
+    if (ins.histogram) ins.histogram->reset();
+  }
+}
+
+std::vector<SnapshotEntry> snapshot() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<SnapshotEntry> out;
+  out.reserve(registry().size());
+  for (const auto& [name, ins] : registry()) {
+    SnapshotEntry e;
+    e.name = name;
+    if (ins.counter) {
+      e.kind = SnapshotEntry::Kind::kCounter;
+      e.count = ins.counter->value();
+    } else if (ins.gauge) {
+      e.kind = SnapshotEntry::Kind::kGauge;
+      e.value = ins.gauge->value();
+    } else if (ins.histogram) {
+      e.kind = SnapshotEntry::Kind::kHistogram;
+      e.count = ins.histogram->count();
+      e.sum = ins.histogram->sum();
+      e.value = ins.histogram->mean();
+      e.max = ins.histogram->max_value();
+      e.p50 = ins.histogram->quantile(0.5);
+      e.p95 = ins.histogram->quantile(0.95);
+    }
+    out.push_back(std::move(e));
+  }
+  return out;  // std::map iteration: already name-sorted
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string snapshot_json() {
+  const auto entries = snapshot();
+  std::string counters, gauges, histograms;
+  for (const SnapshotEntry& e : entries) {
+    std::string key = "\"";
+    key += json_escape(e.name);
+    key += "\": ";
+    switch (e.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        counters += key + std::to_string(e.count);
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += key + number(e.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        if (!histograms.empty()) histograms += ", ";
+        histograms += key + "{\"count\": " + std::to_string(e.count) +
+                      ", \"sum\": " + std::to_string(e.sum) +
+                      ", \"mean\": " + number(e.value) +
+                      ", \"max\": " + std::to_string(e.max) +
+                      ", \"p50\": " + std::to_string(e.p50) +
+                      ", \"p95\": " + std::to_string(e.p95) + "}";
+        break;
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+ScopedNs::ScopedNs(Counter& c) : c_(enabled() ? &c : nullptr) {
+  if (c_ != nullptr) {
+    start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  }
+}
+
+ScopedNs::~ScopedNs() {
+  if (c_ != nullptr) {
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    c_->add(now - start_ns_);
+  }
+}
+
+}  // namespace adarnet::util::metrics

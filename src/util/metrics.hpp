@@ -1,0 +1,164 @@
+// Process-wide metrics registry: named counters, gauges, and log-scale
+// histograms shared by every layer of the framework (trainer, model
+// inference, pipeline, solver). The benches snapshot the registry into
+// their BENCH_*.json files so one document attributes the end-to-end wall
+// time to named stages (DESIGN.md §9 documents the naming scheme).
+//
+// Discipline mirrors util/fault: the hot path is lock-free and the
+// disabled path is a single relaxed atomic load. Instruments are looked up
+// by name once (call sites cache the returned reference, typically in a
+// function-local static); after that an update is one relaxed atomic RMW,
+// safe from any thread and cheap enough for per-solve / per-batch sites —
+// per-cell loops should still aggregate locally and publish once.
+//
+// Enable/disable: on by default; ADARNET_METRICS=0 (or "off") in the
+// environment disables the process, set_enabled() toggles at runtime.
+// Disabling freezes updates but keeps registered instruments readable.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adarnet::util::metrics {
+
+namespace detail {
+/// Reads ADARNET_METRICS once at static-init time (default: enabled).
+bool env_enabled();
+inline std::atomic<bool> g_enabled{env_enabled()};
+}  // namespace detail
+
+/// True while metric updates are being recorded.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Toggles recording process-wide (overrides the ADARNET_METRICS default).
+void set_enabled(bool on);
+
+/// Monotonic counter. Durations are counted in integer nanoseconds by
+/// convention (name suffix ".ns") so no floating-point atomics are needed.
+class Counter {
+ public:
+  void add(long long delta = 1) {
+    if (enabled()) v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Adds a wall-time duration in seconds to a ".ns" counter.
+  void add_seconds(double s) {
+    add(static_cast<long long>(s * 1e9));
+  }
+  [[nodiscard]] long long value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// Last-write-wins scalar (plus a monotonic-max helper).
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if larger (high-water marks).
+  void max(double v);
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-scale histogram of non-negative integer observations. Bucket 0
+/// holds the value 0; bucket k >= 1 holds [2^(k-1), 2^k). Exponential
+/// buckets keep the array tiny while spanning nanoseconds-to-minutes
+/// durations and 0-to-thousands occupancy counts alike.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // 0, then one per bit of long long
+
+  /// Bucket index of `v` (negatives clamp to bucket 0).
+  static int bucket_of(long long v);
+  /// Inclusive upper bound of `bucket`'s value range.
+  static long long bucket_upper(int bucket);
+
+  void observe(long long v);
+  [[nodiscard]] long long count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long bucket_count(int bucket) const {
+    return buckets_[static_cast<std::size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const;
+  /// Upper bound of the bucket holding quantile `q` in [0, 1] (0 if empty).
+  [[nodiscard]] long long quantile(double q) const;
+  void reset();
+
+ private:
+  std::array<std::atomic<long long>, kBuckets> buckets_{};
+  std::atomic<long long> count_{0};
+  std::atomic<long long> sum_{0};
+  std::atomic<long long> max_{0};
+};
+
+/// Looks up (registering on first use) the named instrument. The returned
+/// reference is stable for the process lifetime; cache it at the call site.
+/// Requesting an existing name with a different instrument kind throws.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Zeroes every registered instrument (registration survives). Benches
+/// call this to scope a snapshot to one run; tests call it in SetUp.
+void reset();
+
+/// One registry entry in a snapshot, values read with relaxed loads.
+struct SnapshotEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  long long count = 0;   ///< counter value / histogram observation count
+  double value = 0.0;    ///< gauge value / histogram mean
+  long long sum = 0;     ///< histogram sum
+  long long max = 0;     ///< histogram max observation
+  long long p50 = 0;     ///< histogram median bucket upper bound
+  long long p95 = 0;     ///< histogram p95 bucket upper bound
+};
+
+/// All registered instruments, sorted by name.
+std::vector<SnapshotEntry> snapshot();
+
+/// The snapshot as one JSON object: {"counters": {name: value, ...},
+/// "gauges": {...}, "histograms": {name: {count, sum, mean, max, p50,
+/// p95}, ...}}. Benches embed this in their BENCH_*.json documents.
+std::string snapshot_json();
+
+/// RAII scope timer: adds the scope's duration in nanoseconds to a
+/// counter (conventionally named "*.ns"). Reads the clock only while
+/// metrics are enabled, so a disabled process pays one relaxed load.
+class ScopedNs {
+ public:
+  explicit ScopedNs(Counter& c);
+  ~ScopedNs();
+  ScopedNs(const ScopedNs&) = delete;
+  ScopedNs& operator=(const ScopedNs&) = delete;
+
+ private:
+  Counter* c_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace adarnet::util::metrics

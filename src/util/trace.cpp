@@ -1,0 +1,131 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adarnet::util::trace {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::int64_t ts_us;
+  std::int64_t dur_us;
+  std::uint32_t tid;
+};
+
+// Buffer + path, locked on record/flush only (never on the disabled path).
+std::mutex g_mutex;
+std::vector<Event>& events() {
+  static std::vector<Event>* v = new std::vector<Event>();  // outlives atexit
+  return *v;
+}
+std::string& out_path() {
+  static std::string* p = new std::string();
+  return *p;
+}
+
+std::uint32_t thread_tid() {
+  return static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff);
+}
+
+void flush_at_exit() { flush(); }
+
+void register_atexit() {
+  static bool once = [] {
+    std::atexit(flush_at_exit);
+    return true;
+  }();
+  (void)once;
+}
+
+std::string escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool env_enabled() {
+  const char* v = std::getenv("ADARNET_TRACE");
+  if (v == nullptr || v[0] == '\0' ||
+      (v[0] == '0' && v[1] == '\0')) {
+    return false;
+  }
+  out_path() = (v[0] == '1' && v[1] == '\0') ? "adarnet_trace.json" : v;
+  register_atexit();  // a trace-enabled run always produces the file
+  return true;
+}
+
+std::int64_t now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void record(const char* name, std::int64_t ts_us, std::int64_t dur_us) {
+  const std::uint32_t tid = thread_tid();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  events().push_back(Event{name, ts_us, dur_us, tid});
+  register_atexit();
+}
+
+}  // namespace detail
+
+void set_path(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    out_path() = path;
+  }
+  detail::g_enabled.store(!path.empty(), std::memory_order_relaxed);
+  if (!path.empty()) register_atexit();
+}
+
+std::string path() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return out_path();
+}
+
+bool flush() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (out_path().empty()) return false;
+  std::ofstream out(out_path());
+  if (!out) return false;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : events()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << escape(e.name)
+        << "\", \"cat\": \"adarnet\", \"ph\": \"X\", \"ts\": " << e.ts_us
+        << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid
+        << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return static_cast<bool>(out);
+}
+
+void clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  events().clear();
+}
+
+std::size_t event_count() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return events().size();
+}
+
+}  // namespace adarnet::util::trace

@@ -1,0 +1,79 @@
+// RAII tracing spans emitting chrome://tracing JSON.
+//
+// Scope a region with `trace::Span span("infer.scorer");` — when tracing
+// is enabled the span records one complete ("ph": "X") event; when
+// disabled (the default) construction and destruction are a single relaxed
+// atomic load each, so spans may sit on warm paths (not inner loops).
+//
+// Enabling: set ADARNET_TRACE in the environment to the output path (or to
+// "1" for the default "adarnet_trace.json"); the file is written at
+// process exit and by any explicit flush(). Tests and tools can instead
+// call set_path(), which enables tracing programmatically.
+//
+// Span names reuse the metric naming scheme (DESIGN.md §9), so a trace
+// timeline and a metrics snapshot cross-reference by name. Events carry
+// the emitting thread id; nested spans on one thread render as a stack.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace adarnet::util::trace {
+
+namespace detail {
+/// Reads ADARNET_TRACE once at static-init time (sets the output path).
+bool env_enabled();
+inline std::atomic<bool> g_enabled{env_enabled()};
+
+/// Records one complete event (slow path; locks the event buffer).
+void record(const char* name, std::int64_t ts_us, std::int64_t dur_us);
+
+/// Microseconds since an arbitrary process-stable epoch.
+std::int64_t now_us();
+}  // namespace detail
+
+/// True while spans are being recorded.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enables tracing to `path` (empty disables). Overrides ADARNET_TRACE.
+void set_path(const std::string& path);
+
+/// The current output path ("" when tracing is disabled).
+std::string path();
+
+/// Writes all recorded events to the output path as a chrome://tracing
+/// JSON document ({"traceEvents": [...]}) and returns whether the file was
+/// written. Idempotent: keeps the events, rewrites the whole file. Runs
+/// automatically at process exit when tracing is enabled.
+bool flush();
+
+/// Drops all recorded events (tests).
+void clear();
+
+/// Number of events recorded so far.
+std::size_t event_count();
+
+/// RAII span: one chrome://tracing complete event covering the enclosing
+/// scope. `name` must outlive the span (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(enabled() ? name : nullptr),
+        start_us_(name_ != nullptr ? detail::now_us() : 0) {}
+  ~Span() {
+    if (name_ != nullptr) {
+      detail::record(name_, start_us_, detail::now_us() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_;
+};
+
+}  // namespace adarnet::util::trace

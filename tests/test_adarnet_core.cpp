@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "adarnet/decoder.hpp"
 #include "adarnet/model.hpp"
@@ -120,6 +121,64 @@ TEST(Ranker, RejectsBadInput) {
   EXPECT_THROW(adarnet::core::rank(bad, 4), std::invalid_argument);
   Tensor ok(1, 1, 2, 2);
   EXPECT_THROW(adarnet::core::rank(ok, 0), std::invalid_argument);
+}
+
+// Regression: a negative score used to rescale to a negative fraction whose
+// static_cast<int> produced a negative bin index and an out-of-bounds
+// bins[bin].patch_ids.push_back write (caught by ASan on the pre-fix code).
+// Negative scores are reachable through the public rank() API; NaN scores
+// through a poisoned scorer, since the pipeline's finite guard runs only
+// after infer() has already ranked.
+TEST(Ranker, NegativeScoresClampToBinZero) {
+  Tensor scores(1, 1, 2, 2);
+  scores[0] = 0.8f;
+  scores[1] = -0.4f;
+  scores[2] = -1e6f;
+  scores[3] = 0.2f;
+  const auto bins = adarnet::core::rank(scores, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  int assigned = 0;
+  for (const Bin& b : bins) assigned += static_cast<int>(b.patch_ids.size());
+  EXPECT_EQ(assigned, 4);  // every patch lands in exactly one valid bin
+  EXPECT_EQ(bins[0].patch_ids, (std::vector<int>{1, 2}));
+  EXPECT_EQ(bins[3].patch_ids, std::vector<int>{0});
+  EXPECT_EQ(bins[1].patch_ids, std::vector<int>{3});
+}
+
+TEST(Ranker, NonFiniteScoresRejectedToBinZero) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor scores(1, 1, 2, 2);
+  scores[0] = nan;
+  scores[1] = 0.6f;
+  scores[2] = inf;  // must not become the rescale denominator either
+  scores[3] = 0.3f;
+  const auto bins = adarnet::core::rank(scores, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].patch_ids, (std::vector<int>{0, 2}));
+  EXPECT_EQ(bins[3].patch_ids, std::vector<int>{1});  // 0.6 is the max
+  EXPECT_EQ(bins[2].patch_ids, std::vector<int>{3});  // 0.3 / 0.6 -> 0.5
+
+  // All-NaN scores: everything lands (safely) in bin 0.
+  Tensor poisoned(1, 1, 2, 2);
+  poisoned.fill(nan);
+  const auto fallback = adarnet::core::rank(poisoned, 4);
+  EXPECT_EQ(fallback[0].patch_ids.size(), 4u);
+  const auto map = adarnet::core::to_refinement_map(fallback, 2, 2);
+  for (int pi = 0; pi < 2; ++pi) {
+    for (int pj = 0; pj < 2; ++pj) EXPECT_EQ(map.level(pi, pj), 0);
+  }
+}
+
+TEST(Ranker, AllZeroScoresLandInBinZero) {
+  Tensor scores(1, 1, 2, 2);
+  scores.fill(0.0f);
+  const auto bins = adarnet::core::rank(scores, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0].patch_ids.size(), 4u);
+  for (int level = 1; level < 4; ++level) {
+    EXPECT_TRUE(bins[static_cast<std::size_t>(level)].patch_ids.empty());
+  }
 }
 
 TEST(DecoderNet, PreservesSpatialExtentAcrossResolutions) {
