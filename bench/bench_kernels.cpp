@@ -3,15 +3,25 @@
 // exchange, bicubic resampling, and the PDE-residual adjoint. These back
 // the timing numbers in the table benches and catch performance
 // regressions.
+//
+// After the google-benchmark pass, main() runs a roofline measurement pass
+// over the GEMM and convolution kernels at each size and writes
+// BENCH_kernels.json with per-shape {flops, bytes, seconds, gflops_per_s,
+// arithmetic_intensity} entries — the document bench_diff gates CI on.
+// ADARNET_BENCH_KERNELS_FAST=1 skips the google-benchmark pass and shrinks
+// the roofline pass (CI's bench-smoke mode).
 #include <benchmark/benchmark.h>
 
 #include "adarnet/pde_loss.hpp"
+#include "common.hpp"
 #include "data/cases.hpp"
 #include "field/interp.hpp"
 #include "mesh/composite.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
 #include "solver/rans.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -112,6 +122,101 @@ void BM_PdeResidualAdjoint(benchmark::State& state) {
 }
 BENCHMARK(BM_PdeResidualAdjoint)->Arg(32)->Arg(128);
 
+// ---------------------------------------------------------------------------
+// Roofline measurement pass. Each kernel shape is timed in isolation with
+// enough repetitions to hit a fixed FLOP budget, and the entry pairs the
+// measured wall time with the shape's roofline model (forward_flops /
+// sgemm_flops — model FLOPs and compulsory bytes, not hardware counters).
+
+// Repetitions that reach ~`target_flops` total work (at least one).
+int reps_for(double flops_per_call, double target_flops) {
+  if (flops_per_call <= 0.0) return 1;
+  const double r = target_flops / flops_per_call;
+  return r < 1.0 ? 1 : (r > 1e6 ? 1000000 : static_cast<int>(r));
+}
+
+std::string roofline_entry(double flops, double bytes, double seconds,
+                           int reps) {
+  bench::JsonObject e;
+  e.add("reps", reps)
+      .add("flops", flops)
+      .add("bytes", bytes)
+      .add("seconds", seconds)
+      .add("gflops_per_s", seconds > 0.0 ? flops / seconds * 1e-9 : 0.0)
+      .add("arithmetic_intensity", bytes > 0.0 ? flops / bytes : 0.0);
+  return e.str();
+}
+
+void roofline_conv_forward(bench::JsonObject& out, int hw,
+                           double target_flops) {
+  util::Rng rng(1);
+  nn::Conv2D conv(16, 16, 3, rng);
+  conv.set_engine(nn::Conv2D::Engine::kGemm);
+  nn::Tensor in(1, 16, hw, hw);
+  for (std::size_t k = 0; k < in.numel(); ++k) in[k] = 0.01f * (k % 97);
+  const double flops1 = static_cast<double>(conv.forward_flops(1, hw, hw));
+  const double bytes1 = static_cast<double>(conv.forward_bytes(1, hw, hw));
+  const int reps = reps_for(flops1, target_flops);
+  (void)conv.forward(in, false);  // warm up weights pack + arena
+  util::WallTimer timer;
+  for (int r = 0; r < reps; ++r) (void)conv.forward(in, false);
+  out.add_raw("conv.forward.hw" + std::to_string(hw),
+              roofline_entry(flops1 * reps, bytes1 * reps, timer.seconds(),
+                             reps));
+}
+
+void roofline_gemm(bench::JsonObject& out, int s, double target_flops) {
+  std::vector<float> a(static_cast<std::size_t>(s) * s);
+  std::vector<float> b(a.size());
+  std::vector<float> c(a.size(), 0.0f);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    a[k] = 0.01f * (k % 89);
+    b[k] = 0.02f * (k % 83);
+  }
+  const double flops1 = static_cast<double>(nn::sgemm_flops(s, s, s));
+  const double bytes1 = static_cast<double>(nn::sgemm_bytes(s, s, s));
+  const int reps = reps_for(flops1, target_flops);
+  nn::sgemm(nn::Trans::kNo, nn::Trans::kNo, s, s, s, 1.0f, a.data(), s,
+            b.data(), s, 0.0f, c.data(), s);  // warm up arena
+  util::WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    nn::sgemm(nn::Trans::kNo, nn::Trans::kNo, s, s, s, 1.0f, a.data(), s,
+              b.data(), s, 0.0f, c.data(), s);
+  }
+  out.add_raw("gemm.m" + std::to_string(s) + "n" + std::to_string(s) + "k" +
+                  std::to_string(s),
+              roofline_entry(flops1 * reps, bytes1 * reps, timer.seconds(),
+                             reps));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  adarnet::util::WallTimer wall;
+  adarnet::util::metrics::reset();
+  const bool fast =
+      adarnet::bench::env_int("ADARNET_BENCH_KERNELS_FAST", 0) != 0;
+  if (!fast) {
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+  }
+
+  // The fast budget keeps the whole pass under a second; the full budget
+  // is large enough that per-call noise stays below bench_diff's gate.
+  const double target = fast ? 5e7 : 1e9;
+  adarnet::bench::JsonObject by_size;
+  for (int hw : {16, 32, 64, 128}) {
+    roofline_conv_forward(by_size, hw, target);
+  }
+  for (int s : {64, 128, 256}) {
+    roofline_gemm(by_size, s, target);
+  }
+
+  adarnet::bench::JsonObject doc;
+  doc.add("bench", "kernels").add("fast", fast);
+  adarnet::bench::add_observability(doc, wall.seconds(), by_size.str());
+  adarnet::bench::write_json("BENCH_kernels.json", doc.str());
+  return 0;
+}

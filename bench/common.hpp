@@ -280,15 +280,56 @@ inline double attributed_stage_seconds() {
   return static_cast<double>(ns) * 1e-9;
 }
 
-/// Adds the run's wall time, the stage-attributed share of it, and the full
-/// metrics snapshot to a bench JSON document, then flushes the trace file
-/// (a no-op unless ADARNET_TRACE is set).
-inline void add_observability(JsonObject& doc, double wall_seconds) {
+/// Aggregate roofline statistics of the run's GEMM and convolution work,
+/// from the cumulative nn.{gemm,conv}.{calls,flops,bytes,ns} counters that
+/// the kernels publish (see gemm.cpp / conv2d.cpp): achieved GFLOP/s
+/// (flops / wall nanoseconds — the units cancel) and arithmetic intensity
+/// (flops per compulsory byte, the roofline x-coordinate).
+inline std::string roofline_totals_json() {
+  namespace metrics = util::metrics;
+  JsonObject out;
+  for (const char* engine : {"gemm", "conv"}) {
+    const std::string base = std::string("nn.") + engine;
+    const long long calls = metrics::counter(base + ".calls").value();
+    const long long flops = metrics::counter(base + ".flops").value();
+    const long long bytes = metrics::counter(base + ".bytes").value();
+    const long long ns = metrics::counter(base + ".ns").value();
+    JsonObject e;
+    e.add("calls", calls)
+        .add("flops", flops)
+        .add("bytes", bytes)
+        .add("seconds", static_cast<double>(ns) * 1e-9)
+        .add("gflops_per_s",
+             ns > 0 ? static_cast<double>(flops) / static_cast<double>(ns)
+                    : 0.0)
+        .add("arithmetic_intensity",
+             bytes > 0
+                 ? static_cast<double>(flops) / static_cast<double>(bytes)
+                 : 0.0);
+    out.add_raw(base, e.str());
+  }
+  return out.str();
+}
+
+/// Adds the run's wall time, the stage-attributed share of it, a roofline
+/// section, and the full metrics snapshot to a bench JSON document, then
+/// flushes the trace file (a no-op unless ADARNET_TRACE is set). The
+/// roofline section always carries the per-engine totals; a bench that
+/// measured individual kernel shapes (bench_kernels) passes them as a
+/// pre-encoded object for the "by_size" sub-document.
+inline void add_observability(JsonObject& doc, double wall_seconds,
+                              const std::string& roofline_by_size = "") {
   const double attributed = attributed_stage_seconds();
+  JsonObject roofline;
+  if (!roofline_by_size.empty()) {
+    roofline.add_raw("by_size", roofline_by_size);
+  }
+  roofline.add_raw("totals", roofline_totals_json());
   doc.add("wall_s", wall_seconds)
       .add("attributed_s", attributed)
       .add("attributed_fraction",
            wall_seconds > 0.0 ? attributed / wall_seconds : 0.0)
+      .add_raw("roofline", roofline.str())
       .add_raw("metrics", util::metrics::snapshot_json());
   util::trace::flush();
 }

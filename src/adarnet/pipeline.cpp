@@ -257,6 +257,12 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
       metrics::counter("pipeline.fallback.reference_map").add();
       break;
   }
+  // Degradation history for /series.json: x is the run index, y the rung
+  // (0 = clean run, 3 = reference-map last resort), so a scraper can see
+  // *when* in a batch the pipeline started degrading, not just how often.
+  metrics::series("pipeline.fallback_stage")
+      .append(static_cast<double>(m_runs.value()),
+              static_cast<double>(result.fallback_stage));
 
   if (result.fallback_stage != FallbackStage::kNone) {
     ADR_LOG_WARN << spec.name << " ADARNet pipeline degraded to rung '"

@@ -178,6 +178,11 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
   metrics::Counter& m_checkpoints = metrics::counter("train.checkpoints");
   metrics::Counter& m_ckpt_failures =
       metrics::counter("train.checkpoint.failures");
+  // Per-epoch loss history for the telemetry server's /series.json; x is
+  // the epoch index, so resumed runs continue the curve where they left it.
+  metrics::TimeSeries& s_scorer_loss = metrics::series("train.loss.scorer");
+  metrics::TimeSeries& s_data_loss = metrics::series("train.loss.data");
+  metrics::TimeSeries& s_pde_loss = metrics::series("train.loss.pde");
 
   nn::AdamConfig scorer_cfg;
   scorer_cfg.lr = config.scorer_lr;
@@ -346,6 +351,9 @@ TrainStats train(AdarNet& model, const data::Dataset& dataset,
                                              : 0.0);
     stats.data_loss.push_back(patch_count ? data_acc / patch_count : 0.0);
     stats.pde_loss.push_back(patch_count ? pde_acc / patch_count : 0.0);
+    s_scorer_loss.append(static_cast<double>(epoch), stats.scorer_loss.back());
+    s_data_loss.append(static_cast<double>(epoch), stats.data_loss.back());
+    s_pde_loss.append(static_cast<double>(epoch), stats.pde_loss.back());
     m_epochs.add();
 
     // --- best-epoch tracking and spike rollback ----------------------------

@@ -9,12 +9,46 @@
 
 #include "nn/gemm.hpp"
 #include "nn/im2col.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace adarnet::nn {
 
 namespace {
 
 std::atomic<Conv2D::Engine> g_default_engine{Conv2D::Engine::kGemm};
+
+// Layer-level roofline accounting (both engines, forward and backward):
+// cumulative FLOPs / compulsory bytes / wall time plus the derived
+// achieved-GF/s and arithmetic-intensity gauges. The GEMM engine's inner
+// sgemm calls additionally land in the nn.gemm.* family.
+struct ConvInstruments {
+  adarnet::util::metrics::Counter& calls =
+      adarnet::util::metrics::counter("nn.conv.calls");
+  adarnet::util::metrics::Counter& flops =
+      adarnet::util::metrics::counter("nn.conv.flops");
+  adarnet::util::metrics::Counter& bytes =
+      adarnet::util::metrics::counter("nn.conv.bytes");
+  adarnet::util::metrics::Counter& ns =
+      adarnet::util::metrics::counter("nn.conv.ns");
+  adarnet::util::metrics::Gauge& gflops =
+      adarnet::util::metrics::gauge("nn.conv.gflops_per_s");
+  adarnet::util::metrics::Gauge& intensity =
+      adarnet::util::metrics::gauge("nn.conv.arithmetic_intensity");
+};
+
+void account_conv(std::int64_t flop, std::int64_t byte, double seconds) {
+  static ConvInstruments ins;
+  ins.calls.add();
+  ins.flops.add(flop);
+  ins.bytes.add(byte);
+  ins.ns.add_seconds(seconds);
+  const double total_flops = static_cast<double>(ins.flops.value());
+  const double total_ns = static_cast<double>(ins.ns.value());
+  const double total_bytes = static_cast<double>(ins.bytes.value());
+  if (total_ns > 0.0) ins.gflops.set(total_flops / total_ns);
+  if (total_bytes > 0.0) ins.intensity.set(total_flops / total_bytes);
+}
 
 // Contiguous (h*w) plane of sample s, channel c.
 inline const float* plane(const Tensor& t, int s, int c) {
@@ -83,6 +117,46 @@ std::int64_t Conv2D::workspace_bytes(int, int, int h, int w) const {
              out_channels_, static_cast<int>(N), static_cast<int>(K)));
 }
 
+std::int64_t Conv2D::forward_flops(int n, int h, int w) const {
+  const std::int64_t K =
+      static_cast<std::int64_t>(in_channels_) * kernel_ * kernel_;
+  const std::int64_t N = static_cast<std::int64_t>(h) * w;
+  return n * (2 * static_cast<std::int64_t>(out_channels_) * K * N +
+              static_cast<std::int64_t>(out_channels_) * N);
+}
+
+std::int64_t Conv2D::forward_bytes(int n, int h, int w) const {
+  const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+  const std::int64_t kk = static_cast<std::int64_t>(kernel_) * kernel_;
+  const std::int64_t floats =
+      static_cast<std::int64_t>(n) * in_channels_ * hw +   // input
+      static_cast<std::int64_t>(out_channels_) * in_channels_ * kk +
+      out_channels_ +                                      // weights + bias
+      static_cast<std::int64_t>(n) * out_channels_ * hw;   // output
+  return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
+std::int64_t Conv2D::backward_flops(int n, int h, int w) const {
+  const std::int64_t K =
+      static_cast<std::int64_t>(in_channels_) * kernel_ * kernel_;
+  const std::int64_t N = static_cast<std::int64_t>(h) * w;
+  const std::int64_t M = out_channels_;
+  // dW (2*M*K*N) + dX (2*K*N*M) per sample, plus the bias reduction.
+  return n * (4 * M * K * N + M * N);
+}
+
+std::int64_t Conv2D::backward_bytes(int n, int h, int w) const {
+  const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+  const std::int64_t kk = static_cast<std::int64_t>(kernel_) * kernel_;
+  const std::int64_t floats =
+      static_cast<std::int64_t>(n) * in_channels_ * hw +   // cached input
+      static_cast<std::int64_t>(n) * out_channels_ * hw +  // grad output
+      static_cast<std::int64_t>(n) * in_channels_ * hw +   // grad input
+      2 * static_cast<std::int64_t>(out_channels_) * in_channels_ * kk +
+      2 * out_channels_;                                   // W, dW, b, db
+  return floats * static_cast<std::int64_t>(sizeof(float));
+}
+
 Tensor Conv2D::forward(const Tensor& input, bool train) {
   if (input.c() != in_channels_) {
     throw std::invalid_argument("Conv2D: channel mismatch");
@@ -90,16 +164,32 @@ Tensor Conv2D::forward(const Tensor& input, bool train) {
   // Zero-copy cache: alias the caller's storage. Nothing mutates the
   // input between forward and backward (see layer.hpp contract).
   if (train) cached_input_ = input.share();
-  return engine_ == Engine::kGemm ? forward_gemm(input)
-                                  : forward_direct(input);
+  const bool measure = util::metrics::enabled();
+  util::WallTimer timer;
+  Tensor out = engine_ == Engine::kGemm ? forward_gemm(input)
+                                        : forward_direct(input);
+  if (measure) {
+    account_conv(forward_flops(input.n(), input.h(), input.w()),
+                 forward_bytes(input.n(), input.h(), input.w()),
+                 timer.seconds());
+  }
+  return out;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) {
     throw std::logic_error("Conv2D::backward without forward(train=true)");
   }
-  return engine_ == Engine::kGemm ? backward_gemm(grad_output)
-                                  : backward_direct(grad_output);
+  const bool measure = util::metrics::enabled();
+  util::WallTimer timer;
+  Tensor grad = engine_ == Engine::kGemm ? backward_gemm(grad_output)
+                                         : backward_direct(grad_output);
+  if (measure) {
+    const Tensor& in = cached_input_;
+    account_conv(backward_flops(in.n(), in.h(), in.w()),
+                 backward_bytes(in.n(), in.h(), in.w()), timer.seconds());
+  }
+  return grad;
 }
 
 const float* Conv2D::gemm_weights() {

@@ -47,6 +47,17 @@ class Conv2D : public Layer {
                                              int w) const override;
   void output_shape(int& c, int&, int&) const override { c = out_channels_; }
 
+  /// Roofline model of one forward pass at this input shape, engine-
+  /// independent: FLOPs are the 2*K*N multiply-adds per output channel
+  /// plus the bias add; bytes are the compulsory traffic (input, weights,
+  /// bias, output each touched once).
+  [[nodiscard]] std::int64_t forward_flops(int n, int h, int w) const;
+  [[nodiscard]] std::int64_t forward_bytes(int n, int h, int w) const;
+  /// Same model for backward (weight-gradient + input-gradient GEMMs plus
+  /// the bias reduction).
+  [[nodiscard]] std::int64_t backward_flops(int n, int h, int w) const;
+  [[nodiscard]] std::int64_t backward_bytes(int n, int h, int w) const;
+
   /// Selects the execution engine for this layer instance.
   void set_engine(Engine e) { engine_ = e; }
   [[nodiscard]] Engine engine() const { return engine_; }

@@ -5,6 +5,8 @@
 #include <new>
 
 #include "nn/tensor.hpp"  // memory counters
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -237,6 +239,49 @@ float* Arena::alloc_floats(std::size_t count) {
   return blk.ptr;
 }
 
+std::int64_t sgemm_flops(int m, int n, int k) {
+  return 2LL * m * n * k;
+}
+
+std::int64_t sgemm_bytes(int m, int n, int k) {
+  const std::int64_t mm = m, nn = n, kk = k;
+  return (mm * kk + kk * nn + 2 * mm * nn) *
+         static_cast<std::int64_t>(sizeof(float));
+}
+
+namespace {
+
+// Roofline accounting: cumulative FLOPs, compulsory bytes, and wall time
+// of every sgemm call, published as counters plus two derived gauges
+// (achieved GF/s and arithmetic intensity). A disabled process pays one
+// relaxed load per call; an enabled one a handful of relaxed RMWs — both
+// noise against a GEMM.
+struct GemmInstruments {
+  util::metrics::Counter& calls = util::metrics::counter("nn.gemm.calls");
+  util::metrics::Counter& flops = util::metrics::counter("nn.gemm.flops");
+  util::metrics::Counter& bytes = util::metrics::counter("nn.gemm.bytes");
+  util::metrics::Counter& ns = util::metrics::counter("nn.gemm.ns");
+  util::metrics::Gauge& gflops =
+      util::metrics::gauge("nn.gemm.gflops_per_s");
+  util::metrics::Gauge& intensity =
+      util::metrics::gauge("nn.gemm.arithmetic_intensity");
+};
+
+void account_sgemm(int m, int n, int k, double seconds) {
+  static GemmInstruments ins;
+  ins.calls.add();
+  ins.flops.add(sgemm_flops(m, n, k));
+  ins.bytes.add(sgemm_bytes(m, n, k));
+  ins.ns.add_seconds(seconds);
+  const double total_flops = static_cast<double>(ins.flops.value());
+  const double total_ns = static_cast<double>(ins.ns.value());
+  const double total_bytes = static_cast<double>(ins.bytes.value());
+  if (total_ns > 0.0) ins.gflops.set(total_flops / total_ns);  // FLOP/ns=GF/s
+  if (total_bytes > 0.0) ins.intensity.set(total_flops / total_bytes);
+}
+
+}  // namespace
+
 std::size_t sgemm_workspace_bytes(int m, int n, int k) {
   const std::size_t kc = static_cast<std::size_t>(std::min(k, kKc));
   const std::size_t nc = static_cast<std::size_t>(std::min(
@@ -252,6 +297,8 @@ void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
            const float* a, int lda, const float* b, int ldb, float beta,
            float* c, int ldc) {
   if (m <= 0 || n <= 0) return;
+  const bool measure = util::metrics::enabled();
+  util::WallTimer timer;
   // Apply beta once up front; every block update below is then "+=".
   if (beta == 0.0f) {
     for (int i = 0; i < m; ++i) {
@@ -310,6 +357,7 @@ void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
     }
   }
   arena.release(m0);
+  if (measure) account_sgemm(m, n, k, timer.seconds());
 }
 
 }  // namespace adarnet::nn

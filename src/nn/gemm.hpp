@@ -95,4 +95,14 @@ void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
 /// Arena bytes one sgemm call of this shape draws for its pack buffers.
 std::size_t sgemm_workspace_bytes(int m, int n, int k);
 
+/// Floating-point operations one sgemm call of this shape performs
+/// (2*m*n*k multiply-adds; the roofline numerator).
+std::int64_t sgemm_flops(int m, int n, int k);
+
+/// Minimum data movement of one sgemm call of this shape: each operand
+/// read once, C read and written once ((m*k + k*n + 2*m*n) floats — the
+/// compulsory-traffic roofline denominator, not the achieved cache
+/// traffic).
+std::int64_t sgemm_bytes(int m, int n, int k);
+
 }  // namespace adarnet::nn

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/metrics.hpp"
+
 namespace adarnet::nn {
 
 namespace memory {
@@ -9,6 +11,19 @@ namespace memory {
 namespace {
 std::atomic<std::int64_t> g_live{0};
 std::atomic<std::int64_t> g_peak{0};
+
+// Mirror the allocator counters as metrics gauges so the memory high-water
+// shows up in /metrics and bench snapshots, not only through the C++ API.
+// The instrument lookups are cached; each publish is an enabled() check
+// plus two relaxed stores/CAS — noise next to the allocation itself.
+void publish(std::int64_t live) {
+  namespace metrics = adarnet::util::metrics;
+  if (!metrics::enabled()) return;
+  static metrics::Gauge& g_live_gauge = metrics::gauge("nn.mem.live_bytes");
+  static metrics::Gauge& g_peak_gauge = metrics::gauge("nn.mem.peak_bytes");
+  g_live_gauge.set(static_cast<double>(live));
+  g_peak_gauge.max(static_cast<double>(g_peak.load()));
+}
 }  // namespace
 
 std::int64_t live_bytes() { return g_live.load(); }
@@ -21,8 +36,11 @@ void on_alloc(std::int64_t bytes) {
   std::int64_t peak = g_peak.load();
   while (live > peak && !g_peak.compare_exchange_weak(peak, live)) {
   }
+  publish(live);
 }
-void on_free(std::int64_t bytes) { g_live.fetch_sub(bytes); }
+void on_free(std::int64_t bytes) {
+  publish(g_live.fetch_sub(bytes) - bytes);
+}
 }  // namespace detail
 
 }  // namespace memory

@@ -153,12 +153,19 @@ inline MomentumCell momentum_cell(const Grid2Dd& U, const Grid2Dd& V,
 // True steady momentum defect of one cell (pseudo-time and relaxation
 // excluded), normalised per cell by the diagonal times u_ref. An
 // interpolated coarse solution does not satisfy the fine equations, so
-// this measure cannot be fooled by small steps.
-inline double momentum_defect(const MomentumCell& c, double u, double v,
-                              double vol, double u_ref) {
+// this measure cannot be fooled by small steps. The U and V defects are
+// returned separately so the residual time-series can track each
+// component; the combined convergence measure is their sum.
+struct MomentumDefect {
+  double u = 0.0;
+  double v = 0.0;
+};
+
+inline MomentumDefect momentum_defect(const MomentumCell& c, double u,
+                                      double v, double vol, double u_ref) {
   const double denom = c.sum_a() * std::max(std::abs(u_ref), 1e-30);
-  return std::abs(c.nb_u - c.dpdx * vol - c.sum_a() * u) / denom +
-         std::abs(c.nb_v - c.dpdy * vol - c.sum_a() * v) / denom;
+  return {std::abs(c.nb_u - c.dpdx * vol - c.sum_a() * u) / denom,
+          std::abs(c.nb_v - c.dpdy * vol - c.sum_a() * v) / denom};
 }
 
 // SA transport coefficients and sources of one fluid cell, shared by the
@@ -258,8 +265,11 @@ struct RansSolver::Workspace {
 
   std::vector<RowRef> rows;  // flattened (patch, interior row) work items
   // Per-row reduction partials (fixed-order summation: see sum_rows).
+  // acc_c carries the V-component momentum defect alongside acc_a's
+  // U-component so both stay per-row fixed-order (thread-count invariant).
   std::vector<double> acc_a;
   std::vector<double> acc_b;
+  std::vector<double> acc_c;
 
   explicit Workspace(const CompositeMesh& mesh)
       : ap(mesh::make_scalar(mesh)),
@@ -274,6 +284,7 @@ struct RansSolver::Workspace {
     }
     acc_a.assign(rows.size(), 0.0);
     acc_b.assign(rows.size(), 0.0);
+    acc_c.assign(rows.size(), 0.0);
   }
 };
 
@@ -619,6 +630,7 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
   // Rhie-Chow and the corrector.
   zero_rows(ws.acc_a);
   zero_rows(ws.acc_b);
+  zero_rows(ws.acc_c);
   for (int sweep = 0; sweep < cfg.momentum_sweeps; ++sweep) {
     const bool measure = (sweep + 1 == cfg.momentum_sweeps);
     {
@@ -633,7 +645,8 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
         const double dx = pm.dx;
         const double dy = pm.dy;
         const double vol = dx * dy;
-        double acc = 0.0;
+        double acc_u = 0.0;
+        double acc_v = 0.0;
         double scale = 0.0;
         const int js = color_jstep(color);
         for (int j = color_j0(i, color); j <= pm.nx; j += js) {
@@ -651,14 +664,18 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
           const double u_old = U(i, j);
           const double v_old = V(i, j);
           if (measure) {
-            acc += momentum_defect(c, u_old, v_old, vol, u_ref);
+            const MomentumDefect d =
+                momentum_defect(c, u_old, v_old, vol, u_ref);
+            acc_u += d.u;
+            acc_v += d.v;
             scale += 2.0;
           }
           U(i, j) = (c.nb_u - c.dpdx * vol + relax * u_old) / ap;
           V(i, j) = (c.nb_v - c.dpdy * vol + relax * v_old) / ap;
         }
         if (measure) {
-          ws.acc_a[r] += acc;
+          ws.acc_a[r] += acc_u;
+          ws.acc_c[r] += acc_v;
           ws.acc_b[r] += scale;
         }
       });
@@ -671,7 +688,14 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
       apply_bc_ghosts(f.V, kV);
     }
   }
-  res.momentum = sum_rows(ws.acc_a) / std::max(sum_rows(ws.acc_b), 1e-30);
+  {
+    const double sum_u = sum_rows(ws.acc_a);
+    const double sum_v = sum_rows(ws.acc_c);
+    const double cells2 = std::max(sum_rows(ws.acc_b), 1e-30);
+    res.momentum = (sum_u + sum_v) / cells2;
+    res.momentum_u = sum_u / std::max(0.5 * cells2, 1e-30);
+    res.momentum_v = sum_v / std::max(0.5 * cells2, 1e-30);
+  }
 
   // Make the momentum diagonal available across interfaces (Rhie-Chow reads
   // the neighbour's aP through the ghost ring) and at domain boundaries
@@ -908,6 +932,7 @@ Residuals RansSolver::evaluate_residuals(const CompositeField& f,
   // continuity evaluation's Rhie-Chow faces need.
   zero_rows(ws.acc_a);
   zero_rows(ws.acc_b);
+  zero_rows(ws.acc_c);
   run_scan(ws.rows, [&](int r, int k, int i) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     const Grid2Dd& U = f.U[k];
@@ -918,7 +943,8 @@ Residuals RansSolver::evaluate_residuals(const CompositeField& f,
     const double dx = pm.dx;
     const double dy = pm.dy;
     const double vol = dx * dy;
-    double acc = 0.0;
+    double acc_u = 0.0;
+    double acc_v = 0.0;
     double scale = 0.0;
     for (int j = 1; j <= pm.nx; ++j) {
       if (pm.solid(i, j)) {
@@ -928,13 +954,24 @@ Residuals RansSolver::evaluate_residuals(const CompositeField& f,
       const MomentumCell c = momentum_cell(U, V, P, NT, nu, u_ref,
                                            config_.pseudo_cfl, dx, dy, i, j);
       AP(i, j) = std::max(c.sum_a() + c.a_time, 1e-30) / config_.alpha_u;
-      acc += momentum_defect(c, U(i, j), V(i, j), vol, u_ref);
+      const MomentumDefect d =
+          momentum_defect(c, U(i, j), V(i, j), vol, u_ref);
+      acc_u += d.u;
+      acc_v += d.v;
       scale += 2.0;
     }
-    ws.acc_a[r] = acc;
+    ws.acc_a[r] = acc_u;
+    ws.acc_c[r] = acc_v;
     ws.acc_b[r] = scale;
   });
-  res.momentum = sum_rows(ws.acc_a) / std::max(sum_rows(ws.acc_b), 1e-30);
+  {
+    const double sum_u = sum_rows(ws.acc_a);
+    const double sum_v = sum_rows(ws.acc_c);
+    const double cells2 = std::max(sum_rows(ws.acc_b), 1e-30);
+    res.momentum = (sum_u + sum_v) / cells2;
+    res.momentum_u = sum_u / std::max(0.5 * cells2, 1e-30);
+    res.momentum_v = sum_v / std::max(0.5 * cells2, 1e-30);
+  }
 
   exchange_ghosts(ws.ap, mesh_);
   extrapolate_ap(ws);
@@ -972,6 +1009,26 @@ namespace {
 // registry (DESIGN.md §9). The per-phase wall times already live in
 // stats.phase_seconds; this just re-publishes them under solver.* names so
 // snapshot consumers see solver cost next to train/infer/pipeline cost.
+// Appends one outer iteration's residuals to the convergence time-series
+// behind the telemetry server's /series.json. The x axis is a process-wide
+// outer-iteration index (monotone across solves and meshes) so a scraper
+// polling mid-run sees strictly increasing sample positions.
+void record_residual_series(const Residuals& res) {
+  namespace metrics = util::metrics;
+  if (!metrics::enabled()) return;
+  static metrics::Counter& iters = metrics::counter("solver.series.iterations");
+  static metrics::TimeSeries& s_u = metrics::series("solver.residual.u");
+  static metrics::TimeSeries& s_v = metrics::series("solver.residual.v");
+  static metrics::TimeSeries& s_p = metrics::series("solver.residual.p");
+  static metrics::TimeSeries& s_nt = metrics::series("solver.residual.nu_tilde");
+  iters.add();
+  const double x = static_cast<double>(iters.value());
+  s_u.append(x, res.momentum_u);
+  s_v.append(x, res.momentum_v);
+  s_p.append(x, res.continuity);
+  s_nt.append(x, res.sa);
+}
+
 void bridge_stats_to_metrics(const SolveStats& stats) {
   namespace metrics = util::metrics;
   if (!metrics::enabled()) return;
@@ -1013,6 +1070,7 @@ SolveStats RansSolver::solve(CompositeField& f) {
     for (int it = 0; it < cfg.max_outer; ++it) {
       util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
       res = outer_iteration(f, ws, cfg, stats.phase_seconds);
+      record_residual_series(res);
       stats.iterations += 1;
       stats.cell_updates += cells;
       if (cfg.log_every > 0 && (it % cfg.log_every == 0)) {
@@ -1066,6 +1124,7 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   for (int it = 0; it < n; ++it) {
     util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
     res = outer_iteration(f, ws, config_, stats.phase_seconds);
+    record_residual_series(res);
     stats.iterations = it + 1;
     stats.cell_updates += cells;
     if (res.combined() >= 1e30) {

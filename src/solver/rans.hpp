@@ -96,8 +96,14 @@ struct Residuals {
   double continuity = 0.0;  ///< mass imbalance / inlet mass flux
   double momentum = 0.0;    ///< relative change of U, V per iteration
   double sa = 0.0;          ///< relative change of nuTilda per iteration
+  // Per-component momentum defects (momentum is their mean). Diagnostics
+  // only — convergence tests use the combined momentum value — but they
+  // are what the telemetry time-series solver.residual.{u,v} record, so an
+  // anisotropic stall (e.g. V converged, U oscillating) is visible live.
+  double momentum_u = 0.0;  ///< U-component steady momentum defect
+  double momentum_v = 0.0;  ///< V-component steady momentum defect
 
-  /// Worst of the three; non-finite values (diverged state) map to 1e30.
+  /// Worst of continuity/momentum/sa; non-finite values map to 1e30.
   [[nodiscard]] double combined() const;
 };
 

@@ -1,0 +1,84 @@
+// Comparison engine behind tools/bench_diff: loads two BENCH_*.json
+// documents (a committed baseline and a freshly generated report), flattens
+// their numeric leaves, and gates the delta. Keys fall into three classes:
+//
+//  * throughput — achieved rates (gflops_per_s, cells_per_s, speedup*):
+//    machine- and load-dependent, so the gate is one-sided: only a drop
+//    beyond the tolerance (default 15%) is a regression; being faster than
+//    the baseline always passes.
+//  * portable — roofline model values (flops, bytes, arithmetic_intensity):
+//    deterministic functions of kernel shapes, identical on every machine.
+//    Any drift beyond rounding means the cost model or the benchmarked
+//    shapes changed silently, so they are gated both ways and tightly.
+//    CI's bench-smoke job runs with portable_only so shared-runner noise
+//    cannot flake the gate while model drift still fails it.
+//  * ignored — wall times, counters, metric snapshots: expected to vary
+//    run to run; never gated.
+//
+// A baseline key missing from the current report is always a failure (a
+// kernel size silently dropped from the bench is exactly the kind of
+// coverage loss the gate exists to catch). Keys only in the current report
+// are reported but pass — new coverage needs a baseline refresh, not a red
+// build.
+//
+// The JSON subset parsed here is what bench/common.hpp's writers emit
+// (objects, arrays, numbers, strings, booleans, null); it is a full JSON
+// reader for that subset, not a general validator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adarnet::util::bench_compare {
+
+/// Gate configuration.
+struct Options {
+  double tolerance = 0.15;     ///< allowed relative drop on throughput keys
+  bool portable_only = false;  ///< gate only machine-independent keys
+};
+
+/// One compared key.
+struct Delta {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  ///< (current - baseline) / |baseline|
+  bool regression = false;
+};
+
+/// Outcome of a comparison.
+struct Report {
+  std::vector<Delta> deltas;         ///< gated keys, in key order
+  std::vector<std::string> missing;  ///< baseline keys absent from current
+  std::vector<std::string> added;    ///< current keys absent from baseline
+  bool pass = true;
+
+  /// Human-readable summary (one line per regression/missing key plus a
+  /// PASS/FAIL verdict).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses `text` and flattens every numeric leaf into `out`, keyed by the
+/// '/'-joined path of object keys and array indices (JSON keys may contain
+/// dots, so '/' is the separator: "roofline/by_size/conv.forward.hw16/
+/// flops"). Non-numeric leaves are skipped. Returns false and sets *error
+/// on malformed input.
+bool flatten_json(const std::string& text, std::map<std::string, double>& out,
+                  std::string* error = nullptr);
+
+/// Reads the file at `path` and flattens it (see flatten_json).
+bool flatten_json_file(const std::string& path,
+                       std::map<std::string, double>& out,
+                       std::string* error = nullptr);
+
+/// Gate class of a flattened key (see the file comment).
+enum class KeyClass { kThroughput, kPortable, kIgnored };
+KeyClass classify(const std::string& key);
+
+/// Compares `current` against `baseline` under `opt`.
+Report compare(const std::map<std::string, double>& baseline,
+               const std::map<std::string, double>& current,
+               const Options& opt);
+
+}  // namespace adarnet::util::bench_compare

@@ -4,6 +4,13 @@
 // want readable progress lines, tests want silence. Level is a process-wide
 // setting, defaulting to Info, overridable with ADARNET_LOG_LEVEL
 // (trace|debug|info|warn|error|off).
+//
+// Emission is line-atomic: each record is formatted into one buffer and
+// written with a single fwrite under the emit lock, so concurrent log
+// statements from OpenMP regions never interleave mid-line. An optional
+// JSON-lines sink (ADARNET_LOG_JSON=<path>, or set_json_log_path()) mirrors
+// every record as {"ts_us": ..., "level": "...", "msg": "..."} so log
+// events land beside the telemetry stream for machine consumption.
 #pragma once
 
 #include <sstream>
@@ -29,6 +36,13 @@ void set_log_level(LogLevel level);
 
 /// Parses a level name ("info", "warn", ...). Unknown names yield kInfo.
 LogLevel parse_log_level(const std::string& name);
+
+/// Redirects the JSON-lines sink to `path` (append mode; "" disables).
+/// Overrides the ADARNET_LOG_JSON default.
+void set_json_log_path(const std::string& path);
+
+/// The JSON-lines sink path ("" when disabled).
+std::string json_log_path();
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

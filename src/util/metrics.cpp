@@ -10,11 +10,18 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/telemetry.hpp"
+
 namespace adarnet::util::metrics {
 
 namespace detail {
 
 bool env_enabled() {
+  // Piggy-back the telemetry autostart on the metrics env probe: this
+  // initializer runs before main in every binary that touches metrics, so
+  // ADARNET_TELEMETRY_PORT works without per-binary wiring (and costs one
+  // getenv when unset).
+  telemetry::detail::autostart_from_env();
   const char* v = std::getenv("ADARNET_METRICS");
   if (v == nullptr) return true;
   const std::string s(v);
@@ -88,6 +95,42 @@ void Histogram::reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
+void TimeSeries::append(double x, double y) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[static_cast<std::size_t>(head_ % ring_.size())] = Point{x, y};
+  ++head_;
+}
+
+std::uint64_t TimeSeries::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(head_, ring_.size()));
+}
+
+std::vector<TimeSeries::Point> TimeSeries::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(head_, ring_.size()));
+  std::vector<Point> out;
+  out.reserve(n);
+  const std::uint64_t first = head_ - n;
+  for (std::size_t k = 0; k < n; ++k) {
+    out.push_back(ring_[static_cast<std::size_t>((first + k) % ring_.size())]);
+  }
+  return out;
+}
+
+void TimeSeries::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+}
+
 namespace {
 
 // Registry: name -> one instrument. Locked only on lookup (call sites
@@ -96,6 +139,7 @@ struct Instrument {
   std::unique_ptr<Counter> counter;
   std::unique_ptr<Gauge> gauge;
   std::unique_ptr<Histogram> histogram;
+  std::unique_ptr<TimeSeries> series;
 };
 
 std::mutex g_mutex;
@@ -115,7 +159,7 @@ std::map<std::string, Instrument>& registry() {
 Counter& counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(g_mutex);
   Instrument& ins = registry()[name];
-  if (ins.gauge || ins.histogram) kind_mismatch(name);
+  if (ins.gauge || ins.histogram || ins.series) kind_mismatch(name);
   if (!ins.counter) ins.counter = std::make_unique<Counter>();
   return *ins.counter;
 }
@@ -123,7 +167,7 @@ Counter& counter(const std::string& name) {
 Gauge& gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(g_mutex);
   Instrument& ins = registry()[name];
-  if (ins.counter || ins.histogram) kind_mismatch(name);
+  if (ins.counter || ins.histogram || ins.series) kind_mismatch(name);
   if (!ins.gauge) ins.gauge = std::make_unique<Gauge>();
   return *ins.gauge;
 }
@@ -131,9 +175,17 @@ Gauge& gauge(const std::string& name) {
 Histogram& histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(g_mutex);
   Instrument& ins = registry()[name];
-  if (ins.counter || ins.gauge) kind_mismatch(name);
+  if (ins.counter || ins.gauge || ins.series) kind_mismatch(name);
   if (!ins.histogram) ins.histogram = std::make_unique<Histogram>();
   return *ins.histogram;
+}
+
+TimeSeries& series(const std::string& name, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Instrument& ins = registry()[name];
+  if (ins.counter || ins.gauge || ins.histogram) kind_mismatch(name);
+  if (!ins.series) ins.series = std::make_unique<TimeSeries>(capacity);
+  return *ins.series;
 }
 
 void reset() {
@@ -142,6 +194,7 @@ void reset() {
     if (ins.counter) ins.counter->reset();
     if (ins.gauge) ins.gauge->reset();
     if (ins.histogram) ins.histogram->reset();
+    if (ins.series) ins.series->reset();
   }
 }
 
@@ -150,6 +203,7 @@ std::vector<SnapshotEntry> snapshot() {
   std::vector<SnapshotEntry> out;
   out.reserve(registry().size());
   for (const auto& [name, ins] : registry()) {
+    if (ins.series) continue;  // history, not a scalar: see series_json()
     SnapshotEntry e;
     e.name = name;
     if (ins.counter) {
@@ -221,6 +275,111 @@ std::string snapshot_json() {
   }
   return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
          "}, \"histograms\": {" + histograms + "}}";
+}
+
+std::string series_json() {
+  // Collect name -> (capacity, total, points) under the registry lock but
+  // snapshot each ring via its own mutex, so appends stall for one point
+  // copy at most.
+  std::vector<std::pair<std::string, const TimeSeries*>> all;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    for (const auto& [name, ins] : registry()) {
+      if (ins.series) all.emplace_back(name, ins.series.get());
+    }
+  }
+  std::string out = "{\"series\": {";
+  bool first_series = true;
+  for (const auto& [name, ts] : all) {
+    if (!first_series) out += ", ";
+    first_series = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\": {\"capacity\": ";
+    out += std::to_string(ts->capacity());
+    out += ", \"total\": ";
+    out += std::to_string(ts->total());
+    out += ", \"points\": [";
+    bool first = true;
+    for (const TimeSeries::Point& p : ts->snapshot()) {
+      if (!first) out += ", ";
+      first = false;
+      out += '[';
+      out += number(p.x);
+      out += ", ";
+      out += number(p.y);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:] only; everything else
+// (the dots of the internal scheme) maps to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "adarnet_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::string out;
+  for (const auto& [name, ins] : registry()) {
+    if (ins.series) continue;  // exposed via /series.json only
+    const std::string pname = prometheus_name(name);
+    const std::string label =
+        "{name=\"" + prometheus_label_escape(name) + "\"}";
+    if (ins.counter) {
+      out += "# TYPE " + pname + " counter\n";
+      out += pname + label + " " + std::to_string(ins.counter->value()) + "\n";
+    } else if (ins.gauge) {
+      out += "# TYPE " + pname + " gauge\n";
+      out += pname + label + " " + number(ins.gauge->value()) + "\n";
+    } else if (ins.histogram) {
+      const Histogram& h = *ins.histogram;
+      out += "# TYPE " + pname + " histogram\n";
+      long long cumulative = 0;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const long long in_bucket = h.bucket_count(b);
+        if (in_bucket == 0) continue;
+        cumulative += in_bucket;
+        out += pname + "_bucket{name=\"" + prometheus_label_escape(name) +
+               "\",le=\"" + std::to_string(Histogram::bucket_upper(b)) +
+               "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += pname + "_bucket{name=\"" + prometheus_label_escape(name) +
+             "\",le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+      out += pname + "_sum" + label + " " + std::to_string(h.sum()) + "\n";
+      out += pname + "_count" + label + " " + std::to_string(h.count()) +
+             "\n";
+    }
+  }
+  return out;
 }
 
 ScopedNs::ScopedNs(Counter& c) : c_(enabled() ? &c : nullptr) {

@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -114,12 +115,56 @@ class Histogram {
   std::atomic<long long> max_{0};
 };
 
+/// Fixed-capacity ring buffer of (x, y) points — the convergence
+/// time-series recorder behind the telemetry server's /series.json. Unlike
+/// the scalar instruments above it keeps *history*: per-outer-iteration
+/// solver residuals, per-epoch training losses, per-run pipeline outcomes.
+/// Appends and snapshots serialise on a private mutex; the critical section
+/// is two double stores and a counter bump, and the recording cadence is
+/// per-iteration / per-epoch (never per-cell), so the lock stays cold.
+class TimeSeries {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  struct Point {
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  explicit TimeSeries(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  /// Records one point; once full, the oldest point is overwritten.
+  void append(double x, double y);
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Points appended over the series' lifetime (>= size()).
+  [[nodiscard]] std::uint64_t total() const;
+  /// Points currently held (<= capacity()).
+  [[nodiscard]] std::size_t size() const;
+  /// The retained points, oldest first.
+  [[nodiscard]] std::vector<Point> snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Point> ring_;
+  std::uint64_t head_ = 0;  // total appends; head_ % capacity is next slot
+};
+
 /// Looks up (registering on first use) the named instrument. The returned
 /// reference is stable for the process lifetime; cache it at the call site.
 /// Requesting an existing name with a different instrument kind throws.
 Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name);
+
+/// Looks up (registering on first use) the named time-series. `capacity`
+/// applies only on first registration.
+TimeSeries& series(const std::string& name,
+                   std::size_t capacity = TimeSeries::kDefaultCapacity);
 
 /// Zeroes every registered instrument (registration survives). Benches
 /// call this to scope a snapshot to one run; tests call it in SetUp.
@@ -144,7 +189,21 @@ std::vector<SnapshotEntry> snapshot();
 /// The snapshot as one JSON object: {"counters": {name: value, ...},
 /// "gauges": {...}, "histograms": {name: {count, sum, mean, max, p50,
 /// p95}, ...}}. Benches embed this in their BENCH_*.json documents.
+/// Time-series are not included (see series_json()).
 std::string snapshot_json();
+
+/// Every registered time-series as one JSON object:
+/// {"series": {name: {"capacity": c, "total": t, "points": [[x, y], ...]},
+/// ...}} — the payload of the telemetry server's /series.json.
+std::string series_json();
+
+/// The registry rendered in Prometheus text exposition format (version
+/// 0.0.4) — the payload of the telemetry server's /metrics. Metric names
+/// are sanitised ("solver.ns" -> adarnet_solver_ns) and the original
+/// dotted name is kept in a `name` label so Prometheus series
+/// cross-reference DESIGN.md's naming scheme verbatim. Histograms render
+/// as cumulative le-buckets at the log-scale bucket upper bounds.
+std::string prometheus_text();
 
 /// RAII scope timer: adds the scope's duration in nanoseconds to a
 /// counter (conventionally named "*.ns"). Reads the clock only while

@@ -1,0 +1,216 @@
+#include "util/telemetry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define ADARNET_TELEMETRY_SOCKETS 1
+#endif
+
+namespace adarnet::util::telemetry {
+
+namespace {
+
+std::mutex g_mutex;             // guards start/stop transitions
+std::atomic<bool> g_running{false};
+std::atomic<int> g_port{0};
+std::atomic<long long> g_requests{0};
+int g_listen_fd = -1;
+std::thread g_thread;
+WallTimer g_uptime;
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+#ifdef ADARNET_TELEMETRY_SOCKETS
+
+void handle_client(int fd) {
+  // The four endpoints are GETs with no body: the request line is all we
+  // need. Read up to one buffer's worth and parse "<METHOD> <PATH> ...".
+  char buf[2048];
+  std::size_t got = 0;
+  while (got < sizeof(buf) - 1) {
+    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    buf[got] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[got] = '\0';
+  std::string method, path;
+  {
+    const char* sp1 = std::strchr(buf, ' ');
+    if (sp1 != nullptr) {
+      method.assign(static_cast<const char*>(buf), sp1);
+      const char* sp2 = std::strchr(sp1 + 1, ' ');
+      const char* eol = std::strpbrk(sp1 + 1, "\r\n");
+      const char* end = sp2 != nullptr ? sp2 : eol;
+      if (end != nullptr) path.assign(sp1 + 1, end);
+    }
+  }
+  const std::string response = detail::respond(method, path);
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  g_requests.fetch_add(1, std::memory_order_relaxed);
+}
+
+void acceptor_loop(int listen_fd) {
+  while (g_running.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (!g_running.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure (EINTR etc.)
+    }
+    handle_client(client);
+  }
+}
+
+void stop_at_exit() { stop(); }
+
+#endif  // ADARNET_TELEMETRY_SOCKETS
+
+}  // namespace
+
+bool start(int port) {
+#ifdef ADARNET_TELEMETRY_SOCKETS
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_running.load(std::memory_order_acquire)) return false;
+  if (port < 0 || port > 65535) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    g_port.store(static_cast<int>(ntohs(bound.sin_port)),
+                 std::memory_order_release);
+  }
+  g_listen_fd = fd;
+  g_uptime.reset();
+  g_running.store(true, std::memory_order_release);
+  g_thread = std::thread(acceptor_loop, fd);
+  static bool atexit_once = [] {
+    std::atexit(stop_at_exit);
+    return true;
+  }();
+  (void)atexit_once;
+  ADR_LOG_INFO << "telemetry: serving http://127.0.0.1:"
+               << g_port.load(std::memory_order_acquire)
+               << " (/healthz /metrics /snapshot.json /series.json)";
+  return true;
+#else
+  (void)port;
+  return false;
+#endif
+}
+
+void stop() {
+#ifdef ADARNET_TELEMETRY_SOCKETS
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_running.load(std::memory_order_acquire)) return;
+  g_running.store(false, std::memory_order_release);
+  // shutdown() unblocks the acceptor even on platforms where close() alone
+  // does not wake a blocked accept().
+  ::shutdown(g_listen_fd, SHUT_RDWR);
+  ::close(g_listen_fd);
+  g_listen_fd = -1;
+  if (g_thread.joinable()) g_thread.join();
+  g_port.store(0, std::memory_order_release);
+#endif
+}
+
+bool running() { return g_running.load(std::memory_order_acquire); }
+
+int bound_port() { return g_port.load(std::memory_order_acquire); }
+
+long long request_count() {
+  return g_requests.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void autostart_from_env() {
+  static bool once = [] {
+    const char* v = std::getenv("ADARNET_TELEMETRY_PORT");
+    if (v == nullptr || v[0] == '\0') return false;
+    const int port = std::atoi(v);
+    if (!start(port)) {
+      ADR_LOG_WARN << "telemetry: could not serve ADARNET_TELEMETRY_PORT="
+                   << v;
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+std::string respond(const std::string& method, const std::string& path) {
+  if (method != "GET" && method != "HEAD") {
+    return http_response("405 Method Not Allowed", "text/plain",
+                         "method not allowed\n");
+  }
+  if (path == "/healthz") {
+    char body[96];
+    std::snprintf(body, sizeof(body),
+                  "{\"status\": \"ok\", \"uptime_s\": %.3f}\n",
+                  g_uptime.seconds());
+    return http_response("200 OK", "application/json", body);
+  }
+  if (path == "/metrics") {
+    return http_response("200 OK", "text/plain; version=0.0.4",
+                         metrics::prometheus_text());
+  }
+  if (path == "/snapshot.json") {
+    return http_response("200 OK", "application/json",
+                         metrics::snapshot_json() + "\n");
+  }
+  if (path == "/series.json") {
+    return http_response("200 OK", "application/json",
+                         metrics::series_json() + "\n");
+  }
+  return http_response("404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace detail
+
+}  // namespace adarnet::util::telemetry

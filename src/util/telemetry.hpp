@@ -1,0 +1,55 @@
+// Embedded telemetry HTTP server: watch a running train / infer / solve
+// job with nothing but curl.
+//
+// A single acceptor thread serves four read-only endpoints over plain
+// POSIX sockets (no dependencies, loopback only):
+//
+//   /healthz        200 "ok" + uptime — liveness probe
+//   /metrics        util::metrics registry in Prometheus text exposition
+//   /snapshot.json  util::metrics::snapshot_json() (the BENCH_*.json shape)
+//   /series.json    util::metrics::series_json() (convergence time-series)
+//
+// Opt-in: the server only exists when ADARNET_TELEMETRY_PORT is set in the
+// environment (port number; 0 picks an ephemeral port, logged at startup)
+// or start() is called programmatically. With the variable unset no socket
+// is opened and nothing is spawned — the cost is one getenv at static-init
+// time. The server binds 127.0.0.1 only; it is an operator tool, not a
+// public listener. Requests are served one at a time (scrape cadence is
+// seconds; handlers only read lock-free registries), and the thread is
+// joined via atexit before static teardown.
+#pragma once
+
+#include <string>
+
+namespace adarnet::util::telemetry {
+
+/// Starts the server on 127.0.0.1:`port` (0 = ephemeral). Returns false if
+/// a server is already running or the socket cannot be opened. Thread-safe.
+bool start(int port);
+
+/// Stops the server and joins the acceptor thread. Safe to call when not
+/// running. Runs automatically at process exit.
+void stop();
+
+/// True while the acceptor thread is serving.
+bool running();
+
+/// The bound port (0 when not running). With start(0) this is the
+/// kernel-assigned ephemeral port.
+int bound_port();
+
+/// Requests handled since start() (diagnostics/tests).
+long long request_count();
+
+namespace detail {
+/// Starts the server when ADARNET_TELEMETRY_PORT is set. Called once from
+/// the metrics static initializer so every binary honours the variable;
+/// harmless to call again.
+void autostart_from_env();
+
+/// Routes one parsed request to its response (status line + headers +
+/// body). Exposed so tests can golden-test routing without a socket.
+std::string respond(const std::string& method, const std::string& path);
+}  // namespace detail
+
+}  // namespace adarnet::util::telemetry

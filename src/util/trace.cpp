@@ -100,22 +100,50 @@ std::string path() {
 }
 
 bool flush() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  if (out_path().empty()) return false;
-  std::ofstream out(out_path());
-  if (!out) return false;
-  out << "{\"traceEvents\": [";
-  bool first = true;
-  for (const Event& e : events()) {
-    if (!first) out << ",";
-    first = false;
-    out << "\n  {\"name\": \"" << escape(e.name)
-        << "\", \"cat\": \"adarnet\", \"ph\": \"X\", \"ts\": " << e.ts_us
-        << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid
-        << "}";
+  // Snapshot the buffer + path under the record lock, then serialise and
+  // write OUTSIDE it: holding g_mutex across file I/O stalled every span
+  // completion for the duration of the write, and a flush racing process
+  // exit could leave a torn document (truncated events, missing closing
+  // "]"). The document is written to "<path>.tmp" and renamed into place,
+  // so a reader — or a concurrent flush — only ever sees a complete file.
+  std::string path;
+  std::vector<Event> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (out_path().empty()) return false;
+    path = out_path();
+    snapshot = events();
   }
-  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
-  return static_cast<bool>(out);
+
+  std::string doc = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& e : snapshot) {
+    if (!first) doc += ",";
+    first = false;
+    doc += "\n  {\"name\": \"";
+    doc += escape(e.name);
+    doc += "\", \"cat\": \"adarnet\", \"ph\": \"X\", \"ts\": ";
+    doc += std::to_string(e.ts_us);
+    doc += ", \"dur\": ";
+    doc += std::to_string(e.dur_us);
+    doc += ", \"pid\": 1, \"tid\": ";
+    doc += std::to_string(e.tid);
+    doc += "}";
+  }
+  doc += "\n], \"displayTimeUnit\": \"ms\"}\n";
+
+  // One flush writes at a time: two concurrent flushes sharing a .tmp file
+  // would interleave just like the original race.
+  static std::mutex* write_mutex = new std::mutex();
+  std::lock_guard<std::mutex> write_lock(*write_mutex);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << doc;
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 void clear() {

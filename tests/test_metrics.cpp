@@ -3,6 +3,7 @@
 // concurrent updates (the TSan CI job races these, ctest -L obs).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -383,6 +384,51 @@ TEST_F(TraceTest, ConcurrentSpansAllRecorded) {
         trace::Span span("obs.test.race");
       }
     });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(trace::event_count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  ASSERT_TRUE(trace::flush());
+  EXPECT_TRUE(JsonChecker(slurp(path)).valid());
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, FlushDuringSpansNeverTearsTheFile) {
+  // Regression test for the flush race: flush() used to serialise the
+  // event buffer straight into the output stream while other threads kept
+  // appending, so a reader (or a crash) could observe a file missing its
+  // closing "]". flush() now snapshots the buffer and renames a fully
+  // written temp file into place, so every observation of the path is a
+  // complete JSON document — checked here by re-reading it between
+  // flushes while 4 threads hammer spans.
+  const std::string path = "test_trace_flush_race.json";
+  trace::set_path(path);
+  // Workers record a *bounded* number of spans (the buffer is unbounded,
+  // and each flush serialises all of it — an open-ended spinner would blow
+  // the test up quadratically) while the main thread keeps flushing and
+  // re-reading the file for as long as they run.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::atomic<int> running{kThreads};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&running] {
+      for (int i = 0; i < kPerThread; ++i) {
+        trace::Span span("obs.test.flush.race");
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  int flushes = 0;
+  while (running.load(std::memory_order_acquire) > 0 || flushes == 0) {
+    ASSERT_TRUE(trace::flush());
+    ++flushes;
+    const std::string doc = slurp(path);
+    ASSERT_FALSE(doc.empty());
+    ASSERT_TRUE(JsonChecker(doc).valid())
+        << "torn trace file, flush " << flushes;
+    if (flushes >= 200) break;  // plenty of interleavings either way
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(trace::event_count(),

@@ -1,0 +1,75 @@
+// CI perf gate: compares a freshly generated BENCH_*.json report against a
+// committed baseline (bench/baselines/) and exits non-zero on throughput
+// regressions beyond the tolerance, on roofline-model drift, or on keys
+// that disappeared from the report. See util/bench_compare.hpp for the key
+// classification.
+//
+// Usage:
+//   bench_diff [--tolerance F] [--portable-only] BASELINE.json CURRENT.json
+//
+// Exit codes: 0 pass, 1 gate failed, 2 usage / unreadable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "util/bench_compare.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tolerance F] [--portable-only] "
+               "BASELINE.json CURRENT.json\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bc = adarnet::util::bench_compare;
+  bc::Options opt;
+  std::string baseline_path;
+  std::string current_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--portable-only") == 0) {
+      opt.portable_only = true;
+    } else if (std::strcmp(arg, "--tolerance") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opt.tolerance = std::atof(argv[++i]);
+      if (opt.tolerance <= 0.0) {
+        std::fprintf(stderr, "bench_diff: --tolerance must be positive\n");
+        return 2;
+      }
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return usage(argv[0]);
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> current;
+  std::string error;
+  if (!bc::flatten_json_file(baseline_path, baseline, &error)) {
+    std::fprintf(stderr, "bench_diff: baseline %s: %s\n",
+                 baseline_path.c_str(), error.c_str());
+    return 2;
+  }
+  if (!bc::flatten_json_file(current_path, current, &error)) {
+    std::fprintf(stderr, "bench_diff: current %s: %s\n", current_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  const bc::Report report = bc::compare(baseline, current, opt);
+  std::fputs(report.to_string().c_str(), stdout);
+  return report.pass ? 0 : 1;
+}
