@@ -102,6 +102,25 @@ int main() {
   bench::JsonArray mesh_json;
   double hr_speedup_4t = 1.0;
 
+  // Acceptance bits (gated exactly by tools/bench_diff, ISSUE 6):
+  //  * deterministic   — every thread count reproduced the 1-thread field
+  //  * monotone        — speedup never drops by more than kMonotoneSlack
+  //                      when the thread count doubles, on every mesh, up
+  //                      to the hardware thread count (oversubscribed runs
+  //                      are reported but cannot honestly be gated)
+  //  * pressure_le_40  — pressure phase <= 40% of solve wall at 1 thread
+  //                      on the uniform meshes, where the multigrid path
+  //                      is engaged (composite meshes with level jumps
+  //                      fall back to SOR, see solver/rans.cpp).
+  const double kMonotoneSlack = 0.10;
+  int hw_threads = 1;
+#ifdef _OPENMP
+  hw_threads = omp_get_max_threads();
+#endif
+  bool accept_deterministic = true;
+  bool accept_monotone = true;
+  bool accept_pressure = true;
+
   for (auto& mc : cases) {
     const long long cells = mc.mesh.active_cells();
     std::fprintf(stderr, "[scaling] %s: %lld cells, %d iters\n",
@@ -137,6 +156,7 @@ int main() {
 #endif
 
     bench::JsonArray config_json;
+    double prev_speedup = 0.0;
     for (const Run& run : runs) {
       const auto& ph = run.stats.phase_seconds;
       const double total = std::max(ph.total(), 1e-30);
@@ -150,6 +170,17 @@ int main() {
            pct(ph.ghosts, total)});
       if (mc.name == "uniform-hr" && run.threads == 4) {
         hr_speedup_4t = run.speedup;
+      }
+      if (!run.identical) accept_deterministic = false;
+      const int gated_threads = std::min(4, hw_threads);
+      if (run.threads <= gated_threads &&
+          run.speedup + kMonotoneSlack < prev_speedup) {
+        accept_monotone = false;
+      }
+      if (run.threads <= gated_threads) prev_speedup = run.speedup;
+      if (run.threads == 1 && mc.name != "composite" &&
+          ph.pressure > 0.40 * total) {
+        accept_pressure = false;
       }
       bench::JsonObject phases;
       phases.add("momentum", ph.momentum)
@@ -180,10 +211,17 @@ int main() {
   bench::emit(table, "solver_scaling");
   std::printf("uniform-hr speedup at 4 threads: %.2fx\n", hr_speedup_4t);
 
+  bench::JsonObject accept;
+  accept.add("deterministic", accept_deterministic ? 1.0 : 0.0)
+      .add("monotone_speedup", accept_monotone ? 1.0 : 0.0)
+      .add("pressure_le_40pct_uniform", accept_pressure ? 1.0 : 0.0);
+
   bench::JsonObject doc;
   doc.add("bench", "solver_scaling")
       .add("iterations", iters)
+      .add("hw_threads", hw_threads)
       .add("hr_speedup_4t", hr_speedup_4t)
+      .add_raw("accept", accept.str())
       .add_raw("meshes", mesh_json.str());
   bench::add_observability(doc, wall.seconds());
   bench::write_json("BENCH_solver.json", doc.str());

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "field/interp.hpp"
+#include "util/metrics.hpp"
 
 namespace adarnet::mesh {
 
@@ -55,6 +56,16 @@ CompositeMesh::CompositeMesh(CaseSpec spec, RefinementMap map)
       patches_.push_back(std::move(pm));
     }
   }
+  // Ghost-exchange traffic of one scalar pass: every interface edge writes
+  // its tangential ghost cells, and every patch writes its four corners.
+  for (const PatchMesh& pm : patches_) {
+    if (pm.pj > 0) ghost_bytes_ += pm.ny;
+    if (pm.pj + 1 < npx()) ghost_bytes_ += pm.ny;
+    if (pm.pi > 0) ghost_bytes_ += pm.nx;
+    if (pm.pi + 1 < npy()) ghost_bytes_ += pm.nx;
+    ghost_bytes_ += 4;
+  }
+  ghost_bytes_ *= static_cast<long long>(sizeof(double));
 }
 
 long long CompositeMesh::active_cells() const {
@@ -220,26 +231,58 @@ void exchange_patch_ghosts(CompositeScalar& s, const CompositeMesh& mesh,
       0.5 * (mine(pm.ny, pm.nx + 1) + mine(pm.ny + 1, pm.nx));
 }
 
+// Publishes the ghost bytes one exchange pass moved. The counter is named
+// under solver.* because the solver's sweep loops are where the traffic is
+// hot — /metrics readers see it next to solver.ghosts.ns.
+void count_ghost_bytes(const CompositeMesh& mesh, int channels) {
+  namespace metrics = adarnet::util::metrics;
+  if (!metrics::enabled()) return;
+  static metrics::Counter& bytes = metrics::counter("solver.ghosts.bytes");
+  bytes.add(mesh.ghost_bytes_per_scalar() * channels);
+}
+
 }  // namespace
 
-void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh) {
+void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh,
+                     bool parallel) {
   assert(static_cast<int>(s.size()) == mesh.patch_count());
+  count_ghost_bytes(mesh, 1);
+  if (parallel) {
 #pragma omp parallel for schedule(static)
-  for (int k = 0; k < mesh.patch_count(); ++k) {
-    exchange_patch_ghosts(s, mesh, k);
+    for (int k = 0; k < mesh.patch_count(); ++k) {
+      exchange_patch_ghosts(s, mesh, k);
+    }
+  } else {
+    for (int k = 0; k < mesh.patch_count(); ++k) {
+      exchange_patch_ghosts(s, mesh, k);
+    }
+  }
+}
+
+void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh,
+                     unsigned channel_mask) {
+  // Fused: every selected channel in a single parallel region (channels x
+  // patch_count independent work items) instead of one fork/join cycle per
+  // channel. The solver refreshes ghosts every outer iteration, so the
+  // join overhead is hot — and phases that only dirtied a channel subset
+  // (momentum: U|V) skip the untouched channels entirely.
+  int channels[field::kNumFlowVars];
+  int nsel = 0;
+  for (int c = 0; c < field::kNumFlowVars; ++c) {
+    if (channel_mask & (1u << c)) channels[nsel++] = c;
+  }
+  if (nsel == 0) return;
+  count_ghost_bytes(mesh, nsel);
+  const int count = mesh.patch_count();
+  const int total = nsel * count;
+#pragma omp parallel for schedule(static)
+  for (int t = 0; t < total; ++t) {
+    exchange_patch_ghosts(f.channel(channels[t / count]), mesh, t % count);
   }
 }
 
 void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh) {
-  // Fused: all four channels in a single parallel region (4x patch_count
-  // independent work items) instead of four fork/join cycles. The solver
-  // refreshes ghosts every outer iteration, so the join overhead is hot.
-  const int count = mesh.patch_count();
-  const int total = 4 * count;
-#pragma omp parallel for schedule(static)
-  for (int t = 0; t < total; ++t) {
-    exchange_patch_ghosts(f.channel(t / count), mesh, t % count);
-  }
+  exchange_ghosts(f, mesh, 0xFu);
 }
 
 void fill_from_uniform(CompositeField& f, const CompositeMesh& mesh,

@@ -70,10 +70,18 @@ class CompositeMesh {
   /// Number of fluid (non-solid) interior cells.
   [[nodiscard]] long long fluid_cells() const;
 
+  /// Bytes written by one exchange_ghosts() pass over a single scalar
+  /// (interface-edge ghosts plus the four corner ghosts of every patch).
+  /// Feeds the solver.ghosts.bytes traffic counter.
+  [[nodiscard]] long long ghost_bytes_per_scalar() const {
+    return ghost_bytes_;
+  }
+
  private:
   CaseSpec spec_;
   RefinementMap map_;
   std::vector<PatchMesh> patches_;
+  long long ghost_bytes_ = 0;
 };
 
 /// One scalar variable on a composite mesh: one ghosted array per patch, in
@@ -101,10 +109,22 @@ CompositeField make_field(const CompositeMesh& mesh);
 /// Fills interior-interface ghost cells of `s` from neighbouring patches:
 /// same-level copy, fine-to-coarse averaging, coarse-to-fine linear
 /// interpolation along the interface. Domain-boundary ghosts are untouched.
-void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh);
+/// `parallel = false` runs the same schedule serially — the multigrid
+/// coarse levels are too small to amortise an OpenMP fork/join, and the
+/// result is identical either way (each patch writes only its own ghosts).
+void exchange_ghosts(CompositeScalar& s, const CompositeMesh& mesh,
+                     bool parallel = true);
 
-/// Exchanges ghosts for all four variables in one fused thread-parallel
-/// pass (4 x patch_count independent work items, a single parallel region).
+/// Exchanges ghosts for the channels selected by `channel_mask` (bit c set
+/// = channel c in paper order 0:U, 1:V, 2:p, 3:nuTilda) in one fused
+/// thread-parallel pass: a single parallel region over patch x channel
+/// work items instead of one fork/join per channel. The solver's phases
+/// pass exactly the channels they dirtied (e.g. U|V after a momentum
+/// sweep), which cuts ghost traffic and region count on the hot path.
+void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh,
+                     unsigned channel_mask);
+
+/// Exchanges ghosts for all four variables (channel_mask 0b1111).
 void exchange_ghosts(CompositeField& f, const CompositeMesh& mesh);
 
 /// Initialises the composite state by sampling a uniform LR field (shape

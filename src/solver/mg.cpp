@@ -1,0 +1,736 @@
+#include "solver/mg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace adarnet::solver {
+
+using field::Grid2Dd;
+using field::Mask2D;
+using mesh::CaseSpec;
+using mesh::CompositeMesh;
+using mesh::CompositeScalar;
+using mesh::PatchMesh;
+using mesh::RefinementMap;
+
+namespace {
+
+// Below this many active cells a level runs its (identical) schedule
+// serially: the coarse grids of the ladder are far too small to amortise
+// an OpenMP fork/join per half-sweep. Mesh-derived only — the decision
+// must never depend on the thread count, or bitwise thread invariance
+// would break.
+constexpr long long kParallelCellFloor = 2048;
+
+// Per-dimension prolongation weights of fine index fi (1-based; 0 and
+// fn + 1 are the ghost cells): parent coarse cell c with weight 3/4 and
+// the nearer side neighbour s with weight 1/4. When s falls outside the
+// coarse interior, the behaviour depends on the side: at an interface
+// (open side) s stays as the coarse GHOST index — the neighbouring
+// patch's cell, exchanged before the transfer runs — keeping the
+// interpolation second-order across patch boundaries; at a domain
+// boundary (closed side) the fold mirrors the boundary physics: a
+// zero-correction-flux (Neumann) side reflects the ghost onto the parent
+// (wc = 3/4 + 1/4 = 1), an outlet (p' = 0 at the face, Dirichlet) side
+// anti-reflects it (wc = 3/4 - 1/4 = 1/2) — the linear profile through a
+// zero face value really is half the coarse centre value at the nearer
+// fine centre. Getting this fold wrong is fatal on the semicoarsened
+// deep rungs, where the smoother cannot damp along the weak direction
+// and a 2x overshoot at the outlet column amplifies the near-null
+// (almost-pure-Neumann) pressure mode every cycle. A dimension
+// left uncoarsened (ratio 1, semicoarsened levels) maps by identity.
+// Restriction applies exactly these weights in scatter (transpose) form,
+// which is what makes R = P^T exact.
+struct DimW {
+  int c = 0;
+  int s = 0;
+  double wc = 0.0;
+  double ws = 0.0;
+};
+
+inline DimW dim_weights(int fi, int cn, int ratio, bool open_lo,
+                        bool open_hi, bool dirichlet_hi = false) {
+  DimW d;
+  if (ratio == 1) {
+    d.c = fi;
+    d.s = fi;
+    d.wc = 1.0;
+    return d;
+  }
+  d.c = (fi + 1) / 2;
+  const int s = (fi & 1) ? d.c - 1 : d.c + 1;
+  if ((s < 1 && !open_lo) || (s > cn && !open_hi)) {
+    d.s = d.c;
+    d.wc = (s > cn && dirichlet_hi) ? 0.5 : 1.0;
+  } else {
+    d.s = s;
+    d.wc = 0.75;
+    d.ws = 0.25;
+  }
+  return d;
+}
+
+// Diagonal and right-hand side of the 5-point p' equation at one cell of
+// one level, assembled from the current iterate's neighbour values. The
+// boundary treatment mirrors the solver's SOR loop exactly: outlet east
+// face folds a_e into the diagonal with the ghost relation x_ghost = -x
+// (p' = 0 at the face), every other domain face carries zero correction
+// flux, solid faces carry none. `rhs` includes the outlet's -a_e * x
+// contribution, so the Gauss-Seidel value is rhs / apc and the residual
+// is rhs - apc * x.
+inline void assemble_cell(const PatchMesh& pm, const Grid2Dd& DP,
+                          const Grid2Dd& X, const Grid2Dd& B,
+                          bool outlet_right, int npx, int npy, int i, int j,
+                          double* apc, double* rhs) {
+  const double dcell = DP(i, j);
+  const double rx = dcell * pm.dy / pm.dx;
+  const double ry = dcell * pm.dx / pm.dy;
+  double sum = 0.0;
+  double b = B(i, j);
+  const bool domain_e = pm.pj == npx - 1 && j == pm.nx;
+  const bool domain_w = pm.pj == 0 && j == 1;
+  const bool domain_n = pm.pi == npy - 1 && i == pm.ny;
+  const bool domain_s = pm.pi == 0 && i == 1;
+  if (!pm.solid(i, j + 1)) {
+    if (domain_e) {
+      if (outlet_right) {
+        sum += rx;
+        b += rx * (-X(i, j));
+      }
+    } else {
+      sum += rx;
+      b += rx * X(i, j + 1);
+    }
+  }
+  if (!pm.solid(i, j - 1) && !domain_w) {
+    sum += rx;
+    b += rx * X(i, j - 1);
+  }
+  if (!pm.solid(i + 1, j) && !domain_n) {
+    sum += ry;
+    b += ry * X(i + 1, j);
+  }
+  if (!pm.solid(i - 1, j) && !domain_s) {
+    sum += ry;
+    b += ry * X(i - 1, j);
+  }
+  *apc = sum;
+  *rhs = b;
+}
+
+void zero_scalar(CompositeScalar& s, bool parallel) {
+  const int n = static_cast<int>(s.size());
+  if (parallel) {
+#pragma omp parallel for schedule(static)
+    for (int k = 0; k < n; ++k) s[k].fill(0.0);
+  } else {
+    for (int k = 0; k < n; ++k) s[k].fill(0.0);
+  }
+}
+
+}  // namespace
+
+void mg_restrict_patch(const Grid2Dd& fine_r, int fny, int fnx,
+                       Grid2Dd& coarse_b, int cny, int cnx, bool open_s,
+                       bool open_n, bool open_w, bool open_e,
+                       bool dirichlet_e) {
+  const int ry = fny / cny;
+  const int rx = fnx / cnx;
+  assert(fny == ry * cny && fnx == rx * cnx);
+  assert((ry == 1 || ry == 2) && (rx == 1 || rx == 2));
+  if (ry == 1 && rx == 1) {  // ratio-1 patch: identity (equal cells)
+    for (int i = 1; i <= cny; ++i) {
+      for (int j = 1; j <= cnx; ++j) coarse_b(i, j) = fine_r(i, j);
+    }
+    return;
+  }
+  for (int I = 1; I <= cny; ++I) {
+    for (int J = 1; J <= cnx; ++J) coarse_b(I, J) = 0.0;
+  }
+  // Scatter (transpose) form: every fine cell — ghost rows/columns
+  // included at open sides, where they hold the neighbour patch's
+  // exchanged residual — adds its prolongation weights to the coarse
+  // cells they address. Scatters whose target falls outside the coarse
+  // interior belong to the neighbouring patch's own restriction and are
+  // simply skipped here.
+  const int fi_lo = (ry == 2 && open_s) ? 0 : 1;
+  const int fi_hi = (ry == 2 && open_n) ? fny + 1 : fny;
+  const int fj_lo = (rx == 2 && open_w) ? 0 : 1;
+  const int fj_hi = (rx == 2 && open_e) ? fnx + 1 : fnx;
+  for (int fi = fi_lo; fi <= fi_hi; ++fi) {
+    const DimW wy = dim_weights(fi, cny, ry, open_s, open_n);
+    for (int fj = fj_lo; fj <= fj_hi; ++fj) {
+      const DimW wx = dim_weights(fj, cnx, rx, open_w, open_e, dirichlet_e);
+      const double v = fine_r(fi, fj);
+      const int ci[2] = {wy.c, wy.s};
+      const double wi[2] = {wy.wc, wy.ws};
+      const int cj[2] = {wx.c, wx.s};
+      const double wj[2] = {wx.wc, wx.ws};
+      for (int a = 0; a < 2; ++a) {
+        if (wi[a] == 0.0 || ci[a] < 1 || ci[a] > cny) continue;
+        if (a == 1 && ci[1] == ci[0]) break;
+        for (int b = 0; b < 2; ++b) {
+          if (wj[b] == 0.0 || cj[b] < 1 || cj[b] > cnx) continue;
+          if (b == 1 && cj[1] == cj[0]) break;
+          coarse_b(ci[a], cj[b]) += wi[a] * wj[b] * v;
+        }
+      }
+    }
+  }
+}
+
+void mg_prolong_add_patch(const Grid2Dd& coarse_x, int cny, int cnx,
+                          Grid2Dd& fine_x, int fny, int fnx,
+                          const Mask2D* fine_solid, bool open_s, bool open_n,
+                          bool open_w, bool open_e, bool dirichlet_e) {
+  const int ry = fny / cny;
+  const int rx = fnx / cnx;
+  assert(fny == ry * cny && fnx == rx * cnx);
+  assert((ry == 1 || ry == 2) && (rx == 1 || rx == 2));
+  if (ry == 1 && rx == 1) {
+    for (int i = 1; i <= fny; ++i) {
+      for (int j = 1; j <= fnx; ++j) {
+        if (fine_solid && (*fine_solid)(i, j)) continue;
+        fine_x(i, j) += coarse_x(i, j);
+      }
+    }
+    return;
+  }
+  for (int fi = 1; fi <= fny; ++fi) {
+    const DimW wy = dim_weights(fi, cny, ry, open_s, open_n);
+    for (int fj = 1; fj <= fnx; ++fj) {
+      if (fine_solid && (*fine_solid)(fi, fj)) continue;
+      const DimW wx = dim_weights(fj, cnx, rx, open_w, open_e, dirichlet_e);
+      fine_x(fi, fj) +=
+          wy.wc * (wx.wc * coarse_x(wy.c, wx.c) + wx.ws * coarse_x(wy.c, wx.s)) +
+          wy.ws * (wx.wc * coarse_x(wy.s, wx.c) + wx.ws * coarse_x(wy.s, wx.s));
+    }
+  }
+}
+
+// One rung of the coarsening ladder: the mesh (level 0 borrows the
+// solver's fine mesh, deeper rungs own theirs), the per-level iterate /
+// RHS / residual / coefficient arrays, the flattened (patch, row) work
+// items, and per-row reduction partials for fixed-order norms.
+struct PressureMg::Level {
+  const CompositeMesh* mesh = nullptr;
+  std::unique_ptr<CompositeMesh> owned;
+  CompositeScalar x;   // iterate (unused at level 0: the caller's array)
+  CompositeScalar b;   // right-hand side
+  CompositeScalar r;   // residual (feeds restriction and norms)
+  CompositeScalar dp;  // vol / aP coefficient, 0 in solid cells
+  std::vector<sweep::RowRef> rows;
+  std::vector<double> acc;
+  util::metrics::TimeSeries* series = nullptr;  // solver.mg.residual.l<d>
+  bool parallel = true;
+  // True when interface ghosts must stay fresh for the smoother to
+  // contract: either some patch is a single cell wide in a direction
+  // that has interface neighbours (all couplings in that direction then
+  // go through ghosts and leg-frozen ghosts degrade the sweep to Jacobi
+  // — divergent under over-relaxation), or the cells are strongly
+  // anisotropic (aspect outside [1/2, 2]): the strong coupling then
+  // pins interface rows to their ghost value, and with leg-frozen
+  // ghosts the interface row pair swap-oscillates as an undamped
+  // checkerboard that no coarse grid can represent. Such levels
+  // exchange between the two red-black half-sweeps and after each
+  // sweep, which — with the globally consistent checkerboard parity —
+  // restores true Gauss-Seidel coupling across interfaces. Mesh-derived
+  // only, so bitwise thread invariance is unaffected.
+  bool half_exchange = false;
+  // Sweep multiplier for levels that are anisotropic AND cannot coarsen
+  // their strong direction (the patch tiling pins it: ph or pw has
+  // reached 1, or is odd). Point relaxation transports error along the
+  // weak direction at a rate of only ~4 r_weak / r_strong = 4 / aspect^2
+  // per sweep, so the nominal 2 pre/post sweeps smooth essentially
+  // nothing there and the V-cycle stalls on interpolation error it can
+  // never damp. Scaling the sweep count by aspect^2 / 8 restores the
+  // smoothing power a strong-direction line smoother would give — at
+  // trivial cost, because only the tiny deep rungs of the ladder ever
+  // trigger it. Mesh-derived only (thread invariance).
+  int smooth_mult = 1;
+};
+
+PressureMg::PressureMg(const CompositeMesh& fine, const SolverConfig& config)
+    : cfg_(config) {
+  auto init_level = [this](Level& lv, const CompositeMesh* m, int d) {
+    lv.mesh = m;
+    if (d > 0) lv.x = mesh::make_scalar(*m);
+    lv.b = mesh::make_scalar(*m);
+    lv.r = mesh::make_scalar(*m);
+    lv.dp = mesh::make_scalar(*m);
+    const double aspect = (m->spec().lx / m->spec().base_nx) /
+                          (m->spec().ly / m->spec().base_ny);
+    if (aspect >= 2.0 || aspect <= 0.5) lv.half_exchange = true;
+    if ((aspect >= 2.0 && m->spec().ph % 2 != 0) ||
+        (aspect <= 0.5 && m->spec().pw % 2 != 0)) {
+      const double a = aspect >= 1.0 ? aspect : 1.0 / aspect;
+      lv.smooth_mult = static_cast<int>(
+          std::min(128.0, std::max(1.0, std::ceil(a * a / 8.0))));
+    }
+    for (int k = 0; k < m->patch_count(); ++k) {
+      const PatchMesh& pm = m->patch_flat(k);
+      for (int i = 1; i <= pm.ny; ++i) lv.rows.push_back({k, i});
+      if ((pm.ny == 1 && m->npy() > 1) || (pm.nx == 1 && m->npx() > 1)) {
+        lv.half_exchange = true;
+      }
+    }
+    lv.acc.assign(lv.rows.size(), 0.0);
+    lv.series =
+        &util::metrics::series("solver.mg.residual.l" + std::to_string(d));
+    lv.parallel = m->active_cells() >= kParallelCellFloor;
+  };
+
+  levels_.emplace_back();
+  init_level(levels_.back(), &fine, 0);
+
+  // Refuse to coarsen a mesh whose refinement jumps run perpendicular to
+  // strongly anisotropic cells. On such meshes (the row-refined channel:
+  // dx/dy up to 30, jumps between patch rows) the modes point relaxation
+  // cannot damp — x-oscillatory, y-constant, gain 1 - O(1/aspect^2) per
+  // sweep — are exactly the ones the cross-jump ghost interpolation
+  // aliases (the coarse neighbour samples the oscillation at half the
+  // rate), so every coarse level computes an interface correction that is
+  // wrong for the modes nothing can smooth, and the V-cycle amplifies
+  // ~1.5x per cycle however the ladder is shaped or how many sweeps are
+  // spent (measured: smoothing, coarse-solve depth and transfer gating
+  // all change the rate but not the sign). A jump parallel to the strong
+  // coupling is harmless — it aliases modes the smoother kills anyway —
+  // and near-isotropic jump meshes (the refined cylinder) converge
+  // through map lowering. Leaving depth() == 1 makes the caller fall
+  // back to flat SOR (rans.cpp checks depth() > 1). Mesh-derived only,
+  // so thread invariance holds.
+  {
+    const CaseSpec& fs = fine.spec();
+    const auto& fm = fine.map();
+    bool jump_y = false, jump_x = false;
+    for (int pi = 0; pi < fm.npy(); ++pi) {
+      for (int pj = 0; pj < fm.npx(); ++pj) {
+        if (pi + 1 < fm.npy() && fm.level(pi + 1, pj) != fm.level(pi, pj))
+          jump_y = true;
+        if (pj + 1 < fm.npx() && fm.level(pi, pj + 1) != fm.level(pi, pj))
+          jump_x = true;
+      }
+    }
+    const double aspect = (fs.lx / fs.base_nx) / (fs.ly / fs.base_ny);
+    if ((jump_y && aspect >= 2.0) || (jump_x && aspect <= 0.5)) {
+      util::metrics::gauge("solver.mg.levels").set(1.0);
+      return;
+    }
+  }
+
+  while (true) {
+    const CompositeMesh& cur = *levels_.back().mesh;
+    const CaseSpec& spec = cur.spec();
+    // Cell aspect ratio dx / dy. Refinement scales both dimensions
+    // equally, so one number describes every patch of the level. On
+    // strongly anisotropic meshes (the channel: lx/ly = 60, aspect up to
+    // 30) point relaxation only smooths along the strong coupling (the
+    // short cell side); isotropic coarsening then aliases the
+    // unsmoothed direction and the cycle diverges. The classic cure
+    // used here is semicoarsening: halve only the strong direction
+    // until cells are near-isotropic, then coarsen both.
+    const double aspect =
+        (spec.lx / spec.base_nx) / (spec.ly / spec.base_ny);
+    const bool can_y = spec.ph % 2 == 0;
+    const bool can_x = spec.pw % 2 == 0;
+    std::unique_ptr<CompositeMesh> next;
+    const bool iso = aspect < 2.0 && aspect > 0.5;
+    bool halve_y = can_y && (aspect >= 2.0 || (iso && can_x));
+    bool halve_x = can_x && (aspect <= 0.5 || (iso && can_y));
+    if (!halve_y && !halve_x && cur.map().max_level() == 0) {
+      // The aspect-preferred direction is exhausted and there are no
+      // refinement levels left to lower: keep shrinking the coarsest
+      // problem with whatever dimension still halves. By this point the
+      // halved extent is a handful of cells, so the re-growing aspect
+      // ratio no longer hurts the smoother.
+      halve_y = can_y;
+      halve_x = can_x;
+    }
+    if (halve_y || halve_x) {
+      // Halve the patch resolution in the chosen dimension(s); the
+      // refinement map is untouched and every patch keeps its tile.
+      CaseSpec cs = spec;
+      if (halve_y) {
+        cs.ph /= 2;
+        cs.base_ny /= 2;
+      }
+      if (halve_x) {
+        cs.pw /= 2;
+        cs.base_nx /= 2;
+      }
+      next = std::make_unique<CompositeMesh>(cs, cur.map());
+    } else if (cur.map().max_level() > 0) {
+      // Lower every refinement level by one: refined patches coarsen by
+      // 2, level-0 patches stay put (ratio-1 identity transfer).
+      //
+      // ... unless this level's cells have (re)grown anisotropic with the
+      // jumps perpendicular to the strong coupling — the aliasing
+      // configuration the constructor refuses at the fine level (see the
+      // depth-1 bail-out above). The semicoarsening rungs keep the aspect
+      // near 1 on the way down, so this guard is normally dead; it is the
+      // invariant check that keeps a future ladder-shape change from
+      // silently re-introducing the divergence.
+      const auto& cm = cur.map();
+      bool jump_y = false, jump_x = false;
+      for (int pi = 0; pi < cm.npy(); ++pi) {
+        for (int pj = 0; pj < cm.npx(); ++pj) {
+          if (pi + 1 < cm.npy() && cm.level(pi + 1, pj) != cm.level(pi, pj))
+            jump_y = true;
+          if (pj + 1 < cm.npx() && cm.level(pi, pj + 1) != cm.level(pi, pj))
+            jump_x = true;
+        }
+      }
+      if ((jump_y && aspect >= 2.0) || (jump_x && aspect <= 0.5)) {
+        break;
+      }
+      RefinementMap m = cur.map();
+      for (int pi = 0; pi < m.npy(); ++pi) {
+        for (int pj = 0; pj < m.npx(); ++pj) {
+          m.set_level(pi, pj, std::max(cur.map().level(pi, pj) - 1, 0));
+        }
+      }
+      next = std::make_unique<CompositeMesh>(spec, m);
+    } else {
+      break;
+    }
+    levels_.emplace_back();
+    Level& lv = levels_.back();
+    lv.owned = std::move(next);
+    init_level(lv, lv.owned.get(), static_cast<int>(levels_.size()) - 1);
+  }
+
+  util::metrics::gauge("solver.mg.levels").set(static_cast<double>(depth()));
+}
+
+PressureMg::~PressureMg() = default;
+
+int PressureMg::depth() const { return static_cast<int>(levels_.size()); }
+
+const CompositeMesh& PressureMg::level_mesh(int d) const {
+  return *levels_[static_cast<std::size_t>(d)].mesh;
+}
+
+void PressureMg::set_coefficients(const CompositeScalar& ap_fine) {
+  // Level 0: d = vol / aP at fluid cells, 0 at solids.
+  Level& l0 = levels_[0];
+  sweep::run_scan(
+      l0.rows,
+      [&](int /*r*/, int k, int i) {
+        const PatchMesh& pm = l0.mesh->patch_flat(k);
+        const Grid2Dd& AP = ap_fine[k];
+        Grid2Dd& DP = l0.dp[k];
+        const double vol = pm.dx * pm.dy;
+        for (int j = 1; j <= pm.nx; ++j) {
+          DP(i, j) = pm.solid(i, j) ? 0.0 : vol / AP(i, j);
+        }
+      },
+      l0.parallel);
+
+  // Coarser levels: the plain average of the fluid children. A coarse
+  // cell whose children are all solid (or that the coarse mask itself
+  // flags solid) gets d = 0, which the smoother treats like a solid —
+  // its diagonal vanishes and the iterate pins to zero.
+  for (std::size_t d = 1; d < levels_.size(); ++d) {
+    Level& lf = levels_[d - 1];
+    Level& lc = levels_[d];
+    const int n = lc.mesh->patch_count();
+    auto coarsen_patch = [&](int k) {
+      const PatchMesh& fp = lf.mesh->patch_flat(k);
+      const PatchMesh& cp = lc.mesh->patch_flat(k);
+      const Grid2Dd& DF = lf.dp[k];
+      Grid2Dd& DC = lc.dp[k];
+      const int ry = fp.ny / cp.ny;  // per-dimension child count (1 or 2:
+      const int rx = fp.nx / cp.nx;  // semicoarsened rungs halve one dim)
+      for (int I = 1; I <= cp.ny; ++I) {
+        for (int J = 1; J <= cp.nx; ++J) {
+          if (cp.solid(I, J)) {
+            DC(I, J) = 0.0;
+            continue;
+          }
+          double sum = 0.0;
+          int cnt = 0;
+          for (int fi = ry * (I - 1) + 1; fi <= ry * I; ++fi) {
+            for (int fj = rx * (J - 1) + 1; fj <= rx * J; ++fj) {
+              const double v = DF(fi, fj);
+              if (v > 0.0) {
+                sum += v;
+                ++cnt;
+              }
+            }
+          }
+          DC(I, J) = cnt > 0 ? sum / cnt : 0.0;
+        }
+      }
+    };
+    if (lf.parallel) {
+#pragma omp parallel for schedule(static)
+      for (int k = 0; k < n; ++k) coarsen_patch(k);
+    } else {
+      for (int k = 0; k < n; ++k) coarsen_patch(k);
+    }
+  }
+}
+
+void PressureMg::exchange(const Level& lv, CompositeScalar& x,
+                          MgSolveInfo& info) const {
+  const util::ScopedAccum t(&info.ghost_seconds);
+  exchange_ghosts(x, *lv.mesh, lv.parallel);
+}
+
+void PressureMg::smooth(Level& lv, CompositeScalar& x, int sweeps,
+                        double omega, bool exchange_each_sweep,
+                        MgSolveInfo& info) const {
+  const bool outlet_right =
+      lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
+  const int npx = lv.mesh->npx();
+  const int npy = lv.mesh->npy();
+  auto half = [&](int color) {
+    sweep::run_half_sweep(
+        lv.rows, color,
+        [&](int /*r*/, int k, int i, int color_) {
+          const PatchMesh& pm = lv.mesh->patch_flat(k);
+          Grid2Dd& X = x[k];
+          const Grid2Dd& DP = lv.dp[k];
+          const Grid2Dd& B = lv.b[k];
+          // Globally consistent checkerboard: the parity base shifts the
+          // (i + j) coloring by the patch's global cell offset. It is 0
+          // whenever both patch dimensions are even (every fine level),
+          // and on odd-dimension coarse rungs it keeps the two colors a
+          // true checkerboard across interfaces of same-size patches.
+          const int par = ((pm.pi * pm.ny) + (pm.pj * pm.nx)) & 1;
+          const int js = sweep::color_jstep(color_);
+          for (int j = sweep::color_j0(i + par, color_); j <= pm.nx;
+               j += js) {
+            if (pm.solid(i, j)) {
+              X(i, j) = 0.0;
+              continue;
+            }
+            double apc = 0.0;
+            double rhs = 0.0;
+            assemble_cell(pm, DP, X, B, outlet_right, npx, npy, i, j, &apc,
+                          &rhs);
+            if (apc <= 0.0) {
+              X(i, j) = 0.0;
+              continue;
+            }
+            X(i, j) += omega * (rhs / apc - X(i, j));
+          }
+        },
+        lv.parallel);
+  };
+  for (int s = 0; s < sweeps; ++s) {
+    if (cfg_.ordering == SweepOrdering::kRedBlack) {
+      half(0);
+      if (lv.half_exchange) exchange(lv, x, info);
+      half(1);
+    } else {
+      half(-1);
+    }
+    if (exchange_each_sweep || lv.half_exchange) exchange(lv, x, info);
+  }
+}
+
+double PressureMg::compute_residual(Level& lv, CompositeScalar& x) const {
+  const bool outlet_right =
+      lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
+  const int npx = lv.mesh->npx();
+  const int npy = lv.mesh->npy();
+  sweep::zero_rows(lv.acc);
+  sweep::run_scan(
+      lv.rows,
+      [&](int r, int k, int i) {
+        const PatchMesh& pm = lv.mesh->patch_flat(k);
+        const Grid2Dd& X = x[k];
+        const Grid2Dd& DP = lv.dp[k];
+        const Grid2Dd& B = lv.b[k];
+        Grid2Dd& R = lv.r[k];
+        double acc = 0.0;
+        for (int j = 1; j <= pm.nx; ++j) {
+          if (pm.solid(i, j)) {
+            R(i, j) = 0.0;
+            continue;
+          }
+          double apc = 0.0;
+          double rhs = 0.0;
+          assemble_cell(pm, DP, X, B, outlet_right, npx, npy, i, j, &apc,
+                        &rhs);
+          if (apc <= 0.0) {
+            R(i, j) = 0.0;
+            continue;
+          }
+          const double rr = rhs - apc * X(i, j);
+          R(i, j) = rr;
+          acc += std::abs(rr);
+        }
+        lv.acc[r] = acc;
+      },
+      lv.parallel);
+  return sweep::sum_rows(lv.acc);
+}
+
+void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
+                         MgSolveInfo& info) {
+  Level& lv = levels_[static_cast<std::size_t>(d)];
+  if (d + 1 == depth()) {
+    // Coarsest level: a handful of cells total — hammer it with plain
+    // Gauss-Seidel (exchange per sweep; the grid is tiny and the
+    // exchange serial, so per-sweep coupling is cheap here and the
+    // near-exact coarse solve is what the two-grid theory wants).
+    // omega = 1, NOT sor_omega: the deepest rungs are single-cell
+    // patches whose every neighbour is an interface ghost, so the sweep
+    // degenerates to Jacobi — over-relaxed Jacobi diverges.
+    smooth(lv, x, cfg_.mg_coarse_sweeps * lv.smooth_mult, 1.0,
+           /*exchange_each_sweep=*/true, info);
+    return;
+  }
+  Level& lc = levels_[static_cast<std::size_t>(d) + 1];
+
+  smooth(lv, x, cfg_.mg_pre_smooth * lv.smooth_mult, 1.0,
+         /*exchange_each_sweep=*/false, info);
+  exchange(lv, x, info);
+
+  const double rnorm = compute_residual(lv, x);
+  if (util::metrics::enabled() && lv.series) lv.series->append(series_x, rnorm);
+
+  // Restrict the residual into the coarse RHS and descend from zero. The
+  // residual's interface ghosts are exchanged first so the transfer
+  // stencil stays second-order across patch boundaries; each patch then
+  // writes only its own coarse cells, so patches restrict concurrently.
+  //
+  // Residuals are cell-integral quantities — they scale with cell area —
+  // so a side is "open" for restriction only when the neighbouring patch
+  // sits at the SAME refinement level. Across a level jump the exchanged
+  // ghost holds neighbour residuals at 4x (or 1/4x) the cell area: folding
+  // them into full weighting injects wrongly-scaled residual mass and the
+  // coarse correction turns anti-convergent (the composite-channel y-jump
+  // diverged exactly this way). Jump sides fold reflectively instead —
+  // per-fine-cell weight stays 1 (conservative) and the cross-jump
+  // coupling is left to the coarse operator's own interface stencil.
+  // Prolongation is NOT gated: the correction x is a point-valued field,
+  // for which the jump-ghost interpolation is dimensionally sound.
+  exchange(lv, lv.r, info);
+  {
+    const int n = lv.mesh->patch_count();
+    const int npx = lv.mesh->npx();
+    const int npy = lv.mesh->npy();
+    const mesh::RefinementMap& fmap = lv.mesh->map();
+    const bool outlet_right =
+        lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
+    auto same_lvl = [&](int pi, int pj, int qi, int qj) {
+      return fmap.level(qi, qj) == fmap.level(pi, pj);
+    };
+    auto restrict_patch = [&](int k) {
+      const PatchMesh& fp = lv.mesh->patch_flat(k);
+      const PatchMesh& cp = lc.mesh->patch_flat(k);
+      const int pi = fp.pi, pj = fp.pj;
+      mg_restrict_patch(
+          lv.r[k], fp.ny, fp.nx, lc.b[k], cp.ny, cp.nx,
+          /*open_s=*/pi > 0 && same_lvl(pi, pj, pi - 1, pj),
+          /*open_n=*/pi + 1 < npy && same_lvl(pi, pj, pi + 1, pj),
+          /*open_w=*/pj > 0 && same_lvl(pi, pj, pi, pj - 1),
+          /*open_e=*/pj + 1 < npx && same_lvl(pi, pj, pi, pj + 1),
+          // The anti-reflective fold is for the domain outlet only; an
+          // east side closed because of a level jump folds reflectively.
+          /*dirichlet_e=*/outlet_right && pj + 1 == npx);
+    };
+    if (lv.parallel) {
+#pragma omp parallel for schedule(static)
+      for (int k = 0; k < n; ++k) restrict_patch(k);
+    } else {
+      for (int k = 0; k < n; ++k) restrict_patch(k);
+    }
+  }
+  zero_scalar(lc.x, lc.parallel);
+  v_cycle(d + 1, lc.x, series_x, info);
+
+  // Prolong the coarse correction back and re-smooth; each leg ends with
+  // one fused exchange. The coarse iterate's ghosts are fresh here (the
+  // coarse v_cycle leaves them exchanged), so the interpolation reads
+  // neighbour-patch coarse cells through them at interface sides.
+  {
+    const int n = lv.mesh->patch_count();
+    const int npx = lv.mesh->npx();
+    const int npy = lv.mesh->npy();
+    const bool outlet_right =
+        lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
+    auto prolong_patch = [&](int k) {
+      const PatchMesh& fp = lv.mesh->patch_flat(k);
+      const PatchMesh& cp = lc.mesh->patch_flat(k);
+      mg_prolong_add_patch(lc.x[k], cp.ny, cp.nx, x[k], fp.ny, fp.nx,
+                           &fp.solid,
+                           /*open_s=*/fp.pi > 0, /*open_n=*/fp.pi + 1 < npy,
+                           /*open_w=*/fp.pj > 0, /*open_e=*/fp.pj + 1 < npx,
+                           /*dirichlet_e=*/outlet_right);
+    };
+    if (lv.parallel) {
+#pragma omp parallel for schedule(static)
+      for (int k = 0; k < n; ++k) prolong_patch(k);
+    } else {
+      for (int k = 0; k < n; ++k) prolong_patch(k);
+    }
+  }
+  exchange(lv, x, info);
+  smooth(lv, x, cfg_.mg_post_smooth * lv.smooth_mult, 1.0,
+         /*exchange_each_sweep=*/false, info);
+  exchange(lv, x, info);
+}
+
+MgSolveInfo PressureMg::solve(CompositeScalar& x, const CompositeScalar& imb) {
+  namespace metrics = util::metrics;
+  util::WallTimer timer;
+  MgSolveInfo info;
+  Level& l0 = levels_[0];
+
+  // b = -imb at fluid cells (the same sign convention as the SOR loop's
+  // rhs), 0 at solids; |b| accumulates through fixed-order row partials.
+  zero_scalar(x, l0.parallel);
+  sweep::zero_rows(l0.acc);
+  sweep::run_scan(
+      l0.rows,
+      [&](int r, int k, int i) {
+        const PatchMesh& pm = l0.mesh->patch_flat(k);
+        const Grid2Dd& IMB = imb[k];
+        Grid2Dd& B = l0.b[k];
+        double acc = 0.0;
+        for (int j = 1; j <= pm.nx; ++j) {
+          if (pm.solid(i, j)) {
+            B(i, j) = 0.0;
+            continue;
+          }
+          B(i, j) = -IMB(i, j);
+          acc += std::abs(B(i, j));
+        }
+        l0.acc[r] = acc;
+      },
+      l0.parallel);
+  const double bnorm = sweep::sum_rows(l0.acc);
+  info.initial_norm = bnorm;
+  if (!(bnorm > 0.0)) return info;  // zero (or non-finite) RHS: x stays 0
+
+  static metrics::Counter& cycle_counter = metrics::counter("solver.mg.cycles");
+  double rnorm = bnorm;
+  while (info.cycles < cfg_.mg_max_cycles) {
+    cycle_counter.add();
+    v_cycle(0, x, static_cast<double>(cycle_counter.value()), info);
+    info.cycles += 1;
+    rnorm = compute_residual(l0, x);
+    if (rnorm <= cfg_.mg_tol * bnorm) break;
+  }
+  info.final_ratio = rnorm / bnorm;
+
+
+  if (metrics::enabled()) {
+    static metrics::Counter& solves = metrics::counter("solver.mg.solves");
+    static metrics::Counter& ns = metrics::counter("solver.mg.ns");
+    solves.add();
+    ns.add_seconds(timer.seconds());
+  }
+  return info;
+}
+
+}  // namespace adarnet::solver

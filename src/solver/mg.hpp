@@ -1,0 +1,154 @@
+// Geometric multigrid for the SIMPLE pressure-correction equation on the
+// block-structured patch hierarchy (DESIGN.md §11).
+//
+// The flat SOR loop that preceded it converges at O(1 - h^2) per sweep: on
+// the uniform-HR meshes the low-frequency error barely moves and the
+// pressure phase dominated the solve (72-77% of wall time, ROADMAP item 1).
+// The V-cycle implemented here attacks every frequency at its natural
+// resolution instead:
+//
+//   * The coarsening ladder reuses the composite-mesh machinery itself.
+//     Each coarser level is a CompositeMesh of the same NPy x NPx patch
+//     tiling with reduced per-patch resolution, so level-jump ghost
+//     exchange, solid masks and per-patch geometry all come for free at
+//     every depth. Rungs are aspect-driven: strongly anisotropic cells
+//     (the channel: dx/dy up to 30) are semicoarsened — only the strong
+//     coupling direction is halved until cells are near-isotropic — then
+//     both dimensions halve, and finally every RefinementMap level is
+//     lowered by one. Meshes whose refinement jumps run perpendicular to
+//     strongly anisotropic cells are refused outright (depth() == 1, the
+//     caller falls back to SOR): the cross-jump ghost interpolation
+//     aliases exactly the modes point relaxation cannot damp, and no
+//     ladder shape makes that cycle converge (solver/mg.cpp).
+//   * Smoothing is the same red-black kernel as the solver's SOR path
+//     (sweep.hpp), thread-parallel over (patch, row) work items with
+//     fixed-order reductions: results are bitwise identical across thread
+//     counts. Coarse levels too small to amortise an OpenMP fork/join run
+//     the identical schedule serially, and rungs whose strong direction
+//     is exhausted scale their sweep count by aspect^2 (smooth_mult) —
+//     all mesh-derived decisions, never thread-count-derived ones.
+//   * Ghost exchanges are fused per V-cycle leg: one exchange after each
+//     smoothing leg and after prolongation, not one per sweep. Sweeps
+//     within a leg see interface ghosts frozen at the leg boundary — a
+//     block-Jacobi flavour at interfaces that trades a slightly weaker
+//     smoother for a large cut in exchange count and fork/joins.
+//   * Restriction is exactly the transpose of prolongation (scatter form
+//     of the same per-dimension 3/4-1/4 weights), so <R u, v>_c =
+//     <u, P v>_f — tests/test_solver_mg.cpp asserts it. The interior
+//     weight sum of 4 gives the finite-volume "sum of child residuals"
+//     scaling that keeps the coarse right-hand side consistent with the
+//     flux-integral units of the fine one. At level-jump interface sides
+//     restriction folds reflectively instead of gathering the jump ghost
+//     (residuals are cell-integral quantities; the exchanged ghost holds
+//     them at the wrong cell area), while prolongation stays open there
+//     (corrections are point-valued, the interpolation is sound).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mesh/composite.hpp"
+#include "solver/rans.hpp"
+#include "solver/sweep.hpp"
+
+namespace adarnet::solver {
+
+/// Outcome of one multigrid pressure solve (one outer SIMPLE iteration).
+struct MgSolveInfo {
+  int cycles = 0;            ///< V-cycles run (<= mg_max_cycles)
+  double initial_norm = 0.0; ///< L1 norm of the right-hand side
+  double final_ratio = 0.0;  ///< |r| / |b| at exit (0 for a zero RHS)
+  double ghost_seconds = 0.0;///< wall time inside ghost exchanges, so the
+                             ///< caller can book it under PhaseTimes.ghosts
+};
+
+/// Geometric V-cycle solver for the pressure-correction equation
+///   sum_f a_f (x - x_nb) = b,  a_f = (vol / aP) * face_len / dist,
+/// with the solver's boundary treatment (outlet: x = 0 at the face;
+/// fixed-velocity boundaries: zero correction flux; solids: x = 0).
+///
+/// Built once per RansSolver workspace (the mesh is fixed for the solver's
+/// lifetime); per outer iteration the caller refreshes the coefficients
+/// from the relaxed momentum diagonal and runs solve().
+class PressureMg {
+ public:
+  /// Builds the coarsening ladder for `fine`. Only the mg_* knobs,
+  /// sor_omega and ordering of `config` are read.
+  PressureMg(const mesh::CompositeMesh& fine, const SolverConfig& config);
+  ~PressureMg();
+
+  PressureMg(const PressureMg&) = delete;
+  PressureMg& operator=(const PressureMg&) = delete;
+
+  /// Number of levels in the ladder (1 = no coarsening possible; the
+  /// caller should fall back to plain SOR).
+  [[nodiscard]] int depth() const;
+
+  /// The mesh at ladder depth `d` (0 = the fine mesh).
+  [[nodiscard]] const mesh::CompositeMesh& level_mesh(int d) const;
+
+  /// Rebuilds the per-level d = vol / aP coefficient field from the fine
+  /// relaxed momentum diagonal (interior cells only; ghosts unread).
+  /// Coarse cells take the plain average of their fluid children — the
+  /// scaling under which the coarse 5-point operator is consistent with
+  /// the fine one for a smooth coefficient field.
+  void set_coefficients(const mesh::CompositeScalar& ap_fine);
+
+  /// Runs V-cycles on A x = -imb until |r| <= mg_tol * |b| or
+  /// mg_max_cycles. `x` is zero-initialised (ghosts included) and left
+  /// with exchanged interface ghosts; domain-boundary ghosts are the
+  /// caller's business (the solver applies its p' boundary rules after).
+  MgSolveInfo solve(mesh::CompositeScalar& x, const mesh::CompositeScalar& imb);
+
+ private:
+  struct Level;
+
+  void smooth(Level& lv, mesh::CompositeScalar& x, int sweeps, double omega,
+              bool exchange_each_sweep, MgSolveInfo& info) const;
+  void exchange(const Level& lv, mesh::CompositeScalar& x,
+                MgSolveInfo& info) const;
+  /// Fills lv.r with the residual of `x` (fresh ghosts expected) and
+  /// returns its L1 norm via fixed-order per-row partials.
+  double compute_residual(Level& lv, mesh::CompositeScalar& x) const;
+  void v_cycle(int d, mesh::CompositeScalar& x, double series_x,
+               MgSolveInfo& info);
+
+  std::vector<Level> levels_;
+  SolverConfig cfg_;
+};
+
+/// Restricts one patch's residual to the coarse patch: b_c = R r_f with
+/// R = P^T exactly (a scatter that applies prolongation's weights in
+/// transpose form). fny/cny and fnx/cnx must each be 1 (identity copy)
+/// or 2. The open_* flags mark interface sides (a neighbouring patch
+/// exists): there the transfer also gathers the fine ghost row/column —
+/// the neighbour's exchanged residual — so the stencil stays full
+/// weighting across patch boundaries. Closed (domain-boundary) sides
+/// fold the out-of-range weight onto the parent: reflective (weight 1,
+/// zero-flux boundary) everywhere except a closed east side with
+/// `dirichlet_e` (the outlet, p' = 0 at the face), which anti-reflects
+/// (weight 1/2). Interior coarse cells receive weight sum 4 at ratio 2
+/// (the FV sum-of-children scaling). Exposed for the adjointness test in
+/// tests/test_solver_mg.cpp.
+void mg_restrict_patch(const field::Grid2Dd& fine_r, int fny, int fnx,
+                       field::Grid2Dd& coarse_b, int cny, int cnx,
+                       bool open_s = false, bool open_n = false,
+                       bool open_w = false, bool open_e = false,
+                       bool dirichlet_e = false);
+
+/// Adds the prolonged coarse correction into the fine iterate:
+/// x_f += P x_c, cell-centred bilinear with per-dimension weights 3/4
+/// (parent cell) and 1/4 (nearer side neighbour). At open (interface)
+/// sides the side neighbour may be the coarse ghost cell — the caller
+/// must have exchanged the coarse iterate's ghosts (the V-cycle leaves
+/// them fresh). At closed sides the weight folds onto the parent
+/// (reflective; anti-reflective at a `dirichlet_e` east side, see
+/// mg_restrict_patch). `fine_solid` (optional) skips masked cells.
+void mg_prolong_add_patch(const field::Grid2Dd& coarse_x, int cny, int cnx,
+                          field::Grid2Dd& fine_x, int fny, int fnx,
+                          const field::Mask2D* fine_solid,
+                          bool open_s = false, bool open_n = false,
+                          bool open_w = false, bool open_e = false,
+                          bool dirichlet_e = false);
+
+}  // namespace adarnet::solver

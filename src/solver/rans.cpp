@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "solver/mg.hpp"
 #include "solver/sa_model.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -36,69 +37,49 @@ double dirichlet_ghost(double face_value, double interior) {
   return 2.0 * face_value - interior;
 }
 
-// One interior row of one patch: the unit of thread-parallel sweep work.
-// Rows are the natural grain because a red-black half-sweep touches every
-// other cell of a row, and rows of different patches balance the load on
-// composite meshes where refined patches carry 4x the cells.
-struct RowRef {
-  int k = 0;  // flat patch index
-  int i = 0;  // interior row (1-based)
-};
-
-// Runs one in-place sweep over all rows. Red-black: two colored
-// half-sweeps, each thread-parallel over rows — cells of one color only
-// read the other color (plus ghosts frozen for the sweep), so the update
-// is race-free and the result is independent of the thread count.
-// Lexicographic: the classic serial (k, i, j) order.
-// row_fn(r, k, i, color) updates row r's cells with (i + j) % 2 == color;
-// color -1 means all columns.
-template <typename RowFn>
-void run_sweep(const std::vector<RowRef>& rows, SweepOrdering ordering,
-               RowFn&& row_fn) {
-  const int n = static_cast<int>(rows.size());
-  if (ordering == SweepOrdering::kRedBlack) {
-    for (int color = 0; color < 2; ++color) {
-#pragma omp parallel for schedule(static)
-      for (int r = 0; r < n; ++r) {
-        row_fn(r, rows[r].k, rows[r].i, color);
+// Ghost for one domain-boundary cell given the side's BC, the variable,
+// and whether the boundary is normal to x (left/right) or y (bottom/top).
+// Shared by the per-channel and the fused apply_bc_ghosts paths.
+double bc_ghost(const SideBc& bc, int ch, bool normal_x, double interior) {
+  switch (bc.type) {
+    case BcType::kInlet:
+    case BcType::kFreestream:
+      switch (ch) {
+        case kU: return dirichlet_ghost(bc.u, interior);
+        case kV: return dirichlet_ghost(bc.v, interior);
+        case kP: return interior;  // zero-gradient pressure
+        default: return dirichlet_ghost(bc.nuTilda, interior);
       }
-    }
-  } else {
-    for (int r = 0; r < n; ++r) {
-      row_fn(r, rows[r].k, rows[r].i, -1);
+    case BcType::kOutlet:
+      // Zero-gradient for velocity and nuTilda, fixed p = 0 at the face.
+      return ch == kP ? -interior : interior;
+    case BcType::kWall:
+      // No-slip: U = V = 0 and nuTilda = 0 at the face.
+      return ch == kP ? interior : -interior;
+    case BcType::kSymmetry: {
+      // Normal velocity is odd, everything else even.
+      const bool odd = (normal_x && ch == kU) || (!normal_x && ch == kV);
+      return odd ? -interior : interior;
     }
   }
+  return interior;
 }
 
-// Read-only pass over all rows (defect evaluation): always thread-parallel,
-// no coloring needed because nothing is updated in place.
-template <typename RowFn>
-void run_scan(const std::vector<RowRef>& rows, RowFn&& row_fn) {
-  const int n = static_cast<int>(rows.size());
-#pragma omp parallel for schedule(static)
-  for (int r = 0; r < n; ++r) {
-    row_fn(r, rows[r].k, rows[r].i);
-  }
-}
+// The (patch, row) sweep machinery lives in solver/sweep.hpp, shared with
+// the multigrid pressure solver.
+using sweep::color_j0;
+using sweep::color_jstep;
+using sweep::RowRef;
+using sweep::run_scan;
+using sweep::run_sweep;
+using sweep::sum_rows;
+using sweep::zero_rows;
 
-// First column of a row's cells with color (i + j) % 2 == color, and the
-// column stride; color -1 visits every column.
-inline int color_j0(int i, int color) {
-  if (color < 0) return 1;
-  return (((i + 1) & 1) == color) ? 1 : 2;
-}
-inline int color_jstep(int color) { return color < 0 ? 1 : 2; }
-
-// Fixed-order serial sums of the per-row reduction partials. Every
-// residual/sweep-change reduction funnels through these buffers so the
-// summation order — and therefore the result, bit for bit — does not
-// depend on the number of threads.
-double sum_rows(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x;
-  return s;
-}
-void zero_rows(std::vector<double>& v) { std::fill(v.begin(), v.end(), 0.0); }
+// Channel masks for the fused ghost exchanges: each phase exchanges
+// exactly the channels it dirtied (DESIGN.md §11).
+constexpr unsigned kMaskUV = 0b0011u;    // momentum sweeps touch U, V
+constexpr unsigned kMaskUVNt = 0b1011u;  // pre-SA refresh: U, V, nuTilda
+constexpr unsigned kMaskAll = 0b1111u;
 
 // Momentum coefficients, pressure gradient and neighbour sums of one fluid
 // cell, assembled from the current state. Shared by the Gauss-Seidel update
@@ -271,6 +252,11 @@ struct RansSolver::Workspace {
   std::vector<double> acc_b;
   std::vector<double> acc_c;
 
+  // Geometric multigrid ladder for the p' solve; null under kSor. Falls
+  // back to the SOR loop at solve time when the mesh admits no coarse
+  // level (depth() == 1).
+  std::unique_ptr<PressureMg> mg;
+
   explicit Workspace(const CompositeMesh& mesh)
       : ap(mesh::make_scalar(mesh)),
         pc(mesh::make_scalar(mesh)),
@@ -293,8 +279,42 @@ RansSolver::RansSolver(const CompositeMesh& mesh, SolverConfig config)
 
 RansSolver::~RansSolver() = default;
 
+// True when any two edge-adjacent patches sit at different refinement
+// levels. On such meshes the SIMPLE loop keeps the flat SOR pressure path
+// even when multigrid is requested: the p' equation's two-point couplings
+// at a jump face are not the Schur complement of the corrector + refluxed
+// imbalance there (the fine side carries twice the coarse side's total
+// interface coupling, and both the corrector gradient and the Rhie-Chow
+// face velocities read interpolated jump ghosts the equation never
+// models). The outer loop's gain through that inconsistency is below one
+// only for WEAK p' solves — SOR's regime — and any MG-accuracy solve
+// diverges it within tens of iterations however few cycles run (measured
+// on the centrally-refined channel). The linear multigrid solver itself
+// converges on near-isotropic jump meshes and refuses the anisotropic
+// ones (tests/test_solver_mg.cpp, solver/mg.cpp); re-enabling it here
+// needs flux-matched jump stencils in the p' assembly and corrector,
+// mirroring the face-velocity reflux pass (ROADMAP).
+static bool has_level_jump(const CompositeMesh& mesh) {
+  const mesh::RefinementMap& map = mesh.map();
+  for (int pi = 0; pi < map.npy(); ++pi) {
+    for (int pj = 0; pj < map.npx(); ++pj) {
+      if (pi + 1 < map.npy() &&
+          map.level(pi + 1, pj) != map.level(pi, pj)) return true;
+      if (pj + 1 < map.npx() &&
+          map.level(pi, pj + 1) != map.level(pi, pj)) return true;
+    }
+  }
+  return false;
+}
+
 RansSolver::Workspace& RansSolver::workspace() const {
-  if (!ws_) ws_ = std::make_unique<Workspace>(mesh_);
+  if (!ws_) {
+    ws_ = std::make_unique<Workspace>(mesh_);
+    if (config_.pressure_solver == PressureSolver::kMultigrid &&
+        !has_level_jump(mesh_)) {
+      ws_->mg = std::make_unique<PressureMg>(mesh_, config_);
+    }
+  }
   return *ws_;
 }
 
@@ -321,58 +341,66 @@ void RansSolver::apply_bc_ghosts(CompositeScalar& s, int channel) const {
   const int npx = mesh_.npx();
   const int npy = mesh_.npy();
 
-  // Ghost for one boundary cell given the side's BC, the variable, and
-  // whether the boundary is normal to x (left/right) or y (bottom/top).
-  auto ghost_value = [&](const SideBc& bc, int ch, bool normal_x,
-                         double interior) -> double {
-    switch (bc.type) {
-      case BcType::kInlet:
-      case BcType::kFreestream:
-        switch (ch) {
-          case kU: return dirichlet_ghost(bc.u, interior);
-          case kV: return dirichlet_ghost(bc.v, interior);
-          case kP: return interior;  // zero-gradient pressure
-          default: return dirichlet_ghost(bc.nuTilda, interior);
-        }
-      case BcType::kOutlet:
-        // Zero-gradient for velocity and nuTilda, fixed p = 0 at the face.
-        return ch == kP ? -interior : interior;
-      case BcType::kWall:
-        // No-slip: U = V = 0 and nuTilda = 0 at the face.
-        return ch == kP ? interior : -interior;
-      case BcType::kSymmetry: {
-        // Normal velocity is odd, everything else even.
-        const bool odd = (normal_x && ch == kU) || (!normal_x && ch == kV);
-        return odd ? -interior : interior;
-      }
-    }
-    return interior;
-  };
-
 #pragma omp parallel for schedule(static)
   for (int k = 0; k < mesh_.patch_count(); ++k) {
     const PatchMesh& pm = mesh_.patch_flat(k);
     Grid2Dd& a = s[k];
     if (pm.pj == 0) {
       for (int i = 1; i <= pm.ny; ++i) {
-        a(i, 0) = ghost_value(spec.bc.left, channel, true, a(i, 1));
+        a(i, 0) = bc_ghost(spec.bc.left, channel, true, a(i, 1));
       }
     }
     if (pm.pj == npx - 1) {
       for (int i = 1; i <= pm.ny; ++i) {
         a(i, pm.nx + 1) =
-            ghost_value(spec.bc.right, channel, true, a(i, pm.nx));
+            bc_ghost(spec.bc.right, channel, true, a(i, pm.nx));
       }
     }
     if (pm.pi == 0) {
       for (int j = 1; j <= pm.nx; ++j) {
-        a(0, j) = ghost_value(spec.bc.bottom, channel, false, a(1, j));
+        a(0, j) = bc_ghost(spec.bc.bottom, channel, false, a(1, j));
       }
     }
     if (pm.pi == npy - 1) {
       for (int j = 1; j <= pm.nx; ++j) {
         a(pm.ny + 1, j) =
-            ghost_value(spec.bc.top, channel, false, a(pm.ny, j));
+            bc_ghost(spec.bc.top, channel, false, a(pm.ny, j));
+      }
+    }
+  }
+}
+
+void RansSolver::apply_bc_ghosts(CompositeField& f,
+                                 unsigned channel_mask) const {
+  const mesh::CaseSpec& spec = mesh_.spec();
+  const int npx = mesh_.npx();
+  const int npy = mesh_.npy();
+
+#pragma omp parallel for schedule(static)
+  for (int k = 0; k < mesh_.patch_count(); ++k) {
+    const PatchMesh& pm = mesh_.patch_flat(k);
+    for (int c = 0; c < field::kNumFlowVars; ++c) {
+      if (!(channel_mask & (1u << c))) continue;
+      Grid2Dd& a = f.channel(c)[k];
+      if (pm.pj == 0) {
+        for (int i = 1; i <= pm.ny; ++i) {
+          a(i, 0) = bc_ghost(spec.bc.left, c, true, a(i, 1));
+        }
+      }
+      if (pm.pj == npx - 1) {
+        for (int i = 1; i <= pm.ny; ++i) {
+          a(i, pm.nx + 1) = bc_ghost(spec.bc.right, c, true, a(i, pm.nx));
+        }
+      }
+      if (pm.pi == 0) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          a(0, j) = bc_ghost(spec.bc.bottom, c, false, a(1, j));
+        }
+      }
+      if (pm.pi == npy - 1) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          a(pm.ny + 1, j) = bc_ghost(spec.bc.top, c, false, a(pm.ny, j));
+        }
       }
     }
   }
@@ -380,9 +408,7 @@ void RansSolver::apply_bc_ghosts(CompositeScalar& s, int channel) const {
 
 void RansSolver::refresh_ghosts(CompositeField& f) const {
   exchange_ghosts(f, mesh_);  // fused: all four channels, one parallel region
-  for (int c = 0; c < field::kNumFlowVars; ++c) {
-    apply_bc_ghosts(f.channel(c), c);
-  }
+  apply_bc_ghosts(f, kMaskAll);
 }
 
 void RansSolver::compute_nut(const CompositeField& f, Workspace& ws) const {
@@ -682,10 +708,8 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
     }
     {
       util::ScopedAccum t(&ph.ghosts);
-      exchange_ghosts(f.U, mesh_);
-      exchange_ghosts(f.V, mesh_);
-      apply_bc_ghosts(f.U, kU);
-      apply_bc_ghosts(f.V, kV);
+      exchange_ghosts(f, mesh_, kMaskUV);
+      apply_bc_ghosts(f, kMaskUV);
     }
   }
   {
@@ -712,15 +736,34 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
 
   // --- pressure correction ---------------------------------------------------
   const bool outlet_right = spec.bc.right.type == BcType::kOutlet;
-  {
+  const bool use_mg = cfg.pressure_solver == PressureSolver::kMultigrid &&
+                      ws.mg && ws.mg->depth() > 1;
+  if (use_mg) {
+    // Geometric V-cycles on the patch-hierarchy ladder (solver/mg.hpp).
+    // The wall time the cycle spends in ghost exchanges is re-booked under
+    // ghosts, so the phase split stays comparable with the SOR path.
+    MgSolveInfo info;
+    {
+      util::ScopedAccum t(&ph.pressure);
+      ws.mg->set_coefficients(ws.ap);
+      info = ws.mg->solve(ws.pc, ws.imb);
+    }
+    ph.pressure -= info.ghost_seconds;
+    ph.ghosts += info.ghost_seconds;
+    res.pressure_cycles = info.cycles;
+  } else {
+    // Flat SOR reference path: pressure_solver == kSor, a mesh with level
+    // jumps (see has_level_jump above), or a mesh too small to admit even
+    // one coarse level.
     util::ScopedAccum t(&ph.pressure);
 #pragma omp parallel for schedule(static)
     for (int k = 0; k < mesh_.patch_count(); ++k) {
       ws.pc[k].fill(0.0);
     }
   }
+  const int sor_sweeps = use_mg ? 0 : cfg.pressure_sweeps;
   double first_sweep_change = 0.0;
-  for (int sweep = 0; sweep < cfg.pressure_sweeps; ++sweep) {
+  for (int sweep = 0; sweep < sor_sweeps; ++sweep) {
     zero_rows(ws.acc_a);
     {
       util::ScopedAccum t(&ph.pressure);
@@ -799,6 +842,7 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
     }
     // Early exit: once a sweep changes p' by under 5% of the first sweep,
     // further sweeps buy nothing this outer iteration.
+    res.pressure_cycles = sweep + 1;
     const double sweep_change = sum_rows(ws.acc_a);
     if (sweep == 0) {
       first_sweep_change = sweep_change;
@@ -846,8 +890,19 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
           if (pm.solid(i, j)) continue;
           P(i, j) += cfg.alpha_p * PC(i, j);
           const double d_p = vol / AP(i, j);
-          U(i, j) -= d_p * (PC(i, j + 1) - PC(i, j - 1)) / (2.0 * pm.dx);
-          V(i, j) -= d_p * (PC(i + 1, j) - PC(i - 1, j)) / (2.0 * pm.dy);
+          // Solid neighbours mirror the cell's own p' (zero correction
+          // flux through the wall, matching the p' equation). Reading the
+          // stored 0 instead would act like p' = 0 at the wall face and
+          // drive a spurious wall-normal correction proportional to |p'|
+          // — survivable when the p' solve is weak, but it feeds back
+          // into the imbalance and blows up SIMPLE once the multigrid
+          // path solves p' accurately.
+          const double pe = pm.solid(i, j + 1) ? PC(i, j) : PC(i, j + 1);
+          const double pw = pm.solid(i, j - 1) ? PC(i, j) : PC(i, j - 1);
+          const double pn = pm.solid(i + 1, j) ? PC(i, j) : PC(i + 1, j);
+          const double ps = pm.solid(i - 1, j) ? PC(i, j) : PC(i - 1, j);
+          U(i, j) -= d_p * (pe - pw) / (2.0 * pm.dx);
+          V(i, j) -= d_p * (pn - ps) / (2.0 * pm.dy);
         }
       }
     }
@@ -857,12 +912,8 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
   if (cfg.solve_sa) {
     {
       util::ScopedAccum t(&ph.ghosts);
-      exchange_ghosts(f.nuTilda, mesh_);
-      apply_bc_ghosts(f.nuTilda, kNt);
-      exchange_ghosts(f.U, mesh_);
-      exchange_ghosts(f.V, mesh_);
-      apply_bc_ghosts(f.U, kU);
-      apply_bc_ghosts(f.V, kV);
+      exchange_ghosts(f, mesh_, kMaskUVNt);
+      apply_bc_ghosts(f, kMaskUVNt);
     }
 
     zero_rows(ws.acc_a);
@@ -1021,12 +1072,17 @@ void record_residual_series(const Residuals& res) {
   static metrics::TimeSeries& s_v = metrics::series("solver.residual.v");
   static metrics::TimeSeries& s_p = metrics::series("solver.residual.p");
   static metrics::TimeSeries& s_nt = metrics::series("solver.residual.nu_tilde");
+  // p' solve work per outer iteration (V-cycles, or SOR sweeps under
+  // kSor), on the same x axis as solver.residual.p so cycle-count spikes
+  // line up with continuity-residual stalls in the telemetry plots.
+  static metrics::TimeSeries& s_cy = metrics::series("solver.pressure.cycles");
   iters.add();
   const double x = static_cast<double>(iters.value());
   s_u.append(x, res.momentum_u);
   s_v.append(x, res.momentum_v);
   s_p.append(x, res.continuity);
   s_nt.append(x, res.sa);
+  s_cy.append(x, static_cast<double>(res.pressure_cycles));
 }
 
 void bridge_stats_to_metrics(const SolveStats& stats) {

@@ -1,0 +1,119 @@
+// Thread-parallel sweep machinery shared by the SIMPLE solver (rans.cpp)
+// and the geometric multigrid pressure solver (mg.cpp).
+//
+// The unit of parallel work is one interior row of one patch (RowRef). A
+// red-black sweep runs as two colored half-sweeps, each thread-parallel
+// over rows: cells of one color only read the other color (plus ghosts
+// frozen for the sweep), so the update is race-free and the result is
+// independent of the thread count. Every floating-point reduction funnels
+// through per-row partial buffers summed in fixed order (sum_rows), so the
+// summation order — and therefore the result, bit for bit — does not
+// depend on the number of threads either (DESIGN.md §8, §11).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace adarnet::solver {
+
+/// Update order of the in-place sweeps (momentum GS, pressure smoothing,
+/// SA GS).
+enum class SweepOrdering {
+  kRedBlack,       ///< two colored half-sweeps; thread-parallel, results
+                   ///< independent of thread count (the default)
+  kLexicographic,  ///< classic serial (k, i, j) order; kept as the serial
+                   ///< reference for parity tests
+};
+
+namespace sweep {
+
+/// One interior row of one patch: the unit of thread-parallel sweep work.
+/// Rows are the natural grain because a red-black half-sweep touches every
+/// other cell of a row, and rows of different patches balance the load on
+/// composite meshes where refined patches carry 4x the cells.
+struct RowRef {
+  int k = 0;  ///< flat patch index
+  int i = 0;  ///< interior row (1-based)
+};
+
+/// Runs one colored half-sweep (color 0/1; -1 = every column, the
+/// lexicographic pass) over all rows, thread-parallel when `parallel`.
+/// Exposed separately from run_sweep so the multigrid smoother can
+/// refresh interface ghosts between the two colors on its degenerate
+/// coarse levels (solver/mg.cpp).
+template <typename RowFn>
+void run_half_sweep(const std::vector<RowRef>& rows, int color,
+                    RowFn&& row_fn, bool parallel = true) {
+  const int n = static_cast<int>(rows.size());
+  if (parallel) {
+#pragma omp parallel for schedule(static)
+    for (int r = 0; r < n; ++r) {
+      row_fn(r, rows[r].k, rows[r].i, color);
+    }
+  } else {
+    for (int r = 0; r < n; ++r) {
+      row_fn(r, rows[r].k, rows[r].i, color);
+    }
+  }
+}
+
+/// Runs one in-place sweep over all rows. Red-black: two colored
+/// half-sweeps, each thread-parallel over rows. Lexicographic: the classic
+/// serial (k, i, j) order. row_fn(r, k, i, color) updates row r's cells
+/// with (i + j) % 2 == color; color -1 means all columns.
+///
+/// `parallel` gates the OpenMP region: the caller disables it for grids
+/// too small to amortise a fork/join (the multigrid coarse levels). The
+/// serial path visits the same colored schedule, so the result is bitwise
+/// identical either way — the flag is a pure scheduling decision and must
+/// only ever depend on the mesh, never on the thread count.
+template <typename RowFn>
+void run_sweep(const std::vector<RowRef>& rows, SweepOrdering ordering,
+               RowFn&& row_fn, bool parallel = true) {
+  if (ordering == SweepOrdering::kRedBlack) {
+    for (int color = 0; color < 2; ++color) {
+      run_half_sweep(rows, color, row_fn, parallel);
+    }
+  } else {
+    run_half_sweep(rows, -1, row_fn, /*parallel=*/false);
+  }
+}
+
+/// Read-only pass over all rows (defect evaluation): thread-parallel when
+/// `parallel`, no coloring needed because nothing is updated in place.
+template <typename RowFn>
+void run_scan(const std::vector<RowRef>& rows, RowFn&& row_fn,
+              bool parallel = true) {
+  const int n = static_cast<int>(rows.size());
+  if (parallel) {
+#pragma omp parallel for schedule(static)
+    for (int r = 0; r < n; ++r) {
+      row_fn(r, rows[r].k, rows[r].i);
+    }
+  } else {
+    for (int r = 0; r < n; ++r) {
+      row_fn(r, rows[r].k, rows[r].i);
+    }
+  }
+}
+
+/// First column of a row's cells with color (i + j) % 2 == color, and the
+/// column stride; color -1 visits every column.
+inline int color_j0(int i, int color) {
+  if (color < 0) return 1;
+  return (((i + 1) & 1) == color) ? 1 : 2;
+}
+inline int color_jstep(int color) { return color < 0 ? 1 : 2; }
+
+/// Fixed-order serial sum of the per-row reduction partials.
+inline double sum_rows(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+inline void zero_rows(std::vector<double>& v) {
+  std::fill(v.begin(), v.end(), 0.0);
+}
+
+}  // namespace sweep
+}  // namespace adarnet::solver

@@ -215,6 +215,11 @@ KeyClass classify(const std::string& key) {
   // classify it first so e.g. metrics/gauges/nn.gemm.gflops_per_s (a raw
   // registry dump of the same quantity) does not double-gate.
   if (contains(key, "metrics/")) return KeyClass::kIgnored;
+  // Acceptance bits (accept/...) are 0/1 verdicts a bench computes from
+  // its own measurements with the machine-dependence already folded in
+  // (slack, ratios of same-run timings): they gate exactly, like the
+  // analytic flop/byte counts, even under --portable-only.
+  if (contains(key, "accept/")) return KeyClass::kPortable;
   if (ends_with(key, "gflops_per_s") || contains(key, "cells_per_s") ||
       contains(key, "speedup")) {
     return KeyClass::kThroughput;

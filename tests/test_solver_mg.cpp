@@ -1,0 +1,334 @@
+// Geometric multigrid pressure-correction tests (DESIGN.md §11): transfer
+// adjointness, linear V-cycle convergence on uniform and level-jump
+// meshes, SIMPLE parity between the multigrid and SOR pressure solvers,
+// bitwise determinism across thread counts with multigrid engaged, and
+// the SOR fallback on meshes with refinement-level jumps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "data/cases.hpp"
+#include "mesh/composite.hpp"
+#include "solver/mg.hpp"
+#include "solver/rans.hpp"
+
+namespace {
+
+using adarnet::data::GridPreset;
+using adarnet::field::Grid2Dd;
+using adarnet::mesh::CompositeField;
+using adarnet::mesh::CompositeMesh;
+using adarnet::mesh::CompositeScalar;
+using adarnet::mesh::RefinementMap;
+using adarnet::solver::mg_prolong_add_patch;
+using adarnet::solver::mg_restrict_patch;
+using adarnet::solver::PressureMg;
+using adarnet::solver::PressureSolver;
+using adarnet::solver::RansSolver;
+using adarnet::solver::SolveStats;
+using adarnet::solver::SolverConfig;
+
+GridPreset tiny_preset() { return GridPreset{16, 64, 8, 8}; }
+
+SolverConfig quick_config(PressureSolver ps) {
+  SolverConfig cfg;
+  cfg.max_outer = 4000;
+  cfg.tol = 5e-4;
+  cfg.pressure_solver = ps;
+  return cfg;
+}
+
+// Four patch rows so refining the wall rows leaves the two core rows
+// coarse: the refinement map has genuine level jumps in y, the direction
+// perpendicular to the channel's strong (x) coupling. (With the tiny
+// 2-row preset, refining both wall rows would refine every patch.)
+GridPreset jump_preset() { return GridPreset{32, 64, 8, 8}; }
+
+CompositeMesh mixed_channel_mesh(const adarnet::mesh::CaseSpec& spec) {
+  RefinementMap map(spec.npy(), spec.npx(), 0);
+  for (int pj = 0; pj < spec.npx(); ++pj) {
+    map.set_level(0, pj, 1);
+    map.set_level(spec.npy() - 1, pj, 1);
+  }
+  bool jump = false;
+  for (int pi = 0; pi + 1 < map.npy(); ++pi) {
+    if (map.level(pi, 0) != map.level(pi + 1, 0)) jump = true;
+  }
+  EXPECT_TRUE(jump) << "preset too small: the map has no level jump";
+  return CompositeMesh(spec, map);
+}
+
+// Deterministic pseudo-random fill of the interior cells (LCG — no
+// global RNG state, bit-identical on every platform).
+void fill_interior(Grid2Dd& a, int ny, int nx, unsigned seed) {
+  unsigned s = seed;
+  for (int i = 1; i <= ny; ++i) {
+    for (int j = 1; j <= nx; ++j) {
+      s = s * 1664525u + 1013904223u;
+      a(i, j) = static_cast<double>(s >> 8) / 16777216.0 - 0.5;
+    }
+  }
+}
+
+double dot_interior(const Grid2Dd& a, const Grid2Dd& b, int ny, int nx) {
+  double acc = 0.0;
+  for (int i = 1; i <= ny; ++i) {
+    for (int j = 1; j <= nx; ++j) acc += a(i, j) * b(i, j);
+  }
+  return acc;
+}
+
+// Exact (bitwise) equality of two composite fields, ghosts included.
+::testing::AssertionResult fields_identical(const CompositeField& a,
+                                            const CompositeField& b) {
+  for (int c = 0; c < 4; ++c) {
+    const auto& ca = a.channel(c);
+    const auto& cb = b.channel(c);
+    if (ca.size() != cb.size()) {
+      return ::testing::AssertionFailure() << "patch count mismatch";
+    }
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      for (std::size_t n = 0; n < ca[k].size(); ++n) {
+        if (std::memcmp(&ca[k][n], &cb[k][n], sizeof(double)) != 0) {
+          return ::testing::AssertionFailure()
+                 << "channel " << c << " patch " << k << " cell " << n
+                 << ": " << ca[k][n] << " != " << cb[k][n];
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+SolveStats run_iterations(const CompositeMesh& mesh, const SolverConfig& cfg,
+                          CompositeField& f, int iters) {
+  RansSolver solver(mesh, cfg);
+  solver.initialize_freestream(f);
+  return solver.iterate(f, iters);
+}
+
+// Linear-solve harness: unit momentum diagonal (d = vol), pseudo-random
+// right-hand side, one PressureMg solve to `tol` with a generous cycle cap.
+adarnet::solver::MgSolveInfo solve_linear(const CompositeMesh& mesh,
+                                          double tol, int max_cycles) {
+  SolverConfig cfg;
+  cfg.mg_tol = tol;
+  cfg.mg_max_cycles = max_cycles;
+  PressureMg mg(mesh, cfg);
+  EXPECT_GE(mg.depth(), 2) << "ladder did not coarsen; the test is vacuous";
+
+  CompositeScalar ap = adarnet::mesh::make_scalar(mesh);
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& p = mesh.patch_flat(k);
+    for (int i = 1; i <= p.ny; ++i) {
+      for (int j = 1; j <= p.nx; ++j) ap[k](i, j) = 1.0;
+    }
+  }
+  mg.set_coefficients(ap);
+
+  // Zero RHS inside solids (a solid cell's p' equation is x = 0).
+  CompositeScalar imb = adarnet::mesh::make_scalar(mesh);
+  for (int k = 0; k < mesh.patch_count(); ++k) {
+    const auto& p = mesh.patch_flat(k);
+    fill_interior(imb[k], p.ny, p.nx, 17u * (k + 1));
+    for (int i = 1; i <= p.ny; ++i) {
+      for (int j = 1; j <= p.nx; ++j) {
+        if (p.solid(i, j)) imb[k](i, j) = 0.0;
+      }
+    }
+  }
+  CompositeScalar x = adarnet::mesh::make_scalar(mesh);
+  return mg.solve(x, imb);
+}
+
+}  // namespace
+
+// Restriction must be exactly the transpose of prolongation,
+// <R u, v>_coarse = <u, P v>_fine, for the coarse-grid correction to
+// minimise the fine energy norm rather than fight the smoother. Checked
+// on a closed (domain-boundary) patch for full coarsening, semicoarsened
+// transfers in each direction, and the anti-reflective outlet fold.
+TEST(PressureMgTransfers, RestrictionIsProlongationTranspose) {
+  struct Shape {
+    int fny, fnx, cny, cnx;
+    bool dirichlet_e;
+  };
+  const Shape shapes[] = {
+      {8, 8, 4, 4, false},   // full coarsening
+      {8, 8, 4, 8, false},   // semicoarsen y (x identity)
+      {8, 8, 8, 4, false},   // semicoarsen x (y identity)
+      {8, 8, 4, 4, true},    // outlet fold on the east side
+      {2, 8, 1, 4, false},   // degenerate single-row coarse patch
+  };
+  for (const Shape& sh : shapes) {
+    Grid2Dd u(sh.fny + 2, sh.fnx + 2);  // fine residual
+    Grid2Dd v(sh.cny + 2, sh.cnx + 2);  // coarse correction
+    fill_interior(u, sh.fny, sh.fnx, 101);
+    fill_interior(v, sh.cny, sh.cnx, 202);
+
+    Grid2Dd ru(sh.cny + 2, sh.cnx + 2);
+    mg_restrict_patch(u, sh.fny, sh.fnx, ru, sh.cny, sh.cnx,
+                      /*open_s=*/false, /*open_n=*/false, /*open_w=*/false,
+                      /*open_e=*/false, sh.dirichlet_e);
+
+    Grid2Dd pv(sh.fny + 2, sh.fnx + 2);
+    mg_prolong_add_patch(v, sh.cny, sh.cnx, pv, sh.fny, sh.fnx,
+                         /*fine_solid=*/nullptr,
+                         /*open_s=*/false, /*open_n=*/false, /*open_w=*/false,
+                         /*open_e=*/false, sh.dirichlet_e);
+
+    const double lhs = dot_interior(ru, v, sh.cny, sh.cnx);
+    const double rhs = dot_interior(u, pv, sh.fny, sh.fnx);
+    EXPECT_NEAR(lhs, rhs, 1e-12 * (1.0 + std::abs(lhs)))
+        << "shape " << sh.fny << "x" << sh.fnx << " -> " << sh.cny << "x"
+        << sh.cnx << " dirichlet_e=" << sh.dirichlet_e;
+  }
+}
+
+// The V-cycle must be a genuine multigrid on the uniform channel: the
+// contraction factor per cycle stays bounded away from 1 even though the
+// channel cells are strongly anisotropic (the aspect-driven semicoarsening
+// and smooth_mult rungs are what make this pass).
+TEST(PressureMgLinear, ConvergesOnUniformChannel) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 1));
+
+  const double tol = 1e-8;
+  const auto info = solve_linear(mesh, tol, 60);
+  ASSERT_GT(info.cycles, 0);
+  EXPECT_LE(info.final_ratio, tol) << "cycles=" << info.cycles;
+  // Mean contraction per cycle <= 0.65 (flat SOR is ~0.99 on this mesh).
+  const double rate = std::pow(info.final_ratio, 1.0 / info.cycles);
+  EXPECT_LE(rate, 0.65) << "ratio=" << info.final_ratio
+                        << " cycles=" << info.cycles;
+}
+
+// Level jumps perpendicular to the strong coupling direction alias
+// exactly the x-oscillatory modes point relaxation cannot damp, and the
+// V-cycle amplifies them no matter how the ladder is shaped
+// (solver/mg.cpp). The constructor must refuse to coarsen such a mesh —
+// depth() == 1 — which is what routes the SIMPLE solver to flat SOR.
+TEST(PressureMgLinear, RefusesAnisotropyMismatchedJumpMesh) {
+  auto spec = adarnet::data::channel_case(2.5e3, jump_preset());
+  CompositeMesh mesh = mixed_channel_mesh(spec);
+  SolverConfig cfg;
+  PressureMg mg(mesh, cfg);
+  EXPECT_EQ(mg.depth(), 1);
+}
+
+// Near-isotropic cells with refinement jumps in both directions (the
+// refined-cylinder configuration) must converge through the map-lowering
+// rungs: the jump interpolation only aliases modes the smoother kills.
+TEST(PressureMgLinear, ConvergesAcrossIsotropicLevelJumps) {
+  auto spec = adarnet::data::cylinder_case(1e5, GridPreset{32, 32, 8, 8});
+  RefinementMap map(spec.npy(), spec.npx(), 0);
+  for (int pi = 1; pi <= 2; ++pi) {
+    for (int pj = 1; pj <= 2; ++pj) map.set_level(pi, pj, 1);
+  }
+  CompositeMesh mesh(spec, map);
+
+  const double tol = 1e-6;
+  const auto info = solve_linear(mesh, tol, 60);
+  ASSERT_GT(info.cycles, 0);
+  EXPECT_LE(info.final_ratio, tol) << "cycles=" << info.cycles;
+  // Measured ~0.61 per cycle; guard well away from divergence.
+  const double rate = std::pow(info.final_ratio, 1.0 / info.cycles);
+  EXPECT_LE(rate, 0.8) << "ratio=" << info.final_ratio
+                       << " cycles=" << info.cycles;
+}
+
+// SIMPLE parity on the uniform channel: the multigrid pressure solve must
+// reach the same outer tolerance without inflating the iteration count
+// (it should deflate it — each outer step gets a deeper p' reduction).
+TEST(PressureMgSimple, ParityWithSorOnChannel) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+
+  auto f_sor = adarnet::mesh::make_field(mesh);
+  RansSolver sor(mesh, quick_config(PressureSolver::kSor));
+  sor.initialize_freestream(f_sor);
+  const auto s_sor = sor.solve(f_sor);
+  ASSERT_TRUE(s_sor.converged) << "residual=" << s_sor.residual;
+
+  auto f_mg = adarnet::mesh::make_field(mesh);
+  RansSolver mg(mesh, quick_config(PressureSolver::kMultigrid));
+  mg.initialize_freestream(f_mg);
+  const auto s_mg = mg.solve(f_mg);
+  ASSERT_TRUE(s_mg.converged) << "residual=" << s_mg.residual;
+
+  EXPECT_LE(s_mg.iterations, 1.6 * s_sor.iterations)
+      << "mg=" << s_mg.iterations << " sor=" << s_sor.iterations;
+}
+
+// SIMPLE parity on a body case (immersed solid cells + symmetry
+// boundaries): a fixed iteration budget must end at a comparable residual.
+TEST(PressureMgSimple, ParityWithSorOnCylinder) {
+  auto spec = adarnet::data::cylinder_case(1e5, GridPreset{32, 32, 8, 8});
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+
+  SolverConfig sor_cfg = quick_config(PressureSolver::kSor);
+  sor_cfg.max_outer = 600;
+  auto f_sor = adarnet::mesh::make_field(mesh);
+  const auto s_sor = run_iterations(mesh, sor_cfg, f_sor, 600);
+
+  SolverConfig mg_cfg = sor_cfg;
+  mg_cfg.pressure_solver = PressureSolver::kMultigrid;
+  auto f_mg = adarnet::mesh::make_field(mesh);
+  const auto s_mg = run_iterations(mesh, mg_cfg, f_mg, 600);
+
+  ASSERT_FALSE(s_sor.diverged);
+  ASSERT_FALSE(s_mg.diverged);
+  EXPECT_LT(s_mg.residual, 3.0 * s_sor.residual + 1e-12)
+      << "mg=" << s_mg.residual << " sor=" << s_sor.residual;
+}
+
+// Meshes with refinement-level jumps fall back to SOR (the jump-face p'
+// stencil is not consistent with the corrector there, solver/rans.cpp):
+// a multigrid-configured solver must reproduce the SOR solver bit for bit.
+TEST(PressureMgSimple, JumpMeshFallsBackToSorBitwise) {
+  auto spec = adarnet::data::channel_case(2.5e3, jump_preset());
+  CompositeMesh mesh = mixed_channel_mesh(spec);
+
+  auto f_mg = adarnet::mesh::make_field(mesh);
+  const auto s_mg =
+      run_iterations(mesh, quick_config(PressureSolver::kMultigrid), f_mg, 25);
+  auto f_sor = adarnet::mesh::make_field(mesh);
+  const auto s_sor =
+      run_iterations(mesh, quick_config(PressureSolver::kSor), f_sor, 25);
+
+  EXPECT_EQ(s_mg.residual, s_sor.residual);  // exact, not NEAR
+  EXPECT_TRUE(fields_identical(f_mg, f_sor));
+}
+
+#ifdef _OPENMP
+// With multigrid engaged (uniform mesh, no fallback), every thread count
+// must produce the bitwise-identical field: the V-cycle smoothers run the
+// red-black (patch, row) schedule with fixed-order reductions, and every
+// mesh-derived decision (ladder shape, serial coarse levels, smoothing
+// multipliers) is independent of the thread count.
+TEST(PressureMgParallel, BitwiseIdenticalAcrossThreadCounts) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 1));
+  const int saved = omp_get_max_threads();
+
+  omp_set_num_threads(1);
+  auto f1 = adarnet::mesh::make_field(mesh);
+  const auto s1 =
+      run_iterations(mesh, quick_config(PressureSolver::kMultigrid), f1, 30);
+
+  for (int nt : {2, 4, 8}) {
+    omp_set_num_threads(nt);
+    auto fn = adarnet::mesh::make_field(mesh);
+    const auto sn =
+        run_iterations(mesh, quick_config(PressureSolver::kMultigrid), fn, 30);
+    EXPECT_EQ(s1.residual, sn.residual) << "threads=" << nt;
+    EXPECT_TRUE(fields_identical(f1, fn)) << "threads=" << nt;
+  }
+  omp_set_num_threads(saved);
+}
+#endif  // _OPENMP
