@@ -131,8 +131,10 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
                                     const PipelineConfig& config) {
   util::WallTimer timer;
   const util::trace::Span span("pipeline.lr_solve");
+  solver::SolverConfig lr_cfg = config.lr_solver;
+  if (config.cancel != nullptr) lr_cfg.cancel = config.cancel;
   solver::SolveStats lr_stats;
-  field::FlowField lr = data::solve_lr(spec, config.lr_solver, &lr_stats);
+  field::FlowField lr = data::solve_lr(spec, lr_cfg, &lr_stats);
   return run_adarnet_pipeline(model, spec, config, lr, timer.seconds(),
                               lr_stats.iterations);
 }
@@ -185,11 +187,23 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
     }
   }
 
+  solver::SolverConfig ps_cfg = config.ps_solver;
+  if (config.cancel != nullptr) ps_cfg.cancel = config.cancel;
+  // Rung-boundary cancellation check: an expired token stops the ladder
+  // where it stands (never a retry or a deeper rung), and each solve is
+  // itself cancellation-aware, so the worst case past expiry is bounded
+  // glue work — mesh assembly and seeding, no solver iterations.
+  auto expired = [&config] {
+    return config.cancel != nullptr && config.cancel->expired();
+  };
+
   auto account = [&](const solver::SolveStats& stats) {
     result.ps_seconds += stats.seconds;
     result.ps_iterations += stats.iterations;
     result.ps_solves += 1;
     result.converged = stats.converged;
+    result.residual = stats.residual;
+    if (stats.cancelled) result.cancelled = true;
     m_solves.add();
     m_attempts.add(stats.attempts);
   };
@@ -201,10 +215,10 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
   bool solved = false;
   if (dnn_mesh_usable) {
     auto [mesh, f] = model.to_composite(inference, spec, lr);
-    solver::RansSolver rans(*mesh, config.ps_solver);
+    solver::RansSolver rans(*mesh, ps_cfg);
     solver::SolveStats stats = rans.solve(f);
     account(stats);
-    if (guards.enabled && solve_failed(stats, f)) {
+    if (guards.enabled && solve_failed(stats, f) && !expired()) {
       ADR_LOG_WARN << spec.name
                    << " physics solve diverged on the DNN seed; retrying "
                       "from freestream on the DNN mesh";
@@ -213,7 +227,10 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
       stats = rans.solve(f);
       account(stats);
     }
-    if (!guards.enabled || !solve_failed(stats, f)) {
+    // A cancelled-but-finite state is accepted as-is: a diverged solve has
+    // already restored the initial (finite) seed, and re-solving it on a
+    // different rung would burn time the deadline no longer has.
+    if (!guards.enabled || !solve_failed(stats, f) || expired()) {
       result.mesh = std::move(mesh);
       result.solution = std::move(f);
       solved = true;
@@ -226,10 +243,10 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
     auto mesh = std::make_unique<mesh::CompositeMesh>(spec, ref_map);
     mesh::CompositeField f = mesh::make_field(*mesh);
     mesh::fill_from_uniform(f, *mesh, lr);
-    solver::RansSolver rans(*mesh, config.ps_solver);
+    solver::RansSolver rans(*mesh, ps_cfg);
     solver::SolveStats stats = rans.solve(f);
     account(stats);
-    if (solve_failed(stats, f)) {
+    if (solve_failed(stats, f) && !expired()) {
       ADR_LOG_WARN << spec.name
                    << " reference-map solve diverged from the LR seed; "
                       "last-resort freestream re-seed";
@@ -241,6 +258,7 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
     result.mesh = std::move(mesh);
     result.solution = std::move(f);
   }
+  if (expired()) result.cancelled = true;
 
   // One rung counter per run: the deepest rung the ladder reached.
   switch (result.fallback_stage) {
@@ -256,6 +274,12 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
     case FallbackStage::kReferenceMap:
       metrics::counter("pipeline.fallback.reference_map").add();
       break;
+  }
+  if (result.cancelled) {
+    metrics::counter("pipeline.cancelled").add();
+    ADR_LOG_WARN << spec.name << " pipeline cancelled (deadline); returning "
+                 << "best iterate after " << result.ps_iterations
+                 << " physics iterations, residual=" << result.residual;
   }
   // Degradation history for /series.json: x is the run index, y the rung
   // (0 = clean run, 3 = reference-map last resort), so a scraper can see

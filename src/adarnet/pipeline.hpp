@@ -48,6 +48,14 @@ struct PipelineConfig {
   solver::SolverConfig lr_solver;  ///< LR (input) solve
   solver::SolverConfig ps_solver;  ///< final physics solve on the DNN mesh
   GuardConfig guards;              ///< inference hand-off guards
+
+  /// Request-scoped cooperative cancellation (DESIGN.md §13). When set it
+  /// is threaded into both solver configs and checked at every rung
+  /// boundary of the degradation ladder: an expired token stops the ladder
+  /// where it stands and the result carries the best iterate produced so
+  /// far (finite fields, converged = false, cancelled = true). Overrides
+  /// any cancel already present on the solver configs.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Full cost breakdown and outputs of one end-to-end run.
@@ -63,6 +71,10 @@ struct PipelineResult {
   int lr_iterations = 0;          ///< LR solve SIMPLE iterations
   int ps_iterations = 0;          ///< physics-solver SIMPLE iterations (ITC)
   bool converged = false;         ///< final solve reached tolerance
+  bool cancelled = false;         ///< the cancel token expired mid-run; the
+                                  ///< solution is the best iterate
+  double residual = 0.0;          ///< final normalised residual of the
+                                  ///< returned solution's solve
 
   FallbackStage fallback_stage = FallbackStage::kNone;  ///< rung that fired
   int sanitized_values = 0;       ///< non-finite prediction values replaced

@@ -715,6 +715,10 @@ MgSolveInfo PressureMg::solve(CompositeScalar& x, const CompositeScalar& imb) {
   static metrics::Counter& cycle_counter = metrics::counter("solver.mg.cycles");
   double rnorm = bnorm;
   while (info.cycles < cfg_.mg_max_cycles) {
+    // Cooperative cancellation boundary (DESIGN.md §13): between V-cycles
+    // the correction is consistent (ghosts exchanged), so stopping here
+    // hands the outer iteration a weaker but well-formed p' solve.
+    if (cfg_.cancel != nullptr && cfg_.cancel->expired()) break;
     cycle_counter.add();
     v_cycle(0, x, static_cast<double>(cycle_counter.value()), info);
     info.cycles += 1;

@@ -1124,7 +1124,14 @@ SolveStats RansSolver::solve(CompositeField& f) {
     stats.final_pseudo_cfl = cfg.pseudo_cfl;
     stats.final_alpha_u = cfg.alpha_u;
     for (int it = 0; it < cfg.max_outer; ++it) {
+      // Cooperative cancellation boundary: nothing in this iteration has
+      // run yet, so the field is exactly the last completed iterate.
+      if (cfg.cancel != nullptr && cfg.cancel->expired()) {
+        stats.cancelled = true;
+        break;
+      }
       util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
+      util::fault::stall("solver.outer.stall");
       res = outer_iteration(f, ws, cfg, stats.phase_seconds);
       record_residual_series(res);
       stats.iterations += 1;
@@ -1147,6 +1154,7 @@ SolveStats RansSolver::solve(CompositeField& f) {
     }
     stats.residual = res.combined();
     stats.diverged = diverged;
+    if (stats.cancelled) break;  // a cancelled solve never retries
     if (!diverged) break;
     cfg.pseudo_cfl *= 0.4;
     cfg.alpha_u *= 0.6;
@@ -1163,6 +1171,11 @@ SolveStats RansSolver::solve(CompositeField& f) {
     f = initial;
   }
   refresh_ghosts(f);
+  if (stats.cancelled && stats.iterations == 0) {
+    // Cancelled before any work: report the seed's actual defect instead
+    // of the zero-initialised Residuals (callers surface this number).
+    stats.residual = residuals(f).combined();
+  }
   stats.seconds = timer.seconds();
   bridge_stats_to_metrics(stats);
   return stats;
@@ -1178,7 +1191,12 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   const long long cells = mesh_.active_cells();
   Residuals res;
   for (int it = 0; it < n; ++it) {
+    if (config_.cancel != nullptr && config_.cancel->expired()) {
+      stats.cancelled = true;
+      break;
+    }
     util::fault::corrupt("solver.diverge", f.U[0].data(), f.U[0].size());
+    util::fault::stall("solver.outer.stall");
     res = outer_iteration(f, ws, config_, stats.phase_seconds);
     record_residual_series(res);
     stats.iterations = it + 1;
@@ -1193,8 +1211,14 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
     }
   }
   refresh_ghosts(f);
+  if (stats.cancelled && stats.iterations == 0) {
+    // Cancelled before any iteration: measure the seed instead of trusting
+    // the zero-initialised Residuals (which would read as converged).
+    res = residuals(f);
+  }
   stats.residual = res.combined();
-  stats.converged = !stats.diverged && res.combined() < config_.tol;
+  stats.converged = !stats.diverged && !stats.cancelled &&
+                    res.combined() < config_.tol;
   stats.seconds = timer.seconds();
   bridge_stats_to_metrics(stats);
   return stats;

@@ -25,6 +25,7 @@
 
 #include "mesh/composite.hpp"
 #include "solver/sweep.hpp"
+#include "util/cancel.hpp"
 
 namespace adarnet::solver {
 
@@ -73,6 +74,13 @@ struct SolverConfig {
   int mg_coarse_sweeps = 40; ///< SOR iterations of the coarsest-level solve
   double mg_tol = 0.3;       ///< V-cycle exit: |r| / |r0| below this
   int mg_max_cycles = 2;     ///< cap on V-cycles per outer iteration
+
+  /// Cooperative cancellation (DESIGN.md §13). When set, solve()/iterate()
+  /// check it at every outer-iteration boundary (and the multigrid p'
+  /// solve per V-cycle) and return early with SolveStats::cancelled — the
+  /// field keeps the best iterate, never a partially-updated state. The
+  /// token must outlive the solve. nullptr = never cancelled.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Wall time spent in each phase of the outer iteration, accumulated over a
@@ -104,6 +112,8 @@ struct SolveStats {
   bool converged = false;       ///< residual target reached before the cap
   bool diverged = false;        ///< a non-finite residual ended the solve
                                 ///< (after all relaxation retries)
+  bool cancelled = false;       ///< SolverConfig::cancel expired; the field
+                                ///< holds the best iterate so far
   int attempts = 1;             ///< solve(): relaxation attempts consumed
                                 ///< (1 = converged/stalled first try)
   double residual = 0.0;        ///< final normalised residual

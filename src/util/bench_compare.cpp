@@ -221,7 +221,7 @@ KeyClass classify(const std::string& key) {
   // analytic flop/byte counts, even under --portable-only.
   if (contains(key, "accept/")) return KeyClass::kPortable;
   if (ends_with(key, "gflops_per_s") || contains(key, "cells_per_s") ||
-      contains(key, "speedup")) {
+      contains(key, "speedup") || ends_with(key, "qps")) {
     return KeyClass::kThroughput;
   }
   if (ends_with(key, "/flops") || ends_with(key, "/bytes") ||

@@ -1,0 +1,90 @@
+// Cooperative cancellation with deadlines (DESIGN.md §13).
+//
+// A CancelToken is the request-scoped "stop asking for more work" signal of
+// the serving path: the admission layer stamps it with the request deadline,
+// threads a pointer through SolverConfig / PipelineConfig, and long-running
+// code checks expired() at its natural quantum boundaries — per pipeline
+// rung, per outer SIMPLE iteration (solver/rans.cpp), per V-cycle
+// (solver/mg.cpp). Cancellation is always cooperative: nothing is killed,
+// the checking code finishes its current quantum and returns its best
+// iterate with converged = false, so the state handed back is never
+// partially written.
+//
+// Tokens can also be cancelled explicitly (cancel()) and chained to a
+// process- or server-lifetime flag (chain()), so a shutting-down server
+// revokes every in-flight solve without tracking them individually.
+//
+// Cost model: expired() is one relaxed atomic load, one pointer check, and
+// (only when a deadline is set) one steady_clock read. The call sites sit
+// at quantum boundaries that each cover thousands of cell updates, so the
+// check is free in profile terms.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace adarnet::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Arms the deadline `seconds` from now (<= 0 expires immediately).
+  void set_deadline_after(double seconds) {
+    deadline_.store(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(seconds)),
+                    std::memory_order_release);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Arms the deadline at an absolute time point (e.g. admission time +
+  /// requested budget, so queue wait counts against the request).
+  void set_deadline(Clock::time_point at) {
+    deadline_.store(at, std::memory_order_release);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Sticky explicit cancellation (idempotent, thread-safe).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Also considers the token cancelled while *parent is true (server
+  /// shutdown flag). The pointee must outlive the token.
+  void chain(const std::atomic<bool>* parent) { parent_ = parent; }
+
+  /// True once cancelled, chained-cancelled, or past the deadline.
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (parent_ != nullptr && parent_->load(std::memory_order_acquire)) {
+      return true;
+    }
+    return has_deadline_.load(std::memory_order_acquire) &&
+           Clock::now() >= deadline_.load(std::memory_order_acquire);
+  }
+
+  /// Seconds until the deadline (clamped at 0; a very large value when no
+  /// deadline is set). Callers size degraded work budgets from this.
+  [[nodiscard]] double remaining_seconds() const {
+    if (cancelled_.load(std::memory_order_acquire)) return 0.0;
+    if (parent_ != nullptr && parent_->load(std::memory_order_acquire)) {
+      return 0.0;
+    }
+    if (!has_deadline_.load(std::memory_order_acquire)) return 1e30;
+    const auto left = deadline_.load(std::memory_order_acquire) - Clock::now();
+    const double s = std::chrono::duration<double>(left).count();
+    return s > 0.0 ? s : 0.0;
+  }
+
+  [[nodiscard]] bool has_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<Clock::time_point> deadline_{Clock::time_point{}};
+  const std::atomic<bool>* parent_ = nullptr;
+};
+
+}  // namespace adarnet::util

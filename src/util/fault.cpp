@@ -1,8 +1,10 @@
 #include "util/fault.hpp"
 
+#include <chrono>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <thread>
 
 namespace adarnet::util::fault {
 
@@ -24,12 +26,8 @@ std::map<std::string, SiteState>& registry() {
   return r;
 }
 
-}  // namespace
-
-namespace detail {
-
-bool hit(const char* site) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+// Counts one hit under g_mutex; reports firing and the armed param_ms.
+bool hit_locked(const char* site, int* param_ms) {
   auto it = registry().find(site);
   if (it == registry().end() || !it->second.armed) return false;
   SiteState& s = it->second;
@@ -37,7 +35,17 @@ bool hit(const char* site) {
   if (hit_index < s.spec.after) return false;
   if (s.spec.count >= 0 && s.fired >= s.spec.count) return false;
   ++s.fired;
+  if (param_ms != nullptr) *param_ms = s.spec.param_ms;
   return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool hit(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return hit_locked(site, nullptr);
 }
 
 }  // namespace detail
@@ -93,6 +101,18 @@ bool corrupt(const char* site, double* data, std::size_t n) {
   for (std::size_t k = 0; k < n; ++k) {
     data[k] = std::numeric_limits<double>::quiet_NaN();
   }
+  return true;
+}
+
+bool stall(const char* site) {
+  if (!armed()) return false;
+  int ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!hit_locked(site, &ms)) return false;
+  }
+  // Sleep outside the lock: a stalled site must not serialise other sites.
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   return true;
 }
 

@@ -12,11 +12,18 @@
 // therefore sit inside solver iteration loops.
 //
 // Sites currently wired in (see DESIGN.md §7 for the full fault model):
-//   solver.diverge      rans solve()/iterate(): NaN the state this iteration
-//   adarnet.infer.nan   AdarNet::infer(): corrupt the decoder predictions
-//   trainer.nan_batch   trainer: corrupt one decoder gradient batch
-//   nn.serialize.write  save_parameters(): simulated write failure
-//   io.vtk.write        vtk/pgm writers: simulated write failure
+//   solver.diverge       rans solve()/iterate(): NaN the state this iteration
+//   solver.outer.stall   rans solve()/iterate(): sleep param_ms per outer
+//                        iteration (deterministic slow-solve for deadline
+//                        and cancellation tests, DESIGN.md §13)
+//   adarnet.infer.nan    AdarNet::infer(): corrupt the decoder predictions
+//   trainer.nan_batch    trainer: corrupt one decoder gradient batch
+//   nn.serialize.write   save_parameters(): simulated write failure
+//   io.vtk.write         vtk/pgm writers: simulated write failure
+//   serving.worker.crash serving worker: throw mid-dispatch (worker survives,
+//                        request degrades — DESIGN.md §13)
+//   serving.queue.storm  serving admission: treat the queue as full (forced
+//                        503 shedding storm)
 #pragma once
 
 #include <atomic>
@@ -27,9 +34,11 @@ namespace adarnet::util::fault {
 
 /// When an armed site fires: hits `after` times without firing, then fires
 /// on the next `count` hits (count < 0 = every hit from then on).
+/// `param_ms` parameterises sites that need a magnitude (stall duration).
 struct FaultSpec {
   int after = 0;
   int count = 1;
+  int param_ms = 0;
 };
 
 namespace detail {
@@ -68,5 +77,9 @@ inline bool fires(const char* site) {
 /// NaN-corrupts `n` values if `site` fires; returns whether it fired.
 bool corrupt(const char* site, float* data, std::size_t n);
 bool corrupt(const char* site, double* data, std::size_t n);
+
+/// Sleeps the armed spec's param_ms if `site` fires; returns whether it
+/// fired. Deterministic "this stage is slow" injection for deadline tests.
+bool stall(const char* site);
 
 }  // namespace adarnet::util::fault

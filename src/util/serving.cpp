@@ -1,0 +1,789 @@
+#include "util/serving.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/cancel.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/socket_io.hpp"
+#include "util/timer.hpp"
+
+#ifdef ADARNET_SERVING_SOCKETS
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace adarnet::util::serving {
+
+const char* to_string(ServiceStage stage) {
+  switch (stage) {
+    case ServiceStage::kFull: return "full";
+    case ServiceStage::kCapped: return "capped";
+    case ServiceStage::kCached: return "cached";
+    case ServiceStage::kFreestream: return "freestream";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// --- flat-JSON request parsing ---------------------------------------------
+// The request body is a flat JSON object of string/number fields. This is a
+// targeted scanner for that shape (quoted keys, number or quoted-string
+// values), not a general JSON parser — util/bench_compare owns the general
+// reader, but it drops string leaves, which /solve needs for "case".
+
+bool find_raw_value(const std::string& body, const std::string& key,
+                    std::string& out) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  at += needle.size();
+  while (at < body.size() && (body[at] == ' ' || body[at] == '\t')) ++at;
+  if (at >= body.size() || body[at] != ':') return false;
+  ++at;
+  while (at < body.size() &&
+         (body[at] == ' ' || body[at] == '\t' || body[at] == '\n' ||
+          body[at] == '\r')) {
+    ++at;
+  }
+  if (at >= body.size()) return false;
+  if (body[at] == '"') {
+    const std::size_t end = body.find('"', at + 1);
+    if (end == std::string::npos) return false;
+    out = body.substr(at + 1, end - at - 1);
+    return true;
+  }
+  std::size_t end = at;
+  while (end < body.size() && body[end] != ',' && body[end] != '}' &&
+         body[end] != '\n' && body[end] != '\r' && body[end] != ' ') {
+    ++end;
+  }
+  out = body.substr(at, end - at);
+  return !out.empty();
+}
+
+bool parse_number(const std::string& raw, double& out) {
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str() && std::isfinite(out);
+}
+
+// --- HTTP plumbing ----------------------------------------------------------
+
+std::string http_response(const char* status, const std::string& body,
+                          const std::string& extra_headers = "") {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: application/json\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n";
+  out += extra_headers;
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// --- response summaries -----------------------------------------------------
+
+// The response payload: a summary of the solved state, small enough to
+// cache and to ship in one write. (Full-field export stays an io/vtk
+// concern; the service contract is the summary + quality/degradation
+// metadata.)
+struct Summary {
+  bool converged = false;
+  bool cancelled = false;
+  int iterations = 0;
+  double residual = 0.0;
+  double umax = 0.0;   ///< max speed over the solved composite field
+  double umean = 0.0;  ///< mean speed over the solved composite field
+  bool finite = true;
+  std::string fallback = "none";  ///< pipeline rung (core::FallbackStage)
+};
+
+Summary summarize(const core::PipelineResult& r) {
+  Summary s;
+  s.converged = r.converged;
+  s.cancelled = r.cancelled;
+  s.iterations = r.ps_iterations;
+  s.residual = r.residual;
+  s.fallback = core::to_string(r.fallback_stage);
+  double umax = 0.0;
+  double sum = 0.0;
+  long long n = 0;
+  const auto& u_patches = r.solution.channel(0);
+  const auto& v_patches = r.solution.channel(1);
+  for (std::size_t k = 0; k < u_patches.size(); ++k) {
+    const auto& u = u_patches[k];
+    const auto& v = v_patches[k];
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const double speed = std::sqrt(u[i] * u[i] + v[i] * v[i]);
+      if (!std::isfinite(speed)) {
+        s.finite = false;
+        continue;
+      }
+      umax = std::max(umax, speed);
+      sum += speed;
+      ++n;
+    }
+  }
+  s.umax = umax;
+  s.umean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  return s;
+}
+
+std::string summary_json(const SolveRequest& req, ServiceStage stage,
+                         const Summary& s, bool deadline_hit, bool from_cache,
+                         double queue_s, double solve_s) {
+  std::string out = "{";
+  out += "\"case\": \"" + req.case_name + "\"";
+  out += ", \"re\": " + json_number(req.re);
+  out += ", \"service_stage\": \"" + std::string(to_string(stage)) + "\"";
+  out += ", \"fallback_stage\": \"" + s.fallback + "\"";
+  out += std::string(", \"converged\": ") + (s.converged ? "true" : "false");
+  out += std::string(", \"cancelled\": ") + (s.cancelled ? "true" : "false");
+  out += std::string(", \"deadline_hit\": ") + (deadline_hit ? "true" : "false");
+  out += std::string(", \"cache\": ") + (from_cache ? "true" : "false");
+  out += ", \"iterations\": " + std::to_string(s.iterations);
+  out += ", \"residual\": " + json_number(s.residual);
+  out += ", \"umax\": " + json_number(s.umax);
+  out += ", \"umean\": " + json_number(s.umean);
+  out += ", \"queue_s\": " + json_number(queue_s);
+  out += ", \"solve_s\": " + json_number(solve_s);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string parse_solve_request(const std::string& body, SolveRequest& req) {
+  std::string raw;
+  if (find_raw_value(body, "case", raw)) {
+    req.case_name = raw;
+  }
+  if (find_raw_value(body, "re", raw)) {
+    double v = 0.0;
+    if (!parse_number(raw, v) || v < 1.0 || v > 1e9) {
+      return "re must be a number in [1, 1e9]";
+    }
+    req.re = v;
+  }
+  if (find_raw_value(body, "deadline_ms", raw)) {
+    double v = 0.0;
+    if (!parse_number(raw, v) || v < 0.0) {
+      return "deadline_ms must be a non-negative number";
+    }
+    req.deadline_s = v * 1e-3;
+  }
+  if (find_raw_value(body, "max_outer", raw)) {
+    double v = 0.0;
+    if (!parse_number(raw, v) || v < 1.0 || v > 1e6) {
+      return "max_outer must be a number in [1, 1e6]";
+    }
+    req.max_outer = static_cast<int>(v);
+  }
+  if (find_raw_value(body, "tol", raw)) {
+    double v = 0.0;
+    if (!parse_number(raw, v) || v <= 0.0 || v > 1.0) {
+      return "tol must be a number in (0, 1]";
+    }
+    req.tol = v;
+  }
+  static const char* kCases[] = {"channel", "flat_plate", "cylinder",
+                                 "naca0012", "naca1412"};
+  for (const char* name : kCases) {
+    if (req.case_name == name) return "";
+  }
+  // The reason lands inside a JSON string in the 400 body: reflect the
+  // unknown name with JSON-breaking characters blanked, in single quotes.
+  std::string shown = req.case_name.substr(0, 32);
+  for (char& c : shown) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      c = '_';
+    }
+  }
+  return "unknown case '" + shown +
+         "' (channel|flat_plate|cylinder|naca0012|naca1412)";
+}
+
+#ifdef ADARNET_SERVING_SOCKETS
+
+// ---------------------------------------------------------------------------
+
+struct Server::Impl {
+  explicit Impl(ServingConfig config) : cfg(std::move(config)) {}
+
+  ServingConfig cfg;
+
+  std::mutex lifecycle_mu;  // guards start/stop transitions
+  std::atomic<bool> running{false};
+  // Chained into every request token: flipping it cooperatively cancels
+  // all in-flight solves, so stop() never waits for a full solve.
+  std::atomic<bool> shutting_down{false};
+  int listen_fd = -1;
+  std::atomic<int> port{0};
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+
+  struct Conn {
+    int fd = -1;
+    CancelToken::Clock::time_point accepted;
+  };
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Conn> queue;
+
+  // Monotonic counters (relaxed: they are diagnostics, not synchronisation).
+  std::atomic<long long> n_accepted{0}, n_admitted{0}, n_shed{0},
+      n_responses{0}, n_solves{0}, n_deadline_miss{0}, n_cancelled{0},
+      n_crashes{0}, n_stalled{0};
+  std::atomic<long long> n_stage[4] = {};
+  std::atomic<int> max_depth{0};
+
+  // EMA of full-solve wall seconds, driving the degradation decision.
+  std::mutex ema_mu;
+  double ema_full_s = 0.0;
+
+  // LRU result cache keyed by (case, log-Re bucket).
+  struct CacheEntry {
+    std::string key;
+    Summary summary;
+  };
+  std::mutex cache_mu;
+  std::list<CacheEntry> lru;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache;
+
+  // --- cache ----------------------------------------------------------------
+
+  static std::string cache_key(const SolveRequest& req) {
+    // 16 buckets per Re decade: close-enough scenarios share an entry.
+    const long long bucket =
+        std::llround(std::log10(std::max(req.re, 1.0)) * 16.0);
+    return req.case_name + "/" + std::to_string(bucket);
+  }
+
+  bool cache_get(const std::string& key, Summary& out) {
+    std::lock_guard<std::mutex> lock(cache_mu);
+    const auto it = cache.find(key);
+    if (it == cache.end()) return false;
+    lru.splice(lru.begin(), lru, it->second);
+    out = it->second->summary;
+    return true;
+  }
+
+  void cache_put(const std::string& key, const Summary& summary) {
+    if (cfg.cache_capacity <= 0) return;
+    std::lock_guard<std::mutex> lock(cache_mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      it->second->summary = summary;
+      lru.splice(lru.begin(), lru, it->second);
+      return;
+    }
+    lru.push_front(CacheEntry{key, summary});
+    cache[key] = lru.begin();
+    while (static_cast<int>(lru.size()) > cfg.cache_capacity) {
+      cache.erase(lru.back().key);
+      lru.pop_back();
+    }
+  }
+
+  // --- admission ------------------------------------------------------------
+
+  void acceptor_loop() {
+    while (running.load(std::memory_order_acquire)) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (!running.load(std::memory_order_acquire)) break;
+        continue;  // transient accept failure (EINTR etc.)
+      }
+      n_accepted.fetch_add(1, std::memory_order_relaxed);
+      socket_io::set_io_timeout(fd, cfg.io_timeout_ms);
+
+      // Bounded admission: the only buffering between accept and a worker
+      // is this fixed-capacity queue. Full (or a storm fault) means an
+      // immediate 503 + Retry-After — the shed path allocates nothing and
+      // never blocks on the queue, so overload degrades throughput for
+      // *new* requests while admitted ones keep their deadline budget.
+      const bool storm = fault::fires("serving.queue.storm");
+      bool pushed = false;
+      std::size_t depth = 0;
+      if (!storm) {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        if (static_cast<int>(queue.size()) < cfg.queue_capacity) {
+          queue.push_back(Conn{fd, CancelToken::Clock::now()});
+          depth = queue.size();
+          pushed = true;
+        }
+      }
+      if (pushed) {
+        n_admitted.fetch_add(1, std::memory_order_relaxed);
+        int seen = max_depth.load(std::memory_order_relaxed);
+        while (static_cast<int>(depth) > seen &&
+               !max_depth.compare_exchange_weak(seen,
+                                                static_cast<int>(depth))) {
+        }
+        metrics::gauge("serving.queue.depth")
+            .set(static_cast<double>(depth));
+        queue_cv.notify_one();
+        continue;
+      }
+      n_shed.fetch_add(1, std::memory_order_relaxed);
+      metrics::counter("serving.shed").add();
+      const std::string retry_after =
+          "Retry-After: " + std::to_string(cfg.retry_after_s) + "\r\n";
+      socket_io::send_all(
+          fd, http_response("503 Service Unavailable",
+                            "{\"error\": \"overloaded\", \"retry_after_s\": " +
+                                std::to_string(cfg.retry_after_s) + "}\n",
+                            retry_after));
+      ::close(fd);
+      n_responses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // --- workers --------------------------------------------------------------
+
+  // Per-worker state: a model replica (AdarNet::infer mutates workspaces,
+  // so replicas keep workers lock-free) sized to the served patch shape.
+  struct WorkerCtx {
+    std::unique_ptr<core::AdarNet> model;
+  };
+
+  void worker_loop() {
+    WorkerCtx ctx;
+    {
+      util::Rng rng(cfg.seed);
+      core::AdarNetConfig mcfg;
+      mcfg.ph = cfg.wall_preset.ph;
+      mcfg.pw = cfg.wall_preset.pw;
+      ctx.model = std::make_unique<core::AdarNet>(mcfg, rng);
+    }
+    while (true) {
+      Conn conn;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [this] {
+          return !queue.empty() || !running.load(std::memory_order_acquire);
+        });
+        if (queue.empty()) return;  // stopped and drained
+        conn = queue.front();
+        queue.pop_front();
+        metrics::gauge("serving.queue.depth")
+            .set(static_cast<double>(queue.size()));
+      }
+      // The worker guard: a crash mid-dispatch (fault-injected or real)
+      // degrades this request to a 500 and the worker lives on. handle_conn
+      // never throws after closing the fd, so the fd here is always live.
+      try {
+        handle_conn(conn, ctx);
+      } catch (const std::exception& e) {
+        n_crashes.fetch_add(1, std::memory_order_relaxed);
+        metrics::counter("serving.worker.crashes").add();
+        ADR_LOG_WARN << "serving: worker crashed mid-request (" << e.what()
+                     << "); degrading to 500 and continuing";
+        socket_io::send_all(
+            conn.fd,
+            http_response("500 Internal Server Error",
+                          "{\"error\": \"worker-crash\", \"degraded\": true}\n"));
+        ::close(conn.fd);
+        n_responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void handle_conn(const Conn& conn, WorkerCtx& ctx) {
+    std::string raw;
+    const auto read = socket_io::read_http_request(conn.fd, raw, 64 * 1024);
+    if (read != socket_io::ReadResult::kOk) {
+      if (read == socket_io::ReadResult::kTimeout) {
+        n_stalled.fetch_add(1, std::memory_order_relaxed);
+        metrics::counter("serving.stalled_reads").add();
+        socket_io::send_all(
+            conn.fd, http_response("408 Request Timeout",
+                                   "{\"error\": \"request read timed out\"}\n"));
+      } else if (read == socket_io::ReadResult::kTooLarge) {
+        socket_io::send_all(
+            conn.fd, http_response("413 Content Too Large",
+                                   "{\"error\": \"request too large\"}\n"));
+      }
+      ::close(conn.fd);
+      n_responses.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    std::string method, target;
+    {
+      const std::size_t sp1 = raw.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos : raw.find(' ', sp1 + 1);
+      if (sp1 != std::string::npos && sp2 != std::string::npos) {
+        method = raw.substr(0, sp1);
+        target = raw.substr(sp1 + 1, sp2 - sp1 - 1);
+      }
+    }
+    const std::size_t query = target.find('?');
+    const std::string path =
+        query == std::string::npos ? target : target.substr(0, query);
+
+    std::string response;
+    if (path == "/healthz" && (method == "GET" || method == "HEAD")) {
+      response = http_response("200 OK", "{\"status\": \"ok\"}\n");
+    } else if (path == "/stats.json" && (method == "GET" || method == "HEAD")) {
+      response = http_response("200 OK", stats_json());
+    } else if (path == "/solve" && method == "POST") {
+      std::size_t header_end = raw.find("\r\n\r\n");
+      std::size_t skip = 4;
+      if (header_end == std::string::npos) {
+        header_end = raw.find("\n\n");
+        skip = 2;
+      }
+      const std::string body =
+          header_end == std::string::npos ? "" : raw.substr(header_end + skip);
+      response = handle_solve(body, conn, ctx);
+    } else if (path == "/solve" || path == "/healthz" ||
+               path == "/stats.json") {
+      response = http_response("405 Method Not Allowed",
+                               "{\"error\": \"method not allowed\"}\n");
+    } else {
+      response = http_response("404 Not Found", "{\"error\": \"not found\"}\n");
+    }
+    socket_io::send_all(conn.fd, response);
+    ::close(conn.fd);
+    n_responses.fetch_add(1, std::memory_order_relaxed);
+    metrics::counter("serving.requests").add();
+  }
+
+  // Builds the /solve response. Throwing (the injected worker crash) is
+  // only legal before any response bytes are written — the worker guard
+  // turns it into a 500 on the still-open socket.
+  std::string handle_solve(const std::string& body, const Conn& conn,
+                           WorkerCtx& ctx) {
+    SolveRequest req;
+    const std::string err = parse_solve_request(body, req);
+    if (!err.empty()) {
+      return http_response("400 Bad Request",
+                           "{\"error\": \"" + err + "\"}\n");
+    }
+
+    // The deadline runs from *admission*: queue wait spends the budget, so
+    // a request that waited too long degrades instead of starting a solve
+    // it can no longer finish.
+    const double deadline_s =
+        std::min(req.deadline_s > 0.0 ? req.deadline_s : cfg.default_deadline_s,
+                 cfg.max_deadline_s);
+    CancelToken token;
+    token.chain(&shutting_down);
+    token.set_deadline(conn.accepted +
+                       std::chrono::duration_cast<CancelToken::Clock::duration>(
+                           std::chrono::duration<double>(deadline_s)));
+    const double queue_s = std::chrono::duration<double>(
+                               CancelToken::Clock::now() - conn.accepted)
+                               .count();
+
+    if (fault::fires("serving.worker.crash")) {
+      throw std::runtime_error("injected worker crash (serving.worker.crash)");
+    }
+
+    mesh::CaseSpec spec;
+    if (req.case_name == "channel") {
+      spec = data::channel_case(req.re, cfg.wall_preset);
+    } else if (req.case_name == "flat_plate") {
+      spec = data::flat_plate_case(req.re, cfg.wall_preset);
+    } else if (req.case_name == "cylinder") {
+      spec = data::cylinder_case(req.re, cfg.body_preset);
+    } else if (req.case_name == "naca0012") {
+      spec = data::naca0012_case(req.re, cfg.body_preset);
+    } else {
+      spec = data::naca1412_case(req.re, cfg.body_preset);
+    }
+
+    // --- the service degradation ladder ------------------------------------
+    const double remaining = token.remaining_seconds();
+    double ema = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(ema_mu);
+      if (ema_full_s == 0.0) ema_full_s = cfg.assumed_full_solve_s;
+      ema = ema_full_s;
+    }
+    ServiceStage stage = ServiceStage::kFull;
+    if (remaining <= cfg.min_solve_s) {
+      Summary cached;
+      if (cache_get(cache_key(req), cached)) {
+        record_stage(ServiceStage::kCached);
+        record_deadline(token);
+        return http_response(
+            "200 OK", summary_json(req, ServiceStage::kCached, cached,
+                                   !token.expired(), true, queue_s, 0.0));
+      }
+      stage = ServiceStage::kFreestream;
+    } else if (ema > 0.0 && remaining < cfg.full_headroom * ema) {
+      stage = ServiceStage::kCapped;
+    }
+
+    if (stage == ServiceStage::kFreestream) {
+      // O(1) analytic fallback: the freestream state the solver would be
+      // seeded from — finite, honest about its quality (converged false,
+      // residual 1 by definition of the normalised defect at freestream).
+      Summary s;
+      s.converged = false;
+      s.cancelled = token.expired();
+      s.iterations = 0;
+      s.residual = 1.0;
+      s.umax = spec.u_ref;
+      s.umean = spec.u_ref;
+      record_stage(stage);
+      record_deadline(token);
+      return http_response("200 OK",
+                           summary_json(req, stage, s, !token.expired(),
+                                        false, queue_s, 0.0));
+    }
+
+    // --- DNN + physics solve (full or capped budget) ------------------------
+    core::PipelineConfig pcfg;
+    pcfg.lr_solver = cfg.solver;
+    pcfg.ps_solver = cfg.solver;
+    pcfg.guards = cfg.guards;
+    pcfg.cancel = &token;
+    // The LR solve below runs outside run_adarnet_pipeline (so the field
+    // can be reused for the per-request normalisation fit); it needs the
+    // token on its own config.
+    pcfg.lr_solver.cancel = &token;
+    if (req.tol > 0.0) {
+      pcfg.lr_solver.tol = req.tol;
+      pcfg.ps_solver.tol = req.tol;
+    }
+    if (req.max_outer > 0) {
+      pcfg.lr_solver.max_outer = req.max_outer;
+      pcfg.ps_solver.max_outer = req.max_outer;
+    }
+    if (stage == ServiceStage::kCapped) {
+      // Budget the outer iterations by the remaining fraction of a typical
+      // full solve. The token still guards the tail, so an optimistic cap
+      // costs at most one extra iteration past the deadline.
+      const double scale = remaining / std::max(ema, 1e-9);
+      const auto budget = [&](int base) {
+        const int scaled = static_cast<int>(static_cast<double>(base) * scale);
+        return std::clamp(scaled, 8, base);
+      };
+      pcfg.lr_solver.max_outer = budget(pcfg.lr_solver.max_outer);
+      pcfg.ps_solver.max_outer = budget(pcfg.ps_solver.max_outer);
+    }
+
+    n_solves.fetch_add(1, std::memory_order_relaxed);
+    WallTimer solve_timer;
+    solver::SolveStats lr_stats;
+    field::FlowField lr = data::solve_lr(spec, pcfg.lr_solver, &lr_stats);
+    ctx.model->stats() = data::NormStats::fit({lr});
+    const core::PipelineResult result = core::run_adarnet_pipeline(
+        *ctx.model, spec, pcfg, lr, solve_timer.seconds(),
+        lr_stats.iterations);
+    const double solve_s = solve_timer.seconds();
+
+    Summary s = summarize(result);
+    if (result.cancelled || lr_stats.cancelled) {
+      s.cancelled = true;
+      n_cancelled.fetch_add(1, std::memory_order_relaxed);
+      metrics::counter("serving.cancelled").add();
+    }
+
+    // Learn the cost of a *full* uncancelled solve; degraded runs would
+    // bias the estimate optimistic and re-promote work the deadline can't
+    // afford.
+    if (stage == ServiceStage::kFull && !s.cancelled) {
+      std::lock_guard<std::mutex> lock(ema_mu);
+      ema_full_s = ema_full_s == 0.0 ? solve_s
+                                     : 0.7 * ema_full_s + 0.3 * solve_s;
+    }
+    if (s.finite && s.iterations > 0) {
+      cache_put(cache_key(req), s);
+    }
+    record_stage(stage);
+    record_deadline(token);
+    return http_response("200 OK",
+                         summary_json(req, stage, s, !token.expired(), false,
+                                      queue_s, solve_s));
+  }
+
+  void record_stage(ServiceStage stage) {
+    n_stage[static_cast<int>(stage)].fetch_add(1, std::memory_order_relaxed);
+    metrics::counter(std::string("serving.stage.") + to_string(stage)).add();
+  }
+
+  void record_deadline(const CancelToken& token) {
+    if (token.expired()) {
+      n_deadline_miss.fetch_add(1, std::memory_order_relaxed);
+      metrics::counter("serving.deadline_miss").add();
+    }
+  }
+
+  std::string stats_json() {
+    const ServerStats s = snapshot();
+    std::string out = "{";
+    out += "\"accepted\": " + std::to_string(s.accepted);
+    out += ", \"admitted\": " + std::to_string(s.admitted);
+    out += ", \"shed\": " + std::to_string(s.shed);
+    out += ", \"responses\": " + std::to_string(s.responses);
+    out += ", \"solves\": " + std::to_string(s.solves);
+    out += ", \"deadline_misses\": " + std::to_string(s.deadline_misses);
+    out += ", \"cancelled\": " + std::to_string(s.cancelled);
+    out += ", \"worker_crashes\": " + std::to_string(s.worker_crashes);
+    out += ", \"stalled_reads\": " + std::to_string(s.stalled_reads);
+    out += ", \"max_queue_depth\": " + std::to_string(s.max_queue_depth);
+    out += ", \"queue_capacity\": " + std::to_string(cfg.queue_capacity);
+    out += ", \"stages\": {\"full\": " + std::to_string(s.stage_full);
+    out += ", \"capped\": " + std::to_string(s.stage_capped);
+    out += ", \"cached\": " + std::to_string(s.stage_cached);
+    out += ", \"freestream\": " + std::to_string(s.stage_freestream);
+    out += "}}\n";
+    return out;
+  }
+
+  ServerStats snapshot() const {
+    ServerStats s;
+    s.accepted = n_accepted.load(std::memory_order_relaxed);
+    s.admitted = n_admitted.load(std::memory_order_relaxed);
+    s.shed = n_shed.load(std::memory_order_relaxed);
+    s.responses = n_responses.load(std::memory_order_relaxed);
+    s.solves = n_solves.load(std::memory_order_relaxed);
+    s.deadline_misses = n_deadline_miss.load(std::memory_order_relaxed);
+    s.cancelled = n_cancelled.load(std::memory_order_relaxed);
+    s.worker_crashes = n_crashes.load(std::memory_order_relaxed);
+    s.stalled_reads = n_stalled.load(std::memory_order_relaxed);
+    s.stage_full = n_stage[0].load(std::memory_order_relaxed);
+    s.stage_capped = n_stage[1].load(std::memory_order_relaxed);
+    s.stage_cached = n_stage[2].load(std::memory_order_relaxed);
+    s.stage_freestream = n_stage[3].load(std::memory_order_relaxed);
+    s.max_queue_depth = max_depth.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+Server::Server(ServingConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.lifecycle_mu);
+  if (im.running.load(std::memory_order_acquire)) return false;
+  if (im.cfg.port < 0 || im.cfg.port > 65535) return false;
+  if (im.cfg.workers < 1 || im.cfg.queue_capacity < 1) return false;
+  if (im.cfg.wall_preset.ph != im.cfg.body_preset.ph ||
+      im.cfg.wall_preset.pw != im.cfg.body_preset.pw) {
+    ADR_LOG_WARN << "serving: wall/body patch shapes differ; one model "
+                    "replica cannot serve both";
+    return false;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(im.cfg.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    im.port.store(static_cast<int>(ntohs(bound.sin_port)),
+                  std::memory_order_release);
+  }
+  im.listen_fd = fd;
+  im.shutting_down.store(false, std::memory_order_release);
+  im.running.store(true, std::memory_order_release);
+  im.acceptor = std::thread([&im] { im.acceptor_loop(); });
+  im.workers.reserve(static_cast<std::size_t>(im.cfg.workers));
+  for (int w = 0; w < im.cfg.workers; ++w) {
+    im.workers.emplace_back([&im] { im.worker_loop(); });
+  }
+  ADR_LOG_INFO << "serving: http://127.0.0.1:"
+               << im.port.load(std::memory_order_acquire) << " ("
+               << im.cfg.workers << " workers, queue "
+               << im.cfg.queue_capacity << ", POST /solve)";
+  return true;
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.lifecycle_mu);
+  if (!im.running.load(std::memory_order_acquire)) return;
+  // Order matters: flip the chained-cancel flag first so in-flight solves
+  // wind down cooperatively while the listener drains.
+  im.shutting_down.store(true, std::memory_order_release);
+  im.running.store(false, std::memory_order_release);
+  ::shutdown(im.listen_fd, SHUT_RDWR);
+  ::close(im.listen_fd);
+  im.listen_fd = -1;
+  im.queue_cv.notify_all();
+  if (im.acceptor.joinable()) im.acceptor.join();
+  for (std::thread& w : im.workers) {
+    if (w.joinable()) w.join();
+  }
+  im.workers.clear();
+  im.port.store(0, std::memory_order_release);
+}
+
+bool Server::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+int Server::bound_port() const {
+  return impl_->port.load(std::memory_order_acquire);
+}
+
+const ServingConfig& Server::config() const { return impl_->cfg; }
+
+ServerStats Server::stats() const { return impl_->snapshot(); }
+
+#else  // !ADARNET_SERVING_SOCKETS
+
+struct Server::Impl {
+  explicit Impl(ServingConfig config) : cfg(std::move(config)) {}
+  ServingConfig cfg;
+};
+
+Server::Server(ServingConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+Server::~Server() = default;
+bool Server::start() { return false; }
+void Server::stop() {}
+bool Server::running() const { return false; }
+int Server::bound_port() const { return 0; }
+const ServingConfig& Server::config() const { return impl_->cfg; }
+ServerStats Server::stats() const { return {}; }
+
+#endif  // ADARNET_SERVING_SOCKETS
+
+}  // namespace adarnet::util::serving

@@ -1,0 +1,155 @@
+// Hardened flow-as-a-service on top of the POSIX-socket machinery
+// (DESIGN.md §13, ROADMAP item 3).
+//
+// POST a scenario (case id + Re + solver knobs), get back the solved flow
+// summary. The design is robustness-first: a service that sheds load
+// predictably beats one that is fast until it wedges.
+//
+//   * Bounded admission queue. Accepted connections enter a fixed-capacity
+//     queue; when it is full the acceptor answers 503 + Retry-After
+//     immediately and closes — never unbounded buffering, so memory under
+//     a storm is the queue capacity times one fd-sized entry.
+//   * Deadlines + cooperative cancellation. Every request carries a
+//     deadline measured from *admission* (queue wait counts). The worker
+//     stamps a util::CancelToken and threads it through PipelineConfig /
+//     SolverConfig, where it is checked at pipeline rung boundaries, per
+//     outer SIMPLE iteration, and per multigrid V-cycle — a timed-out
+//     request returns its best iterate (finite field, converged = false,
+//     residuals reported) instead of holding a worker hostage. No thread
+//     is ever killed.
+//   * Graceful degradation ladder for the service itself. On deadline
+//     pressure the worker downgrades the work it attempts:
+//         full      DNN + solve to convergence (the paper's pipeline)
+//         capped    DNN + iteration budget scaled to the remaining time
+//         cached    content-addressed result for (case, Re-bucket)
+//         freestream  analytic freestream summary, O(1)
+//     The stage is recorded in the response ("service_stage") next to the
+//     pipeline's own fallback_stage, and a per-case EMA of full-solve
+//     wall time drives the downgrade decision.
+//   * Fault hooks. serving.worker.crash (worker throws mid-dispatch; the
+//     worker survives and the request degrades) and serving.queue.storm
+//     (admission behaves as if the queue were full) compose with the
+//     solver-side sites for chaos testing (tests/test_serving.cpp,
+//     bench/bench_serving.cpp).
+//
+// Endpoints (loopback only, like the telemetry server):
+//   POST /solve       {"case": "channel", "re": 2500, "deadline_ms": 500,
+//                      "max_outer": 400, "tol": 5e-4}  (all but case/re
+//                      optional) -> solution summary JSON
+//   GET  /healthz     liveness
+//   GET  /stats.json  admission/shed/stage counters + queue depth
+#pragma once
+
+#if !defined(_WIN32)
+#define ADARNET_SERVING_SOCKETS 1
+#endif
+
+#include <memory>
+#include <string>
+
+#include "adarnet/pipeline.hpp"
+#include "data/cases.hpp"
+
+namespace adarnet::util::serving {
+
+/// Which rung of the *service* degradation ladder produced a response
+/// (orthogonal to core::FallbackStage, which tracks the pipeline's own
+/// hand-off ladder within a solve).
+enum class ServiceStage : int {
+  kFull = 0,    ///< DNN + solve with the configured budget
+  kCapped,      ///< DNN + iteration budget scaled to the remaining time
+  kCached,      ///< cached result for (case, Re-bucket), no solve
+  kFreestream,  ///< analytic freestream summary, no solve
+};
+
+/// Human-readable stage name ("full", "capped", "cached", "freestream").
+const char* to_string(ServiceStage stage);
+
+/// Server tuning. Defaults serve the paper-scale wall/body presets; tests
+/// and the bench shrink them.
+struct ServingConfig {
+  int port = 0;              ///< 0 = ephemeral (bound_port() after start)
+  int workers = 2;           ///< worker threads (each owns a model replica)
+  int queue_capacity = 8;    ///< bounded admission queue; beyond = 503
+  int retry_after_s = 1;     ///< Retry-After header on shed responses
+  int io_timeout_ms = 2000;  ///< per-connection SO_RCVTIMEO/SO_SNDTIMEO
+  int cache_capacity = 32;   ///< LRU entries in the (case, Re-bucket) cache
+
+  double default_deadline_s = 30.0;  ///< when the request names none
+  double max_deadline_s = 300.0;     ///< requested deadlines are clamped
+  double min_solve_s = 0.02;   ///< below this remaining budget, skip the
+                               ///< solver entirely (cached/freestream)
+  double full_headroom = 1.2;  ///< run a full solve only when remaining >
+                               ///< headroom * EMA(full-solve seconds)
+  double assumed_full_solve_s = 0.0;  ///< seeds the EMA (0 = first full
+                                      ///< solve measures it)
+
+  data::GridPreset wall_preset = data::paper_wall_preset();
+  data::GridPreset body_preset = data::paper_body_preset();
+  solver::SolverConfig solver;     ///< base solver budget (max_outer, tol)
+  core::GuardConfig guards;        ///< pipeline hand-off guards
+  unsigned seed = 2023;            ///< model replica init seed
+};
+
+/// Monotonic counters snapshot (test/bench introspection without HTTP).
+struct ServerStats {
+  long long accepted = 0;        ///< connections accepted
+  long long admitted = 0;        ///< entered the queue
+  long long shed = 0;            ///< 503'd at admission (full or storm)
+  long long responses = 0;       ///< responses written (any status)
+  long long solves = 0;          ///< requests that ran the pipeline
+  long long deadline_misses = 0; ///< responses produced after expiry
+  long long cancelled = 0;       ///< solves cut short by their token
+  long long worker_crashes = 0;  ///< faults caught by the worker guard
+  long long stalled_reads = 0;   ///< request reads that hit the timeout
+  long long stage_full = 0;
+  long long stage_capped = 0;
+  long long stage_cached = 0;
+  long long stage_freestream = 0;
+  int max_queue_depth = 0;       ///< high-water mark (<= queue_capacity)
+};
+
+/// One parsed POST /solve request (exposed for tests).
+struct SolveRequest {
+  std::string case_name = "channel";  ///< channel | flat_plate | cylinder |
+                                      ///< naca0012 | naca1412
+  double re = 2.5e3;
+  double deadline_s = 0.0;  ///< 0 = server default
+  int max_outer = 0;        ///< 0 = server default
+  double tol = 0.0;         ///< 0 = server default
+};
+
+/// Parses the flat-JSON body of POST /solve. Returns "" and fills `req`
+/// on success, else a reason string for the 400 response.
+std::string parse_solve_request(const std::string& body, SolveRequest& req);
+
+/// The multi-worker inference service. start()/stop() are thread-safe;
+/// stop() cancels in-flight solves cooperatively (chained tokens), drains
+/// the queue with instant degraded responses, and joins every thread.
+class Server {
+ public:
+  explicit Server(ServingConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds 127.0.0.1 and spawns the acceptor + workers. False if already
+  /// running or the socket cannot be opened.
+  bool start();
+
+  /// Cooperative shutdown: no thread kills, in-flight requests finish
+  /// degraded. Safe to call twice.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] int bound_port() const;
+  [[nodiscard]] const ServingConfig& config() const;
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace adarnet::util::serving

@@ -1,0 +1,127 @@
+// Shared POSIX socket I/O helpers for the telemetry and serving servers
+// (DESIGN.md §10, §13): per-connection timeouts, EINTR-safe reads/writes,
+// and a bounded HTTP request reader.
+//
+// Two failure modes these exist to close off:
+//   * A client that connects and never sends (or never reads) must not
+//     wedge a server thread — every accepted socket gets SO_RCVTIMEO and
+//     SO_SNDTIMEO so a stalled peer costs at most the timeout.
+//   * A signal delivered mid-recv/send must not drop the request — every
+//     loop retries EINTR, mirroring the acceptor's transient-failure
+//     handling.
+#pragma once
+
+#if !defined(_WIN32)
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+namespace adarnet::util::socket_io {
+
+/// Applies SO_RCVTIMEO and SO_SNDTIMEO to `fd` (0 = no timeout).
+inline void set_io_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// recv() that retries EINTR. Returns bytes read, 0 on orderly shutdown,
+/// or -1 on error/timeout (errno EAGAIN/EWOULDBLOCK when SO_RCVTIMEO hit).
+inline ssize_t recv_retry(int fd, char* buf, std::size_t n) {
+  while (true) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+/// Sends the whole buffer, retrying EINTR and short writes. Returns false
+/// on error or send timeout.
+inline bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+inline bool send_all(int fd, const std::string& s) {
+  return send_all(fd, s.data(), s.size());
+}
+
+/// Outcome of read_http_request.
+enum class ReadResult {
+  kOk,        ///< headers complete (and the Content-Length body, if any)
+  kTimeout,   ///< peer stalled past SO_RCVTIMEO — respond 408 and close
+  kClosed,    ///< peer closed before a complete request
+  kTooLarge,  ///< request exceeded max_bytes — respond 413 and close
+};
+
+/// Reads one HTTP request into `out`: everything up to the header
+/// terminator plus, when a Content-Length header is present, that many
+/// body bytes. Bounded by `max_bytes` of total buffering (never grows
+/// past it, whatever the client claims). Expects set_io_timeout() to have
+/// been applied so a silent peer resolves as kTimeout, not a wedge.
+inline ReadResult read_http_request(int fd, std::string& out,
+                                    std::size_t max_bytes) {
+  out.clear();
+  std::size_t header_end = std::string::npos;
+  std::size_t body_expected = 0;
+  char buf[4096];
+  while (out.size() < max_bytes) {
+    if (header_end != std::string::npos &&
+        out.size() >= header_end + body_expected) {
+      return ReadResult::kOk;
+    }
+    const ssize_t n = recv_retry(fd, buf, sizeof(buf));
+    if (n < 0) return ReadResult::kTimeout;
+    if (n == 0) {
+      // Orderly close: fine after a complete header-only request.
+      return header_end != std::string::npos &&
+                     out.size() >= header_end + body_expected
+                 ? ReadResult::kOk
+                 : ReadResult::kClosed;
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+    if (header_end == std::string::npos) {
+      std::size_t pos = out.find("\r\n\r\n");
+      std::size_t skip = 4;
+      if (pos == std::string::npos) {
+        pos = out.find("\n\n");
+        skip = 2;
+      }
+      if (pos != std::string::npos) {
+        header_end = pos + skip;
+        // Case-insensitive-enough Content-Length scan over the header block
+        // (clients here are curl/tests; both spellings are covered).
+        for (const char* key : {"Content-Length:", "content-length:"}) {
+          const std::size_t at = out.substr(0, header_end).find(key);
+          if (at != std::string::npos) {
+            body_expected = static_cast<std::size_t>(
+                std::strtoul(out.c_str() + at + 15, nullptr, 10));
+            break;
+          }
+        }
+        if (header_end + body_expected > max_bytes) {
+          return ReadResult::kTooLarge;
+        }
+      }
+    }
+  }
+  return ReadResult::kTooLarge;
+}
+
+}  // namespace adarnet::util::socket_io
+
+#endif  // !_WIN32

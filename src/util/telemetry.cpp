@@ -8,6 +8,7 @@
 
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/socket_io.hpp"
 #include "util/timer.hpp"
 
 #if !defined(_WIN32)
@@ -29,6 +30,11 @@ std::atomic<long long> g_requests{0};
 int g_listen_fd = -1;
 std::thread g_thread;
 WallTimer g_uptime;
+// Per-connection SO_RCVTIMEO/SO_SNDTIMEO: a client that connects and never
+// sends (or never reads) costs the single-threaded acceptor at most this
+// long instead of wedging it forever. Tests shrink it to keep the stalled-
+// client regression fast.
+std::atomic<int> g_io_timeout_ms{2000};
 
 std::string http_response(const char* status, const char* content_type,
                           const std::string& body) {
@@ -48,11 +54,15 @@ std::string http_response(const char* status, const char* content_type,
 void handle_client(int fd) {
   // The four endpoints are GETs with no body: the request line is all we
   // need. Read up to one buffer's worth and parse "<METHOD> <PATH> ...".
+  // recv/send retry EINTR (a signal mid-read must not drop the request)
+  // and run under the per-connection timeouts set by the acceptor, so a
+  // stalled peer resolves as a closed connection, not a wedged server.
   char buf[2048];
   std::size_t got = 0;
   while (got < sizeof(buf) - 1) {
-    const ssize_t n = ::recv(fd, buf + got, sizeof(buf) - 1 - got, 0);
-    if (n <= 0) break;
+    const ssize_t n = socket_io::recv_retry(fd, buf + got,
+                                            sizeof(buf) - 1 - got);
+    if (n <= 0) break;  // closed, error, or SO_RCVTIMEO expired
     got += static_cast<std::size_t>(n);
     buf[got] = '\0';
     if (std::strstr(buf, "\r\n\r\n") != nullptr ||
@@ -73,13 +83,7 @@ void handle_client(int fd) {
     }
   }
   const std::string response = detail::respond(method, path);
-  std::size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t n = ::send(fd, response.data() + sent,
-                             response.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
+  socket_io::send_all(fd, response);
   ::close(fd);
   g_requests.fetch_add(1, std::memory_order_relaxed);
 }
@@ -91,6 +95,8 @@ void acceptor_loop(int listen_fd) {
       if (!g_running.load(std::memory_order_acquire)) break;
       continue;  // transient accept failure (EINTR etc.)
     }
+    socket_io::set_io_timeout(client,
+                              g_io_timeout_ms.load(std::memory_order_relaxed));
     handle_client(client);
   }
 }
@@ -169,6 +175,10 @@ long long request_count() {
 }
 
 namespace detail {
+
+void set_io_timeout_ms(int ms) {
+  g_io_timeout_ms.store(ms > 0 ? ms : 0, std::memory_order_relaxed);
+}
 
 void autostart_from_env() {
   static bool once = [] {

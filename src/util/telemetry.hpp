@@ -15,7 +15,9 @@
 // is opened and nothing is spawned — the cost is one getenv at static-init
 // time. The server binds 127.0.0.1 only; it is an operator tool, not a
 // public listener. Requests are served one at a time (scrape cadence is
-// seconds; handlers only read lock-free registries), and the thread is
+// seconds; handlers only read lock-free registries), every accepted
+// connection carries send/receive timeouts so a stalled client cannot
+// wedge the acceptor (detail::set_io_timeout_ms), and the thread is
 // joined via atexit before static teardown.
 #pragma once
 
@@ -42,6 +44,12 @@ int bound_port();
 long long request_count();
 
 namespace detail {
+/// Per-connection SO_RCVTIMEO/SO_SNDTIMEO applied to accepted sockets
+/// (default 2000 ms; 0 disables). A client that connects and never sends
+/// costs the acceptor at most this long. Tests shrink it so the stalled-
+/// client regression stays fast.
+void set_io_timeout_ms(int ms);
+
 /// Starts the server when ADARNET_TELEMETRY_PORT is set. Called once from
 /// the metrics static initializer so every binary honours the variable;
 /// harmless to call again.

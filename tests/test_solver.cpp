@@ -8,6 +8,7 @@
 #include "mesh/composite.hpp"
 #include "solver/rans.hpp"
 #include "solver/sa_model.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -167,6 +168,92 @@ TEST(RansSolver, CylinderHasWakeDeficit) {
   const int j_free = spec.base_nx / 8;                   // upstream
   EXPECT_LT(uni.U(iy, j_wake), 0.95 * uni.U(3, j_free))
       << "wake=" << uni.U(iy, j_wake) << " free=" << uni.U(3, j_free);
+}
+
+// The max_outer early-stop contract (DESIGN.md §13 relies on it for the
+// capped service stage): a cap-stopped solve is not an error — it returns
+// finite fields, a fully populated SolveStats, and converged = false.
+TEST(RansSolver, MaxOuterEarlyStopReturnsFiniteState) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  SolverConfig cfg = quick_config();
+  cfg.max_outer = 6;  // far below convergence
+  RansSolver solver(mesh, cfg);
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+
+  EXPECT_EQ(stats.iterations, 6);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_FALSE(stats.diverged);
+  EXPECT_FALSE(stats.cancelled);
+  EXPECT_GE(stats.attempts, 1);
+  EXPECT_GT(stats.residual, cfg.tol);  // honest: stopped above tolerance
+  EXPECT_TRUE(std::isfinite(stats.residual));
+  EXPECT_GT(stats.seconds, 0.0);
+  for (const auto& patch : f.U) {
+    for (double v : patch) ASSERT_TRUE(std::isfinite(v));
+  }
+
+  // The capped budget composes with a warm restart: resuming the stopped
+  // state still reaches convergence (partial work was not wasted).
+  cfg.max_outer = 4000;
+  RansSolver resume(mesh, cfg);
+  const auto rest = resume.solve(f);
+  EXPECT_TRUE(rest.converged);
+}
+
+// Cooperative cancellation, checked per outer iteration: a token that is
+// already expired stops the solve before the first iteration with the seed
+// state intact — and never spuriously reports convergence.
+TEST(RansSolver, PreExpiredTokenStopsBeforeFirstIteration) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  adarnet::util::CancelToken token;
+  token.cancel();
+  SolverConfig cfg = quick_config();
+  cfg.cancel = &token;
+  RansSolver solver(mesh, cfg);
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_EQ(stats.iterations, 0);
+  EXPECT_FALSE(stats.converged);  // freestream seed is nowhere near tol
+  EXPECT_TRUE(std::isfinite(stats.residual));
+  EXPECT_GT(stats.residual, 0.0);
+  for (const auto& patch : f.U) {
+    for (double v : patch) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+// A deadline expiring mid-solve keeps the best iterate: the
+// solver.outer.stall fault makes each outer iteration cost a deterministic
+// 20 ms, so a 90 ms deadline stops after a handful of iterations.
+TEST(RansSolver, DeadlineMidSolveKeepsBestIterate) {
+  auto spec = adarnet::data::channel_case(2.5e3, tiny_preset());
+  CompositeMesh mesh(spec, RefinementMap(spec.npy(), spec.npx(), 0));
+  adarnet::util::fault::reset();
+  adarnet::util::fault::arm("solver.outer.stall", {0, -1, 20});
+  adarnet::util::CancelToken token;
+  token.set_deadline_after(0.09);
+  SolverConfig cfg = quick_config();
+  cfg.cancel = &token;
+  RansSolver solver(mesh, cfg);
+  auto f = adarnet::mesh::make_field(mesh);
+  solver.initialize_freestream(f);
+  const auto stats = solver.solve(f);
+  adarnet::util::fault::reset();
+
+  EXPECT_TRUE(stats.cancelled);
+  EXPECT_GT(stats.iterations, 0);     // made progress before the deadline
+  EXPECT_LT(stats.iterations, 1000);  // nowhere near the configured cap
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.attempts, 1);       // a cancelled solve never retries
+  for (const auto& patch : f.U) {
+    for (double v : patch) ASSERT_TRUE(std::isfinite(v));
+  }
 }
 
 TEST(SaModel, ClosureFunctions) {

@@ -5,6 +5,7 @@
 // pass/fail fixtures.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -13,11 +14,14 @@
 
 #include "util/bench_compare.hpp"
 #include "util/metrics.hpp"
+#include "util/socket_io.hpp"
 #include "util/telemetry.hpp"
 
 #if !defined(_WIN32)
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #define ADARNET_TEST_SOCKETS 1
@@ -221,6 +225,100 @@ TEST(TelemetryHttp, ServesEndpointsOnEphemeralPort) {
   telemetry::stop();
 }
 
+// Regression: a client that connects and never sends a byte used to wedge
+// the single-threaded acceptor forever. With per-connection
+// SO_RCVTIMEO/SO_SNDTIMEO the stalled peer costs at most the timeout and
+// the next request is served.
+TEST(TelemetryHttp, StalledClientDoesNotWedgeAcceptor) {
+  namespace socket_io = adarnet::util::socket_io;
+  telemetry::detail::set_io_timeout_ms(200);
+  ASSERT_TRUE(telemetry::start(0));
+  const int port = telemetry::bound_port();
+  ASSERT_GT(port, 0);
+
+  // The stalled client: connect, send nothing. The acceptor's read on this
+  // connection times out after 200 ms.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::connect(stalled, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Served despite the stalled peer ahead of it in the accept queue. The
+  // http_get blocks until the acceptor reaches it — a wedge here hangs the
+  // test (and the suite timeout flags it) instead of passing by luck.
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_TRUE(contains(health, "200 OK"));
+
+  ::close(stalled);
+  telemetry::stop();
+  telemetry::detail::set_io_timeout_ms(2000);
+}
+
+// socket_io EINTR discipline: a signal delivered mid-recv (installed
+// without SA_RESTART, so the syscall really returns EINTR) must not drop
+// the request; recv_retry keeps waiting and returns the payload.
+TEST(SocketIo, RecvRetrySurvivesEintr) {
+  namespace socket_io = adarnet::util::socket_io;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: recv returns EINTR
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::string got;
+  std::thread reader([&] {
+    char buf[16];
+    const ssize_t n = socket_io::recv_retry(sv[0], buf, sizeof(buf));
+    if (n > 0) got.assign(buf, static_cast<std::size_t>(n));
+  });
+  // Interrupt the blocked recv a few times, then deliver the payload.
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ::pthread_kill(reader.native_handle(), SIGUSR1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(::send(sv[1], "ping", 4, 0), 4);
+  reader.join();
+  EXPECT_EQ(got, "ping");
+
+  ::sigaction(SIGUSR1, &old, nullptr);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// send_all must hand the whole payload over short writes: push well past
+// the socket buffer while a slow reader drains, and compare byte counts.
+TEST(SocketIo, SendAllDeliversAcrossShortWrites) {
+  namespace socket_io = adarnet::util::socket_io;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string payload(1 << 20, 'x');
+  std::size_t received = 0;
+  std::thread reader([&] {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = socket_io::recv_retry(sv[0], buf, sizeof(buf));
+      if (n <= 0) break;
+      received += static_cast<std::size_t>(n);
+    }
+  });
+  EXPECT_TRUE(socket_io::send_all(sv[1], payload));
+  ::shutdown(sv[1], SHUT_WR);
+  reader.join();
+  EXPECT_EQ(received, payload.size());
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
 #endif  // ADARNET_TEST_SOCKETS
 
 TEST(TelemetryRoutes, RespondHandlesMethodsAndPaths) {
@@ -270,6 +368,15 @@ TEST(BenchCompare, ClassifiesKeys) {
   EXPECT_EQ(bc::classify("wall_s"), KeyClass::kIgnored);
   EXPECT_EQ(bc::classify("metrics/gauges/nn.gemm.gflops_per_s"),
             KeyClass::kIgnored);
+  // Serving-bench keys: QPS gates like any throughput number, the accept
+  // bits gate exactly even under --portable-only, raw latencies do not
+  // gate at all (the p99_bounded bit folds the machine in via a same-run
+  // ratio).
+  EXPECT_EQ(bc::classify("qps"), KeyClass::kThroughput);
+  EXPECT_EQ(bc::classify("accept/no_deadlock"), KeyClass::kPortable);
+  EXPECT_EQ(bc::classify("accept/shed_before_queue_growth"),
+            KeyClass::kPortable);
+  EXPECT_EQ(bc::classify("admitted_p99_ms"), KeyClass::kIgnored);
 }
 
 TEST(BenchCompare, PassesWithinToleranceFailsBeyond) {

@@ -1,0 +1,95 @@
+// adarnet_serve: the hardened flow-as-a-service front end (DESIGN.md §13).
+//
+//   adarnet_serve [--port N] [--workers N] [--queue N] [--deadline-ms N]
+//                 [--shrink K] [--max-outer N] [--tol X]
+//
+// Binds 127.0.0.1 and serves POST /solve, GET /healthz, GET /stats.json
+// until SIGINT/SIGTERM. Every knob mirrors a ServingConfig field; --shrink
+// divides the paper presets so a laptop can exercise the full ladder.
+//
+//   curl -s localhost:8080/solve -d '{"case": "channel", "re": 2500,
+//                                     "deadline_ms": 2000}'
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "util/serving.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--queue N] "
+               "[--deadline-ms N] [--shrink K] [--max-outer N] [--tol X]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adarnet;
+
+  util::serving::ServingConfig cfg;
+  cfg.port = 8080;
+  int shrink = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    }
+    if (val == nullptr) return usage(argv[0]);
+    if (std::strcmp(arg, "--port") == 0) {
+      cfg.port = std::atoi(val);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      cfg.workers = std::atoi(val);
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      cfg.queue_capacity = std::atoi(val);
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      cfg.default_deadline_s = std::atof(val) * 1e-3;
+    } else if (std::strcmp(arg, "--shrink") == 0) {
+      shrink = std::atoi(val);
+    } else if (std::strcmp(arg, "--max-outer") == 0) {
+      cfg.solver.max_outer = std::atoi(val);
+    } else if (std::strcmp(arg, "--tol") == 0) {
+      cfg.solver.tol = std::atof(val);
+    } else {
+      return usage(argv[0]);
+    }
+    ++i;
+  }
+  if (shrink > 1) {
+    cfg.wall_preset = data::shrink(cfg.wall_preset, shrink);
+    cfg.body_preset = data::shrink(cfg.body_preset, shrink);
+  }
+
+  util::serving::Server server(cfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "adarnet_serve: could not bind port %d\n", cfg.port);
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("adarnet_serve: http://127.0.0.1:%d (POST /solve, "
+              "GET /healthz, GET /stats.json); Ctrl-C to stop\n",
+              server.bound_port());
+  std::fflush(stdout);
+  while (g_stop == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const auto stats = server.stats();
+  std::printf("adarnet_serve: served %lld responses (%lld admitted, "
+              "%lld shed, %lld deadline misses, %lld worker crashes)\n",
+              stats.responses, stats.admitted, stats.shed,
+              stats.deadline_misses, stats.worker_crashes);
+  return 0;
+}
