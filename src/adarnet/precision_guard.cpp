@@ -1,0 +1,75 @@
+#include "adarnet/precision_guard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "adarnet/ranker.hpp"
+#include "data/normalize.hpp"
+#include "util/metrics.hpp"
+
+namespace adarnet::core {
+
+PrecisionGuardReport apply_inference_precision(
+    AdarNet& model, const field::FlowField& lr, nn::Precision requested,
+    const PrecisionGuardConfig& config) {
+  PrecisionGuardReport report;
+  report.requested = requested;
+  if (requested == nn::Precision::kFp32) {
+    model.set_inference_precision(nn::Precision::kFp32);
+    return report;
+  }
+
+  const AdarNetConfig& cfg = model.config();
+  const int npy = lr.ny() / cfg.ph;
+  const int npx = lr.nx() / cfg.pw;
+
+  // Shared fp32 front end: one scorer pass and one binning decide which
+  // patches get decoded, and each bin's input batch is built once — so the
+  // fp32/reduced comparison below isolates the decoder GEMM arithmetic
+  // (scorer precision cannot reshuffle patches between the two runs).
+  model.set_inference_precision(nn::Precision::kFp32);
+  const nn::Tensor input = data::to_tensor(lr, model.stats());
+  const ScorerOutput scored = model.scorer().forward(input, /*train=*/false);
+  const std::vector<Bin> bins = rank(scored.scores, cfg.bins);
+
+  double sum_sq_err = 0.0;
+  double sum_sq_ref = 0.0;
+  std::int64_t count = 0;
+  for (const Bin& bin : bins) {
+    if (bin.patch_ids.empty()) continue;
+    const nn::Tensor batch =
+        model.make_decoder_batch(input, bin.patch_ids, bin.level, npx, npy);
+    const nn::Tensor ref = model.decoder().forward(batch, /*train=*/false);
+    model.decoder().set_inference_precision(requested);
+    const nn::Tensor red = model.decoder().forward(batch, /*train=*/false);
+    model.decoder().set_inference_precision(nn::Precision::kFp32);
+    const float* rp = ref.data();
+    const float* xp = red.data();
+    for (std::size_t k = 0; k < ref.numel(); ++k) {
+      const double d = static_cast<double>(xp[k]) - rp[k];
+      sum_sq_err += d * d;
+      sum_sq_ref += static_cast<double>(rp[k]) * rp[k];
+    }
+    count += static_cast<std::int64_t>(ref.numel());
+  }
+
+  report.patch_mse = count > 0 ? sum_sq_err / static_cast<double>(count) : 0.0;
+  const double ref_ms =
+      count > 0 ? sum_sq_ref / static_cast<double>(count) : 0.0;
+  report.rel_mse = report.patch_mse / std::max(ref_ms, 1e-12);
+  report.accepted = report.rel_mse <= config.rel_mse_bound;
+  report.applied = report.accepted ? requested : nn::Precision::kFp32;
+  model.set_inference_precision(report.applied);
+  if (!report.accepted) {
+    util::metrics::counter("nn.precision.fallback").add();
+    std::fprintf(stderr,
+                 "adarnet: %s inference rejected (relative MSE %.3g > bound "
+                 "%.3g); staying fp32\n",
+                 nn::precision_name(requested), report.rel_mse,
+                 config.rel_mse_bound);
+  }
+  return report;
+}
+
+}  // namespace adarnet::core

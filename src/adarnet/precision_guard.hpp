@@ -1,0 +1,46 @@
+// Accuracy-guarded activation of the reduced-precision inference path
+// (DESIGN.md §14).
+//
+// Reduced-precision GEMM storage (nn::Precision) trades mantissa bits for
+// bandwidth; whether that trade is visible in ADARNet's *outputs* depends
+// on the trained weights, so it cannot be certified at build time. The
+// guard measures it on the spot: it runs the decoder over a reference LR
+// field at fp32 and at the requested precision — on identical batches,
+// binned by an fp32 scorer pass so both runs decode the same patches —
+// and compares the patch predictions. Only if the relative MSE stays
+// within the configured bound is the precision committed to the model;
+// otherwise the model is pinned to fp32, the refusal is counted on
+// nn.precision.fallback, and a warning names the measured error.
+#pragma once
+
+#include "adarnet/model.hpp"
+#include "field/flow_field.hpp"
+#include "nn/gemm.hpp"
+
+namespace adarnet::core {
+
+struct PrecisionGuardConfig {
+  /// Accept iff sum((y_rp - y_fp32)^2) / max(sum(y_fp32^2), eps) over all
+  /// decoded patch values stays within this bound. The default tracks the
+  /// EXPERIMENTS.md bf16 measurement with an order-of-magnitude margin.
+  double rel_mse_bound = 1e-3;
+};
+
+struct PrecisionGuardReport {
+  nn::Precision requested = nn::Precision::kFp32;
+  nn::Precision applied = nn::Precision::kFp32;
+  double rel_mse = 0.0;    ///< relative decoder-output MSE vs fp32
+  double patch_mse = 0.0;  ///< absolute mean squared error per value
+  bool accepted = true;
+};
+
+/// Validates `requested` on `lr` (a representative LR flow field) and
+/// applies it to `model` only if the accuracy check passes; the model is
+/// explicitly set to fp32 when it does not. kFp32 requests short-circuit
+/// as accepted. The model's weights are read, never written, and its
+/// configured precision is always left equal to `report.applied`.
+PrecisionGuardReport apply_inference_precision(
+    AdarNet& model, const field::FlowField& lr, nn::Precision requested,
+    const PrecisionGuardConfig& config = {});
+
+}  // namespace adarnet::core

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,6 +18,26 @@ namespace adarnet::nn {
 namespace {
 
 std::atomic<Conv2D::Engine> g_default_engine{Conv2D::Engine::kGemm};
+
+// Process-wide inference-precision default, seeded once from the
+// environment on first use (Meyers singleton: no static-init-order
+// dependency on when the first layer is constructed).
+Precision initial_default_precision() {
+  if (const char* env = std::getenv("ADARNET_INFER_PRECISION")) {
+    Precision p{};
+    if (parse_precision(env, &p)) return p;
+    std::fprintf(stderr,
+                 "adarnet: ignoring unknown ADARNET_INFER_PRECISION=\"%s\" "
+                 "(expected fp32|bf16|fp16)\n",
+                 env);
+  }
+  return Precision::kFp32;
+}
+
+std::atomic<Precision>& default_precision_atomic() {
+  static std::atomic<Precision> v{initial_default_precision()};
+  return v;
+}
 
 // Layer-level roofline accounting (both engines, forward and backward):
 // cumulative FLOPs / compulsory bytes / wall time plus the derived
@@ -69,6 +90,13 @@ inline std::size_t arena_round(std::size_t floats) {
 
 Conv2D::Engine Conv2D::default_engine() { return g_default_engine.load(); }
 void Conv2D::set_default_engine(Engine e) { g_default_engine.store(e); }
+
+Precision Conv2D::default_precision() {
+  return default_precision_atomic().load();
+}
+void Conv2D::set_default_precision(Precision p) {
+  default_precision_atomic().store(p);
+}
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, util::Rng& rng,
                bool flipped)
@@ -166,7 +194,10 @@ Tensor Conv2D::forward(const Tensor& input, bool train) {
   if (train) cached_input_ = input.share();
   const bool measure = util::metrics::enabled();
   util::WallTimer timer;
-  Tensor out = engine_ == Engine::kGemm ? forward_gemm(input)
+  // Reduced precision applies to inference forwards only; a training
+  // forward must produce the activations backward() differentiates.
+  const Precision prec = train ? Precision::kFp32 : precision_;
+  Tensor out = engine_ == Engine::kGemm ? forward_gemm(input, prec)
                                         : forward_direct(input);
   if (measure) {
     account_conv(forward_flops(input.n(), input.h(), input.w()),
@@ -212,7 +243,7 @@ const float* Conv2D::gemm_weights() {
   return packed;
 }
 
-Tensor Conv2D::forward_gemm(const Tensor& input) {
+Tensor Conv2D::forward_gemm(const Tensor& input, Precision precision) {
   const int n = input.n();
   const int h = input.h();
   const int w = input.w();
@@ -235,8 +266,11 @@ Tensor Conv2D::forward_gemm(const Tensor& input) {
       std::fill_n(out_s + static_cast<std::size_t>(o) * N, N,
                   bias_->value[o]);
     }
+    // Weights and the im2col panel convert to the reduced storage format
+    // inside sgemm's pack step; the fp32 workspace_bytes() reservation
+    // above upper-bounds every precision's pack footprint.
     sgemm(Trans::kNo, Trans::kNo, M, N, K, 1.0f, A, K, col, N, 1.0f, out_s,
-          N);
+          N, precision);
   }
   arena.release(m0);
   return out;

@@ -16,6 +16,7 @@
 //    benches can report the speedup.
 #pragma once
 
+#include "nn/gemm.hpp"
 #include "nn/layer.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +67,18 @@ class Conv2D : public Layer {
   static Engine default_engine();
   static void set_default_engine(Engine e);
 
+  /// Packed-operand storage precision for inference forwards (train =
+  /// false) on the GEMM engine. Training forwards and the whole backward
+  /// pass always run fp32, whatever is set here.
+  void set_inference_precision(Precision p) override { precision_ = p; }
+  [[nodiscard]] Precision inference_precision() const { return precision_; }
+
+  /// Precision newly constructed layers start with: process-wide default,
+  /// seeded once from ADARNET_INFER_PRECISION (fp32 when unset or
+  /// unparseable).
+  static Precision default_precision();
+  static void set_default_precision(Precision p);
+
   [[nodiscard]] int in_channels() const { return in_channels_; }
   [[nodiscard]] int out_channels() const { return out_channels_; }
   [[nodiscard]] int kernel() const { return kernel_; }
@@ -76,7 +89,7 @@ class Conv2D : public Layer {
 
  private:
   Tensor forward_direct(const Tensor& input);
-  Tensor forward_gemm(const Tensor& input);
+  Tensor forward_gemm(const Tensor& input, Precision precision);
   Tensor backward_direct(const Tensor& grad_output);
   Tensor backward_gemm(const Tensor& grad_output);
   // Packs the (out, in*k*k) GEMM weight operand; spatially flipped taps
@@ -90,6 +103,7 @@ class Conv2D : public Layer {
   int pad_;
   bool flipped_;
   Engine engine_ = default_engine();
+  Precision precision_ = default_precision();
   // Owning pointers so parameters() can hand out mutable Parameter* from a
   // const layer (shallow const) without a const_cast.
   std::unique_ptr<Parameter> weight_ =

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <new>
+#include <type_traits>
 
+#include "nn/half.hpp"
 #include "nn/tensor.hpp"  // memory counters
+#include "nn/tune.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
 
@@ -17,13 +20,13 @@ namespace adarnet::nn {
 
 namespace {
 
-// Blocking parameters (floats). Kc x Nc keeps the packed B panel in L2,
-// Mc x Kc keeps the packed A panel in L1/L2; MR x NR is the register tile.
+// Register tile (fixed: the microkernels are compiled for it). The cache
+// blocking (Mc/Kc/Nc) and the microkernel schedule (k-unroll, prefetch
+// distance) are runtime TuneParams resolved per shape class (nn/tune.hpp);
+// TuneParams' defaults reproduce the historical constants kMc=72, kKc=256,
+// kNc=2048, no unroll, no prefetch.
 constexpr int kMR = 6;
 constexpr int kNR = 16;
-constexpr int kMc = 72;    // multiple of kMR
-constexpr int kKc = 256;
-constexpr int kNc = 2048;  // multiple of kNR
 
 constexpr std::size_t kAlignFloats = 16;  // 64-byte alignment
 
@@ -42,6 +45,28 @@ void raw_free(float* p, std::size_t floats) {
   (void)floats;
 }
 
+// Packed-operand storage converters. Arithmetic is fp32 in every mode;
+// these only define what the pack step writes (store) and what the
+// portable kernel widens on read (load). The AVX2 kernels widen with
+// shifts / VCVTPH2PS, which agree bitwise with these scalar helpers.
+struct CvtF32 {
+  using elt = float;
+  static elt store(float v) { return v; }
+  static float load(elt v) { return v; }
+};
+
+struct CvtBf16 {
+  using elt = std::uint16_t;
+  static elt store(float v) { return half::f32_to_bf16(v); }
+  static float load(elt v) { return half::bf16_to_f32(v); }
+};
+
+struct CvtFp16 {
+  using elt = std::uint16_t;
+  static elt store(float v) { return half::f32_to_fp16(v); }
+  static float load(elt v) { return half::fp16_to_f32(v); }
+};
+
 // op(A)(i, p): element (i, p) of the transposed-or-not operand.
 inline float op_at(const float* a, int lda, Trans t, int i, int p) {
   return t == Trans::kNo ? a[static_cast<std::size_t>(i) * lda + p]
@@ -49,50 +74,64 @@ inline float op_at(const float* a, int lda, Trans t, int i, int p) {
 }
 
 // Packs an (mc x kc) block of op(A) into MR-row panels: panel ir holds
-// kc columns of MR interleaved row values, zero-padded past mc.
+// kc columns of MR interleaved row values, zero-padded past mc. Reduced
+// precisions convert here — the one place every A element passes through.
+template <class Cvt>
 void pack_a(const float* a, int lda, Trans ta, int i0, int p0, int mc,
-            int kc, float* dst) {
+            int kc, typename Cvt::elt* dst) {
   for (int ir = 0; ir < mc; ir += kMR) {
     const int mr = std::min(kMR, mc - ir);
     for (int p = 0; p < kc; ++p) {
       for (int r = 0; r < kMR; ++r) {
-        *dst++ = r < mr ? op_at(a, lda, ta, i0 + ir + r, p0 + p) : 0.0f;
+        *dst++ = Cvt::store(
+            r < mr ? op_at(a, lda, ta, i0 + ir + r, p0 + p) : 0.0f);
       }
     }
   }
 }
 
-// Packs a (kc x nc) block of op(B) into NR-column panels.
+// Packs a (kc x nc) block of op(B) into NR-column panels (converting like
+// pack_a; the fp32 no-transpose full-panel case keeps its memcpy path).
+template <class Cvt>
 void pack_b(const float* b, int ldb, Trans tb, int p0, int j0, int kc,
-            int nc, float* dst) {
+            int nc, typename Cvt::elt* dst) {
   for (int jr = 0; jr < nc; jr += kNR) {
     const int nr = std::min(kNR, nc - jr);
-    if (tb == Trans::kNo && nr == kNR) {
-      // Contiguous rows of B: straight 16-float copies.
-      for (int p = 0; p < kc; ++p) {
-        std::memcpy(dst, b + static_cast<std::size_t>(p0 + p) * ldb + j0 + jr,
-                    kNR * sizeof(float));
-        dst += kNR;
-      }
-    } else {
-      for (int p = 0; p < kc; ++p) {
-        for (int q = 0; q < kNR; ++q) {
-          *dst++ =
-              q < nr ? op_at(b, ldb, tb, p0 + p, j0 + jr + q) : 0.0f;
+    if constexpr (std::is_same_v<typename Cvt::elt, float>) {
+      if (tb == Trans::kNo && nr == kNR) {
+        // Contiguous rows of B: straight 16-float copies.
+        for (int p = 0; p < kc; ++p) {
+          std::memcpy(dst,
+                      b + static_cast<std::size_t>(p0 + p) * ldb + j0 + jr,
+                      kNR * sizeof(float));
+          dst += kNR;
         }
+        continue;
+      }
+    }
+    for (int p = 0; p < kc; ++p) {
+      for (int q = 0; q < kNR; ++q) {
+        *dst++ = Cvt::store(
+            q < nr ? op_at(b, ldb, tb, p0 + p, j0 + jr + q) : 0.0f);
       }
     }
   }
 }
 
 // Portable microkernel: acc(MR x NR) = packed_a panel * packed_b panel.
-// The compiler vectorises the NR loop at the baseline ISA.
-void kernel_generic(int kc, const float* ap, const float* bp, float* acc) {
+// The compiler vectorises the NR loop at the baseline ISA. Ignores the
+// prefetch distance (hardware prefetch covers the streaming panels).
+template <class Cvt>
+void kernel_portable(int kc, const typename Cvt::elt* ap,
+                     const typename Cvt::elt* bp, float* acc, int /*pf*/) {
+  std::memset(acc, 0, sizeof(float) * kMR * kNR);
   for (int p = 0; p < kc; ++p) {
+    float brow[kNR];
+    for (int q = 0; q < kNR; ++q) brow[q] = Cvt::load(bp[q]);
     for (int r = 0; r < kMR; ++r) {
-      const float av = ap[r];
+      const float av = Cvt::load(ap[r]);
       float* arow = acc + r * kNR;
-      for (int q = 0; q < kNR; ++q) arow[q] += av * bp[q];
+      for (int q = 0; q < kNR; ++q) arow[q] += av * brow[q];
     }
     ap += kMR;
     bp += kNR;
@@ -100,76 +139,173 @@ void kernel_generic(int kc, const float* ap, const float* bp, float* acc) {
 }
 
 #ifdef ADARNET_GEMM_X86
-// AVX2+FMA microkernel: 6x16 tile, 12 ymm accumulators, 2 B vectors and a
-// broadcast A register per k step. Compiled for AVX2 in this TU only and
-// gated by a runtime CPU check.
-__attribute__((target("avx2,fma"))) void kernel_avx2(int kc, const float* ap,
-                                                     const float* bp,
-                                                     float* acc) {
-  __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();
-  __m256 c1a = _mm256_setzero_ps(), c1b = _mm256_setzero_ps();
-  __m256 c2a = _mm256_setzero_ps(), c2b = _mm256_setzero_ps();
-  __m256 c3a = _mm256_setzero_ps(), c3b = _mm256_setzero_ps();
-  __m256 c4a = _mm256_setzero_ps(), c4b = _mm256_setzero_ps();
-  __m256 c5a = _mm256_setzero_ps(), c5b = _mm256_setzero_ps();
-  for (int p = 0; p < kc; ++p) {
-    const __m256 b0 = _mm256_load_ps(bp);
-    const __m256 b1 = _mm256_load_ps(bp + 8);
-    __m256 av;
-    av = _mm256_broadcast_ss(ap + 0);
-    c0a = _mm256_fmadd_ps(av, b0, c0a);
-    c0b = _mm256_fmadd_ps(av, b1, c0b);
-    av = _mm256_broadcast_ss(ap + 1);
-    c1a = _mm256_fmadd_ps(av, b0, c1a);
-    c1b = _mm256_fmadd_ps(av, b1, c1b);
-    av = _mm256_broadcast_ss(ap + 2);
-    c2a = _mm256_fmadd_ps(av, b0, c2a);
-    c2b = _mm256_fmadd_ps(av, b1, c2b);
-    av = _mm256_broadcast_ss(ap + 3);
-    c3a = _mm256_fmadd_ps(av, b0, c3a);
-    c3b = _mm256_fmadd_ps(av, b1, c3b);
-    av = _mm256_broadcast_ss(ap + 4);
-    c4a = _mm256_fmadd_ps(av, b0, c4a);
-    c4b = _mm256_fmadd_ps(av, b1, c4b);
-    av = _mm256_broadcast_ss(ap + 5);
-    c5a = _mm256_fmadd_ps(av, b0, c5a);
-    c5b = _mm256_fmadd_ps(av, b1, c5b);
-    ap += kMR;
-    bp += kNR;
+
+// One k-step of the 6x16 register tile: 2 B vectors, 6 A broadcasts,
+// 12 FMAs. LOAD_B/BCAST_A abstract the storage format so the same body
+// serves fp32 panels and the 16-bit ones (widened on load).
+#define ADARNET_GEMM_STEP(AP, BP, LOAD_B, BCAST_A) \
+  {                                                \
+    const __m256 b0 = LOAD_B(BP);                  \
+    const __m256 b1 = LOAD_B((BP) + 8);            \
+    __m256 av;                                     \
+    av = BCAST_A((AP) + 0);                        \
+    c0a = _mm256_fmadd_ps(av, b0, c0a);            \
+    c0b = _mm256_fmadd_ps(av, b1, c0b);            \
+    av = BCAST_A((AP) + 1);                        \
+    c1a = _mm256_fmadd_ps(av, b0, c1a);            \
+    c1b = _mm256_fmadd_ps(av, b1, c1b);            \
+    av = BCAST_A((AP) + 2);                        \
+    c2a = _mm256_fmadd_ps(av, b0, c2a);            \
+    c2b = _mm256_fmadd_ps(av, b1, c2b);            \
+    av = BCAST_A((AP) + 3);                        \
+    c3a = _mm256_fmadd_ps(av, b0, c3a);            \
+    c3b = _mm256_fmadd_ps(av, b1, c3b);            \
+    av = BCAST_A((AP) + 4);                        \
+    c4a = _mm256_fmadd_ps(av, b0, c4a);            \
+    c4b = _mm256_fmadd_ps(av, b1, c4b);            \
+    av = BCAST_A((AP) + 5);                        \
+    c5a = _mm256_fmadd_ps(av, b0, c5a);            \
+    c5b = _mm256_fmadd_ps(av, b1, c5b);            \
   }
-  _mm256_store_ps(acc + 0 * kNR, c0a);
-  _mm256_store_ps(acc + 0 * kNR + 8, c0b);
-  _mm256_store_ps(acc + 1 * kNR, c1a);
-  _mm256_store_ps(acc + 1 * kNR + 8, c1b);
-  _mm256_store_ps(acc + 2 * kNR, c2a);
-  _mm256_store_ps(acc + 2 * kNR + 8, c2b);
-  _mm256_store_ps(acc + 3 * kNR, c3a);
-  _mm256_store_ps(acc + 3 * kNR + 8, c3b);
-  _mm256_store_ps(acc + 4 * kNR, c4a);
-  _mm256_store_ps(acc + 4 * kNR + 8, c4b);
-  _mm256_store_ps(acc + 5 * kNR, c5a);
-  _mm256_store_ps(acc + 5 * kNR + 8, c5b);
-}
+
+// AVX2+FMA microkernel family: 12 ymm accumulators, UNROLL k-steps per
+// iteration, optional software prefetch `pf` k-steps ahead. Per-
+// accumulator FMA order is identical across unroll factors (u-sequential),
+// so fp32 results are bitwise-independent of ku/pf — only the cache
+// blocking changes summation grouping. Compiled for the stated target in
+// this TU only and gated by the runtime CPU checks below.
+#define ADARNET_DEF_AVX2_KERNEL(NAME, TARGET, ELT, LOAD_B, BCAST_A, UNROLL) \
+  __attribute__((target(TARGET))) void NAME(                                \
+      int kc, const ELT* ap, const ELT* bp, float* acc, int pf) {           \
+    __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();            \
+    __m256 c1a = _mm256_setzero_ps(), c1b = _mm256_setzero_ps();            \
+    __m256 c2a = _mm256_setzero_ps(), c2b = _mm256_setzero_ps();            \
+    __m256 c3a = _mm256_setzero_ps(), c3b = _mm256_setzero_ps();            \
+    __m256 c4a = _mm256_setzero_ps(), c4b = _mm256_setzero_ps();            \
+    __m256 c5a = _mm256_setzero_ps(), c5b = _mm256_setzero_ps();            \
+    int p = 0;                                                              \
+    const int kmain = kc - kc % (UNROLL);                                   \
+    for (; p < kmain; p += (UNROLL)) {                                      \
+      if (pf > 0) {                                                         \
+        _mm_prefetch(reinterpret_cast<const char*>(                         \
+                         bp + static_cast<std::size_t>(pf) * kNR),          \
+                     _MM_HINT_T0);                                          \
+        _mm_prefetch(reinterpret_cast<const char*>(                         \
+                         ap + static_cast<std::size_t>(pf) * kMR),          \
+                     _MM_HINT_T0);                                          \
+      }                                                                     \
+      for (int u = 0; u < (UNROLL); ++u) {                                  \
+        ADARNET_GEMM_STEP(ap + u * kMR, bp + u * kNR, LOAD_B, BCAST_A)      \
+      }                                                                     \
+      ap += (UNROLL) * kMR;                                                 \
+      bp += (UNROLL) * kNR;                                                 \
+    }                                                                       \
+    for (; p < kc; ++p) {                                                   \
+      ADARNET_GEMM_STEP(ap, bp, LOAD_B, BCAST_A)                            \
+      ap += kMR;                                                            \
+      bp += kNR;                                                            \
+    }                                                                       \
+    _mm256_store_ps(acc + 0 * kNR, c0a);                                    \
+    _mm256_store_ps(acc + 0 * kNR + 8, c0b);                                \
+    _mm256_store_ps(acc + 1 * kNR, c1a);                                    \
+    _mm256_store_ps(acc + 1 * kNR + 8, c1b);                                \
+    _mm256_store_ps(acc + 2 * kNR, c2a);                                    \
+    _mm256_store_ps(acc + 2 * kNR + 8, c2b);                                \
+    _mm256_store_ps(acc + 3 * kNR, c3a);                                    \
+    _mm256_store_ps(acc + 3 * kNR + 8, c3b);                                \
+    _mm256_store_ps(acc + 4 * kNR, c4a);                                    \
+    _mm256_store_ps(acc + 4 * kNR + 8, c4b);                                \
+    _mm256_store_ps(acc + 5 * kNR, c5a);                                    \
+    _mm256_store_ps(acc + 5 * kNR + 8, c5b);                                \
+  }
+
+// fp32 panels: plain aligned loads / broadcasts.
+#define ADARNET_LOAD_F32(P) _mm256_load_ps(P)
+#define ADARNET_BCAST_F32(P) _mm256_broadcast_ss(P)
+// bf16 panels (AVX2 emulation): widen 8 x u16 to u32 lanes and shift into
+// the fp32 high halves — exact, since bf16 is truncated fp32. Panel rows
+// are 32-byte aligned (16 x u16 from a 64-byte-aligned base).
+#define ADARNET_LOAD_BF16(P)                                     \
+  _mm256_castsi256_ps(_mm256_slli_epi32(                         \
+      _mm256_cvtepu16_epi32(                                     \
+          _mm_load_si128(reinterpret_cast<const __m128i*>(P))),  \
+      16))
+#define ADARNET_BCAST_BF16(P) _mm256_set1_ps(half::bf16_to_f32(*(P)))
+// fp16 panels: hardware F16C widening for the B stream; the 6 A broadcasts
+// per step go through the scalar helper (they are off the critical port).
+#define ADARNET_LOAD_FP16(P) \
+  _mm256_cvtph_ps(_mm_load_si128(reinterpret_cast<const __m128i*>(P)))
+#define ADARNET_BCAST_FP16(P) _mm256_set1_ps(half::fp16_to_f32(*(P)))
+
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_f32_u1, "avx2,fma", float,
+                        ADARNET_LOAD_F32, ADARNET_BCAST_F32, 1)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_f32_u2, "avx2,fma", float,
+                        ADARNET_LOAD_F32, ADARNET_BCAST_F32, 2)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_f32_u4, "avx2,fma", float,
+                        ADARNET_LOAD_F32, ADARNET_BCAST_F32, 4)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_bf16_u1, "avx2,fma", std::uint16_t,
+                        ADARNET_LOAD_BF16, ADARNET_BCAST_BF16, 1)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_bf16_u2, "avx2,fma", std::uint16_t,
+                        ADARNET_LOAD_BF16, ADARNET_BCAST_BF16, 2)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_bf16_u4, "avx2,fma", std::uint16_t,
+                        ADARNET_LOAD_BF16, ADARNET_BCAST_BF16, 4)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_fp16_u1, "avx2,fma,f16c", std::uint16_t,
+                        ADARNET_LOAD_FP16, ADARNET_BCAST_FP16, 1)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_fp16_u2, "avx2,fma,f16c", std::uint16_t,
+                        ADARNET_LOAD_FP16, ADARNET_BCAST_FP16, 2)
+ADARNET_DEF_AVX2_KERNEL(kernel_avx2_fp16_u4, "avx2,fma,f16c", std::uint16_t,
+                        ADARNET_LOAD_FP16, ADARNET_BCAST_FP16, 4)
 
 bool have_avx2() {
   static const bool ok = __builtin_cpu_supports("avx2") &&
                          __builtin_cpu_supports("fma");
   return ok;
 }
+
+bool have_f16c() {
+  static const bool ok = have_avx2() && __builtin_cpu_supports("f16c");
+  return ok;
+}
 #endif  // ADARNET_GEMM_X86
 
-// acc must be zeroed by the AVX2 kernel itself; the generic kernel
-// accumulates, so callers zero acc first for it. Wrap both behind one
-// "compute fresh tile" entry point.
-inline void run_kernel(int kc, const float* ap, const float* bp, float* acc) {
+using KernF32 = void (*)(int, const float*, const float*, float*, int);
+using KernU16 = void (*)(int, const std::uint16_t*, const std::uint16_t*,
+                         float*, int);
+
+KernF32 select_f32(int ku) {
 #ifdef ADARNET_GEMM_X86
   if (have_avx2()) {
-    kernel_avx2(kc, ap, bp, acc);
-    return;
+    if (ku >= 4) return kernel_avx2_f32_u4;
+    if (ku >= 2) return kernel_avx2_f32_u2;
+    return kernel_avx2_f32_u1;
   }
 #endif
-  std::memset(acc, 0, sizeof(float) * kMR * kNR);
-  kernel_generic(kc, ap, bp, acc);
+  (void)ku;
+  return kernel_portable<CvtF32>;
+}
+
+KernU16 select_bf16(int ku) {
+#ifdef ADARNET_GEMM_X86
+  if (have_avx2()) {
+    if (ku >= 4) return kernel_avx2_bf16_u4;
+    if (ku >= 2) return kernel_avx2_bf16_u2;
+    return kernel_avx2_bf16_u1;
+  }
+#endif
+  (void)ku;
+  return kernel_portable<CvtBf16>;
+}
+
+KernU16 select_fp16(int ku) {
+#ifdef ADARNET_GEMM_X86
+  if (have_f16c()) {
+    if (ku >= 4) return kernel_avx2_fp16_u4;
+    if (ku >= 2) return kernel_avx2_fp16_u2;
+    return kernel_avx2_fp16_u1;
+  }
+#endif
+  (void)ku;
+  return kernel_portable<CvtFp16>;
 }
 
 }  // namespace
@@ -243,10 +379,13 @@ std::int64_t sgemm_flops(int m, int n, int k) {
   return 2LL * m * n * k;
 }
 
-std::int64_t sgemm_bytes(int m, int n, int k) {
+std::int64_t sgemm_bytes(int m, int n, int k, Precision precision) {
   const std::int64_t mm = m, nn = n, kk = k;
-  return (mm * kk + kk * nn + 2 * mm * nn) *
-         static_cast<std::int64_t>(sizeof(float));
+  const std::int64_t ab_elt =
+      precision == Precision::kFp32 ? static_cast<std::int64_t>(sizeof(float))
+                                    : 2;
+  return (mm * kk + kk * nn) * ab_elt +
+         2 * mm * nn * static_cast<std::int64_t>(sizeof(float));
 }
 
 namespace {
@@ -267,11 +406,11 @@ struct GemmInstruments {
       util::metrics::gauge("nn.gemm.arithmetic_intensity");
 };
 
-void account_sgemm(int m, int n, int k, double seconds) {
+void account_sgemm(int m, int n, int k, Precision precision, double seconds) {
   static GemmInstruments ins;
   ins.calls.add();
   ins.flops.add(sgemm_flops(m, n, k));
-  ins.bytes.add(sgemm_bytes(m, n, k));
+  ins.bytes.add(sgemm_bytes(m, n, k, precision));
   ins.ns.add_seconds(seconds);
   const double total_flops = static_cast<double>(ins.flops.value());
   const double total_ns = static_cast<double>(ins.ns.value());
@@ -280,22 +419,91 @@ void account_sgemm(int m, int n, int k, double seconds) {
   if (total_bytes > 0.0) ins.intensity.set(total_flops / total_bytes);
 }
 
+// The Goto/BLIS block loop over packed panels, generic in the packed
+// storage type. The caller has already applied beta and selected the
+// microkernel; all block updates here are "+=" merges.
+template <class Cvt>
+void sgemm_blocked(const TuneParams& tp,
+                   void (*kern)(int, const typename Cvt::elt*,
+                                const typename Cvt::elt*, float*, int),
+                   Trans ta, Trans tb, int m, int n, int k, float alpha,
+                   const float* a, int lda, const float* b, int ldb,
+                   float* c, int ldc) {
+  using elt = typename Cvt::elt;
+  Arena& arena = Arena::global();
+  const std::size_t m0 = arena.mark();
+  const int kc_max = std::min(k, tp.kc);
+  const int nc_max = std::min((n + kNR - 1) / kNR * kNR, tp.nc);
+  const int mc_max = std::min((m + kMR - 1) / kMR * kMR, tp.mc);
+  // Pack buffers live in the float-granule arena regardless of element
+  // width (16-bit panels use half the footprint, rounded up to granules).
+  const auto alloc_elts = [&arena](std::size_t count) {
+    const std::size_t floats =
+        (count * sizeof(elt) + sizeof(float) - 1) / sizeof(float);
+    return reinterpret_cast<elt*>(arena.alloc_floats(floats));
+  };
+  elt* bpack = alloc_elts(static_cast<std::size_t>(kc_max) * nc_max);
+  elt* apack = alloc_elts(static_cast<std::size_t>(mc_max) * kc_max);
+  const int pf = tp.pf;
+
+  for (int jc = 0; jc < n; jc += tp.nc) {
+    const int nc = std::min(tp.nc, n - jc);
+    const int nc_pad = (nc + kNR - 1) / kNR * kNR;
+    for (int pc = 0; pc < k; pc += tp.kc) {
+      const int kc = std::min(tp.kc, k - pc);
+      pack_b<Cvt>(b, ldb, tb, pc, jc, kc, nc, bpack);
+      for (int ic = 0; ic < m; ic += tp.mc) {
+        const int mc = std::min(tp.mc, m - ic);
+        pack_a<Cvt>(a, lda, ta, ic, pc, mc, kc, apack);
+        const int n_panels = nc_pad / kNR;
+#pragma omp parallel for schedule(static)
+        for (int jp = 0; jp < n_panels; ++jp) {
+          const int jr = jp * kNR;
+          const int nr = std::min(kNR, nc - jr);
+          const elt* bp = bpack + static_cast<std::size_t>(jp) * kc * kNR;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = std::min(kMR, mc - ir);
+            const elt* ap =
+                apack + static_cast<std::size_t>(ir) * kc;  // MR-row panel
+            alignas(64) float acc[kMR * kNR];
+            kern(kc, ap, bp, acc, pf);
+            // Merge the tile: C += alpha * acc (edges clipped).
+            for (int r = 0; r < mr; ++r) {
+              float* crow = c + static_cast<std::size_t>(ic + ir + r) * ldc +
+                            jc + jr;
+              const float* arow = acc + r * kNR;
+              for (int q = 0; q < nr; ++q) crow[q] += alpha * arow[q];
+            }
+          }
+        }
+      }
+    }
+  }
+  arena.release(m0);
+}
+
 }  // namespace
 
-std::size_t sgemm_workspace_bytes(int m, int n, int k) {
-  const std::size_t kc = static_cast<std::size_t>(std::min(k, kKc));
+std::size_t sgemm_workspace_bytes(int m, int n, int k, Precision precision) {
+  const TuneParams tp = tuning::params_for(m, n, k);
+  const std::size_t kc = static_cast<std::size_t>(std::min(k, tp.kc));
   const std::size_t nc = static_cast<std::size_t>(std::min(
-      (n + kNR - 1) / kNR * kNR, kNc));
+      (n + kNR - 1) / kNR * kNR, tp.nc));
   const std::size_t mc = static_cast<std::size_t>(std::min(
-      (m + kMR - 1) / kMR * kMR, kMc));
-  const std::size_t a_pack = align_up(mc * kc);
-  const std::size_t b_pack = align_up(kc * nc);
+      (m + kMR - 1) / kMR * kMR, tp.mc));
+  const std::size_t esize = precision == Precision::kFp32 ? sizeof(float) : 2;
+  // Mirrors sgemm_blocked's alloc_elts: element bytes to float granules,
+  // then the arena's 64-byte rounding.
+  const std::size_t a_pack = align_up(
+      (mc * kc * esize + sizeof(float) - 1) / sizeof(float));
+  const std::size_t b_pack = align_up(
+      (kc * nc * esize + sizeof(float) - 1) / sizeof(float));
   return (a_pack + b_pack) * sizeof(float);
 }
 
 void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
            const float* a, int lda, const float* b, int ldb, float beta,
-           float* c, int ldc) {
+           float* c, int ldc, Precision precision) {
   if (m <= 0 || n <= 0) return;
   const bool measure = util::metrics::enabled();
   util::WallTimer timer;
@@ -313,51 +521,22 @@ void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
   }
   if (k <= 0 || alpha == 0.0f) return;
 
-  Arena& arena = Arena::global();
-  const std::size_t m0 = arena.mark();
-  const int kc_max = std::min(k, kKc);
-  const int nc_max = std::min((n + kNR - 1) / kNR * kNR, kNc);
-  const int mc_max = std::min((m + kMR - 1) / kMR * kMR, kMc);
-  float* bpack = arena.alloc_floats(static_cast<std::size_t>(kc_max) *
-                                    nc_max);
-  float* apack = arena.alloc_floats(static_cast<std::size_t>(mc_max) *
-                                    kc_max);
-
-  for (int jc = 0; jc < n; jc += kNc) {
-    const int nc = std::min(kNc, n - jc);
-    const int nc_pad = (nc + kNR - 1) / kNR * kNR;
-    for (int pc = 0; pc < k; pc += kKc) {
-      const int kc = std::min(kKc, k - pc);
-      pack_b(b, ldb, tb, pc, jc, kc, nc, bpack);
-      for (int ic = 0; ic < m; ic += kMc) {
-        const int mc = std::min(kMc, m - ic);
-        pack_a(a, lda, ta, ic, pc, mc, kc, apack);
-        const int n_panels = nc_pad / kNR;
-#pragma omp parallel for schedule(static)
-        for (int jp = 0; jp < n_panels; ++jp) {
-          const int jr = jp * kNR;
-          const int nr = std::min(kNR, nc - jr);
-          const float* bp = bpack + static_cast<std::size_t>(jp) * kc * kNR;
-          for (int ir = 0; ir < mc; ir += kMR) {
-            const int mr = std::min(kMR, mc - ir);
-            const float* ap =
-                apack + static_cast<std::size_t>(ir) * kc;  // MR-row panel
-            alignas(64) float acc[kMR * kNR];
-            run_kernel(kc, ap, bp, acc);
-            // Merge the tile: C += alpha * acc (edges clipped).
-            for (int r = 0; r < mr; ++r) {
-              float* crow = c + static_cast<std::size_t>(ic + ir + r) * ldc +
-                            jc + jr;
-              const float* arow = acc + r * kNR;
-              for (int q = 0; q < nr; ++q) crow[q] += alpha * arow[q];
-            }
-          }
-        }
-      }
-    }
+  const TuneParams tp = tuning::resolve(m, n, k);
+  switch (precision) {
+    case Precision::kBf16:
+      sgemm_blocked<CvtBf16>(tp, select_bf16(tp.ku), ta, tb, m, n, k, alpha,
+                             a, lda, b, ldb, c, ldc);
+      break;
+    case Precision::kFp16:
+      sgemm_blocked<CvtFp16>(tp, select_fp16(tp.ku), ta, tb, m, n, k, alpha,
+                             a, lda, b, ldb, c, ldc);
+      break;
+    default:
+      sgemm_blocked<CvtF32>(tp, select_f32(tp.ku), ta, tb, m, n, k, alpha,
+                            a, lda, b, ldb, c, ldc);
+      break;
   }
-  arena.release(m0);
-  if (measure) account_sgemm(m, n, k, timer.seconds());
+  if (measure) account_sgemm(m, n, k, precision, timer.seconds());
 }
 
 }  // namespace adarnet::nn

@@ -83,26 +83,62 @@ class Arena {
 /// Transpose flag for sgemm operands.
 enum class Trans : std::uint8_t { kNo, kYes };
 
+/// Storage precision of the packed GEMM operands. Arithmetic always
+/// accumulates in fp32; reduced precisions only change what the pack step
+/// writes into the A/B panels (and what the microkernel widens on load),
+/// halving pack-buffer footprint and panel bandwidth. kBf16 keeps the fp32
+/// exponent range (safe default); kFp16 has more mantissa but a narrow
+/// range, offered for ISAs with fast F16C loads. Inputs and outputs (the
+/// caller's A, B, C matrices) stay fp32 in all modes.
+enum class Precision : std::uint8_t { kFp32, kBf16, kFp16 };
+
+/// Human-readable precision name ("fp32" / "bf16" / "fp16").
+const char* precision_name(Precision p);
+
+/// Parses a precision name as spelled by ADARNET_INFER_PRECISION. Returns
+/// false (out untouched) for unknown spellings.
+bool parse_precision(const char* s, Precision* out);
+
+/// Runtime Goto/BLIS schedule for one sgemm call: cache-blocking tile
+/// sizes plus the microkernel k-unroll and software-prefetch distance.
+/// The defaults reproduce the historical compile-time constants exactly,
+/// so an untuned process behaves as before; the autotuner (nn/tune.hpp)
+/// overrides them per (m, n, k) shape class.
+struct TuneParams {
+  int mc = 72;    ///< A-block rows (multiple of 6, the register-tile MR)
+  int kc = 256;   ///< shared K blocking
+  int nc = 2048;  ///< B-block columns (multiple of 16, the register-tile NR)
+  int ku = 1;     ///< microkernel k-loop unroll factor (1, 2 or 4)
+  int pf = 0;     ///< prefetch distance in k-steps (0 disables)
+
+  bool operator==(const TuneParams&) const = default;
+};
+
 /// C (m x n, row-major, leading dim ldc) = alpha * op(A) * op(B) + beta*C,
 /// with op(X) = X or X^T per the Trans flags. A is m x k after op, B is
 /// k x n after op; lda/ldb are the leading dimensions of the *stored*
 /// matrices. Pack buffers are drawn from Arena::global() (mark/released
-/// internally). OpenMP-parallel over column panels.
+/// internally). OpenMP-parallel over column panels. Blocking parameters
+/// come from the tuning registry (override > tuned cache > defaults);
+/// `precision` selects the packed-operand storage format.
 void sgemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
            const float* a, int lda, const float* b, int ldb, float beta,
-           float* c, int ldc);
+           float* c, int ldc, Precision precision = Precision::kFp32);
 
-/// Arena bytes one sgemm call of this shape draws for its pack buffers.
-std::size_t sgemm_workspace_bytes(int m, int n, int k);
+/// Arena bytes one sgemm call of this shape draws for its pack buffers
+/// (resolved against the same tuning registry sgemm consults).
+std::size_t sgemm_workspace_bytes(int m, int n, int k,
+                                  Precision precision = Precision::kFp32);
 
 /// Floating-point operations one sgemm call of this shape performs
 /// (2*m*n*k multiply-adds; the roofline numerator).
 std::int64_t sgemm_flops(int m, int n, int k);
 
 /// Minimum data movement of one sgemm call of this shape: each operand
-/// read once, C read and written once ((m*k + k*n + 2*m*n) floats — the
-/// compulsory-traffic roofline denominator, not the achieved cache
-/// traffic).
-std::int64_t sgemm_bytes(int m, int n, int k);
+/// read once, C read and written once — the compulsory-traffic roofline
+/// denominator, not the achieved cache traffic. Reduced precisions halve
+/// the A/B terms (2-byte elements); C is always fp32.
+std::int64_t sgemm_bytes(int m, int n, int k,
+                         Precision precision = Precision::kFp32);
 
 }  // namespace adarnet::nn

@@ -220,6 +220,11 @@ KeyClass classify(const std::string& key) {
   // (slack, ratios of same-run timings): they gate exactly, like the
   // analytic flop/byte counts, even under --portable-only.
   if (contains(key, "accept/")) return KeyClass::kPortable;
+  // The autotuner's sweep diagnostics (tune/...: winning tiles, measured
+  // ratios, geomean) are machine-specific by construction — the accept
+  // bits above are their gateable summary. Classified before the
+  // throughput patterns so a tune/.../gflops leaf can never gate.
+  if (contains(key, "tune/")) return KeyClass::kIgnored;
   if (ends_with(key, "gflops_per_s") || contains(key, "cells_per_s") ||
       contains(key, "speedup") || ends_with(key, "qps")) {
     return KeyClass::kThroughput;

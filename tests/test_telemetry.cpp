@@ -377,6 +377,14 @@ TEST(BenchCompare, ClassifiesKeys) {
   EXPECT_EQ(bc::classify("accept/shed_before_queue_growth"),
             KeyClass::kPortable);
   EXPECT_EQ(bc::classify("admitted_p99_ms"), KeyClass::kIgnored);
+  // Autotuner keys: the accept bits gate, the sweep diagnostics never do —
+  // even when a leaf name matches a throughput pattern.
+  EXPECT_EQ(bc::classify("accept/tuned_ge_default"), KeyClass::kPortable);
+  EXPECT_EQ(bc::classify("accept/bf16_mse_within_bound"),
+            KeyClass::kPortable);
+  EXPECT_EQ(bc::classify("tune/gemm.m128n512k256/gflops_per_s"),
+            KeyClass::kIgnored);
+  EXPECT_EQ(bc::classify("tune/geomean_ratio"), KeyClass::kIgnored);
 }
 
 TEST(BenchCompare, PassesWithinToleranceFailsBeyond) {
