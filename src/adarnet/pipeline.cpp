@@ -199,6 +199,12 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
 
   auto account = [&](const solver::SolveStats& stats) {
     result.ps_seconds += stats.seconds;
+    // Earlier rungs count in full; the returned solve counts only up to
+    // its residual-arrival iteration (see PipelineResult).
+    result.ps_iterations_to_tolerance =
+        result.ps_iterations + (stats.iterations_to_tolerance > 0
+                                    ? stats.iterations_to_tolerance
+                                    : stats.iterations);
     result.ps_iterations += stats.iterations;
     result.ps_solves += 1;
     result.converged = stats.converged;

@@ -70,6 +70,13 @@ struct PipelineResult {
   double ps_seconds = 0.0;        ///< physics-solver time (all rungs)
   int lr_iterations = 0;          ///< LR solve SIMPLE iterations
   int ps_iterations = 0;          ///< physics-solver SIMPLE iterations (ITC)
+  int ps_iterations_to_tolerance = 0;  ///< like ps_iterations, but the last
+                                  ///< solve of the ladder is charged only up
+                                  ///< to SolveStats::iterations_to_tolerance
+                                  ///< — the ITC a residual-plateau early
+                                  ///< exit would have produced (earlier
+                                  ///< rungs are charged in full; their work
+                                  ///< was really spent)
   bool converged = false;         ///< final solve reached tolerance
   bool cancelled = false;         ///< the cancel token expired mid-run; the
                                   ///< solution is the best iterate

@@ -41,6 +41,10 @@ AmrResult run_amr(const mesh::CaseSpec& spec, const AmrConfig& config) {
     record.cells = mesh->active_cells();
     record.residual = stats.residual;
     result.stages.push_back(record);
+    result.total_iterations_to_tolerance =
+        result.total_iterations + (stats.iterations_to_tolerance > 0
+                                       ? stats.iterations_to_tolerance
+                                       : stats.iterations);
     result.total_iterations += stats.iterations;
     ADR_LOG_DEBUG << spec.name << " AMR stage " << stage << " cells "
                   << record.cells << " iters " << stats.iterations
@@ -61,6 +65,11 @@ AmrResult run_amr(const mesh::CaseSpec& spec, const AmrConfig& config) {
       // the same mesh. Run the final tight solve now.
       solver::RansSolver tight(*mesh, config.solver);
       const auto tight_stats = tight.solve(f);
+      result.total_iterations_to_tolerance =
+          result.total_iterations +
+          (tight_stats.iterations_to_tolerance > 0
+               ? tight_stats.iterations_to_tolerance
+               : tight_stats.iterations);
       result.total_iterations += tight_stats.iterations;
       result.converged = tight_stats.converged;
       AmrStage tail = record;

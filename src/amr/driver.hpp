@@ -42,6 +42,11 @@ struct AmrResult {
   std::unique_ptr<mesh::CompositeMesh> mesh;  ///< final composite mesh
   mesh::CompositeField solution;         ///< converged state on final mesh
   int total_iterations = 0;              ///< ITC: all stages summed
+  int total_iterations_to_tolerance = 0; ///< ITC with the final solve charged
+                                         ///< only to its residual-arrival
+                                         ///< iteration (SolveStats::
+                                         ///< iterations_to_tolerance);
+                                         ///< intermediate stages in full
   double total_seconds = 0.0;            ///< TTC: all stages summed
   bool converged = false;                ///< final tight solve converged
 };

@@ -22,6 +22,24 @@ int RefinementMap::max_level() const {
   return m;
 }
 
+bool RefinementMap::has_jump_in_y() const {
+  for (int pi = 0; pi + 1 < npy(); ++pi) {
+    for (int pj = 0; pj < npx(); ++pj) {
+      if (level(pi + 1, pj) != level(pi, pj)) return true;
+    }
+  }
+  return false;
+}
+
+bool RefinementMap::has_jump_in_x() const {
+  for (int pi = 0; pi < npy(); ++pi) {
+    for (int pj = 0; pj + 1 < npx(); ++pj) {
+      if (level(pi, pj + 1) != level(pi, pj)) return true;
+    }
+  }
+  return false;
+}
+
 long long RefinementMap::active_cells(int ph, int pw) const {
   long long total = 0;
   for (int l : levels_) {

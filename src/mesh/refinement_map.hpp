@@ -38,6 +38,23 @@ class RefinementMap {
   /// Highest level present in the map (0 for an empty map).
   [[nodiscard]] int max_level() const;
 
+  /// True when two patches stacked in y (same column, adjacent rows) sit
+  /// at different refinement levels — a horizontal level-jump interface.
+  [[nodiscard]] bool has_jump_in_y() const;
+
+  /// True when two patches abutting in x (same row, adjacent columns) sit
+  /// at different refinement levels — a vertical level-jump interface.
+  [[nodiscard]] bool has_jump_in_x() const;
+
+  /// True when any two edge-adjacent patches sit at different levels.
+  /// The single authoritative level-jump predicate: the solver's pressure
+  /// assembly, the multigrid ladder construction, and the per-level
+  /// lowering checks all key off this (and the directional variants)
+  /// instead of hand-rolling the patch-grid walk.
+  [[nodiscard]] bool has_level_jump() const {
+    return has_jump_in_y() || has_jump_in_x();
+  }
+
   /// Total number of cells in the composite mesh for (ph, pw) LR patches.
   [[nodiscard]] long long active_cells(int ph, int pw) const;
 

@@ -1,0 +1,253 @@
+// Flux-matched level-jump face stencils for the pressure-correction
+// equation on composite meshes (DESIGN.md §11).
+//
+// At a level-jump patch interface the two sides disagree about the face:
+// the fine side sees r small faces, the coarse side one large face, and
+// the interpolated ghost ring (mesh/composite.cpp) models neither — the
+// plain two-point couplings built from it give the fine side twice the
+// coarse side's total interface coupling, so the p' equation is not the
+// Schur complement of the corrector + refluxed imbalance and an accurate
+// p' solve diverges the SIMPLE outer loop (the PR-6 SOR fallback).
+//
+// The fix mirrors the face-velocity reflux pass: ONE authoritative flux
+// per jump face, discretised on the fine subfaces. Each coarse face is
+// the union of the r fine subfaces covering it; per subface s between
+// fine cell f and coarse cell c the correction flux is
+//
+//   dF_s = -a_s (x_c - x_f),   a_s = A_f / (h_f/(2 d_f) + h_c/(2 d_c)),
+//
+// the standard two-point transmissibility with the half-cell resistances
+// in series (A_f = fine tangential cell size, h = perpendicular cell
+// size, d = vol/aP; a_s = 0 when either cell is solid). The fine cell's
+// equation carries a_s against the coarse value; the coarse cell's
+// equation carries the SAME a_s against each fine value — both sides sum
+// the identical per-subface couplings, so the jump-face block is
+// symmetric and the total interface coupling matches exactly. On a
+// uniform interface the formula degenerates to the interior coupling
+// d * A / h, so the operator is one continuous family, not a special
+// case.
+//
+// The corrector must read the same stencil or the inconsistency just
+// moves: the matched effective ghost is the value of the linear profile
+// through (x_own, x_nb) evaluated at the owner's ghost centre,
+//
+//   g = x_own + t (x_nb - x_own),   t = 2 h_own / (h_own + h_nb),
+//
+// with x_nb the facing coarse value (fine side) or the mean of the
+// covered fine values (coarse side, t = 4/3 > 1: a genuine extrapolation
+// — correct for the one-shot explicit corrector, even though the ghost
+// exchange clamps it for the implicit sweeps' stability).
+//
+// Freeze semantics match the ghost ring: `refresh(x)` snapshots the
+// cross-patch values into per-side buffers at exactly the points where
+// ghosts are exchanged, so sweeps between exchanges see interface
+// couplings frozen at the leg boundary (block-Jacobi at interfaces,
+// exactly like the ghost-based coupling it replaces). Every buffer is
+// written by a scan whose inputs are the two patches' own arrays, so the
+// result is independent of the thread count (DESIGN.md §8).
+#pragma once
+
+#include <vector>
+
+#include "mesh/composite.hpp"
+
+namespace adarnet::solver {
+
+/// Matched jump-face couplings of one composite mesh. Build once per mesh
+/// (geometry only), then per p' solve: set_coefficients(dp) after the
+/// momentum diagonal is known, refresh(x) at every ghost-exchange point.
+class JumpStencil {
+ public:
+  /// Edge indices of a patch side (owner's perspective).
+  enum Edge { kW = 0, kE = 1, kS = 2, kN = 3 };
+
+  /// One patch side that is a level-jump interface. Arrays are 1-based
+  /// over the owner's tangential cells [1 .. n] (index 0 unused).
+  struct Side {
+    int k = 0;           ///< owner patch (flat index)
+    int nbk = 0;         ///< neighbour patch across the interface
+    int edge = kW;       ///< which side of the owner this is
+    bool fine = false;   ///< owner is the finer patch
+    int n = 0;           ///< owner tangential cells along the interface
+    int ratio = 1;       ///< fine cells per coarse cell (1 on a ladder
+                         ///< level whose map lowering flattened the jump)
+    double area = 0.0;   ///< fine tangential cell size (subface length)
+    double h_own = 0.0;  ///< owner perpendicular cell size
+    double h_nb = 0.0;   ///< neighbour perpendicular cell size
+    double h0_own = 0.0; ///< owner perpendicular cell size on the ANCHOR
+                         ///< (finest) mesh — the resistance length scale
+    double h0_nb = 0.0;  ///< neighbour perpendicular anchor cell size
+    double t_ghost = 0.0;  ///< 2 h_own / (h_own + h_nb)
+    /// Per owner cell: total interface coupling (the diagonal term). On
+    /// the fine side each cell has exactly one subface, so a[t] is the
+    /// subface coupling itself; on the coarse side a[t] sums its r
+    /// subfaces (whose individual values live in asub).
+    std::vector<double> a;
+    /// Per owner cell: sum of a_s * x_nb_s (the rhs term). Frozen at the
+    /// last refresh(), like a ghost value.
+    std::vector<double> ax;
+    /// Per owner cell: matched effective ghost of x for the corrector's
+    /// central gradient. Frozen at the last refresh().
+    std::vector<double> ghost;
+    /// Coarse side only: per-subface couplings, (t - 1) * ratio + s
+    /// (0-based s), size n * ratio.
+    std::vector<double> asub;
+  };
+
+  JumpStencil() = default;
+  explicit JumpStencil(const mesh::CompositeMesh& mesh);
+
+  /// Ladder-level variant: builds sides at every interface where the
+  /// ANCHOR mesh (the multigrid ladder's level 0, same patch tiling) has
+  /// a level jump — a superset of `mesh`'s own jumps that includes
+  /// interfaces map lowering has flattened to ratio 1 — with the
+  /// half-cell resistances anchored to the ANCHOR's perpendicular cell
+  /// sizes: a_s = A_f / (h0_f/(2 d_f) + h0_c/(2 d_c)). The coarse d is a
+  /// child average (it keeps the fine vol/aP scale), so resistances must
+  /// keep the fine length scale too: using the level's own h would double
+  /// the interface resistance per coarsening rung, under-transmitting the
+  /// coarse-grid correction by ~2x per rung — ratio-4+ interfaces then
+  /// DIVERGE the V-cycle (observed rates 2-25 on the scenario meshes,
+  /// matching the (1 - T_coarse/T_fine) overshoot analysis; in 1D the h0
+  /// anchor reproduces the Galerkin coarse interface coupling exactly).
+  /// Flattened (ratio-1) interfaces need sides for the same reason: the
+  /// plain kernel coupling d * A / h uses the own cell's d across a face
+  /// where d jumps by the historical refinement factor. With mesh ==
+  /// anchor this constructor is the single-argument one.
+  JumpStencil(const mesh::CompositeMesh& mesh,
+              const mesh::CompositeMesh& anchor);
+
+  /// True when the mesh has no level-jump interface (all buffers empty;
+  /// the assembly then never consults the stencil).
+  [[nodiscard]] bool empty() const { return sides_.empty(); }
+
+  /// The Side of patch k at `edge`, or nullptr when that side is not a
+  /// level-jump interface.
+  [[nodiscard]] const Side* side(int k, int edge) const {
+    return lookup_.empty() ? nullptr
+                           : lookup_[static_cast<std::size_t>(k) * 4 + edge];
+  }
+
+  /// Recomputes every subface coupling from the current d = vol/aP field
+  /// (interior cells only; a_s = 0 when either cell is solid, d <= 0).
+  /// Call once per p' solve, before the first refresh().
+  void set_coefficients(const mesh::CompositeScalar& dp);
+
+  /// Snapshots the cross-patch values of `x` into the ax / ghost buffers.
+  /// Call wherever the ghost ring of `x` is exchanged.
+  void refresh(const mesh::CompositeScalar& x);
+
+ private:
+  const mesh::CompositeMesh* mesh_ = nullptr;
+  std::vector<Side> sides_;
+  std::vector<const Side*> lookup_;  // patch_count * 4, by [k * 4 + edge]
+};
+
+/// The four (possibly null) jump sides of one patch, as the assembly
+/// kernel consumes them.
+struct JumpSides {
+  const JumpStencil::Side* w = nullptr;
+  const JumpStencil::Side* e = nullptr;
+  const JumpStencil::Side* s = nullptr;
+  const JumpStencil::Side* n = nullptr;
+};
+
+inline JumpSides jump_sides(const JumpStencil& st, int k) {
+  JumpSides js;
+  if (!st.empty()) {
+    js.w = st.side(k, JumpStencil::kW);
+    js.e = st.side(k, JumpStencil::kE);
+    js.s = st.side(k, JumpStencil::kS);
+    js.n = st.side(k, JumpStencil::kN);
+  }
+  return js;
+}
+
+inline bool any_jump_side(const JumpSides& js) {
+  return js.w != nullptr || js.e != nullptr || js.s != nullptr ||
+         js.n != nullptr;
+}
+
+/// Diagonal and right-hand side of the 5-point p' equation at one fluid
+/// cell — THE pressure operator, shared by the solver's SOR loop
+/// (rans.cpp) and every multigrid level (mg.cpp) so the two can never
+/// drift apart. `b0` is the source term (-imbalance for the fine
+/// equation, the restricted residual for coarse levels). The boundary
+/// treatment: outlet east face folds a_e into the diagonal with the
+/// ghost relation x_ghost = -x (p' = 0 at the face), every other domain
+/// face carries zero correction flux, solid faces carry none. Jump-side
+/// boundary cells couple through the matched stencil buffers instead of
+/// the interpolated ghost ring; same-level interface cells read the
+/// exchanged ghost (an exact copy there). The Gauss-Seidel value is
+/// rhs / apc and the residual is rhs - apc * x.
+///
+/// kJump compiles the jump-side branches out: hot loops dispatch per
+/// patch on any_jump_side(js) so the (common) patches with no jump
+/// interface pay nothing for the matched stencil — the uniform-mesh
+/// kernel is bit- and cost-identical to the pre-stencil one. With
+/// kJump = false every js pointer must be null.
+template <bool kJump = true>
+inline void assemble_pressure_cell(const mesh::PatchMesh& pm,
+                                   const field::Grid2Dd& DP,
+                                   const field::Grid2Dd& X, double b0,
+                                   bool outlet_right, int npx, int npy,
+                                   const JumpSides& js, int i, int j,
+                                   double* apc, double* rhs) {
+  const double dcell = DP(i, j);
+  const double rx = dcell * pm.dy / pm.dx;
+  const double ry = dcell * pm.dx / pm.dy;
+  double sum = 0.0;
+  double b = b0;
+  // East face.
+  if (kJump && js.e != nullptr && j == pm.nx) {
+    sum += js.e->a[i];
+    b += js.e->ax[i];
+  } else if (!pm.solid(i, j + 1)) {
+    if (pm.pj == npx - 1 && j == pm.nx) {
+      if (outlet_right) {
+        sum += rx;
+        b += rx * (-X(i, j));
+      }
+    } else {
+      sum += rx;
+      b += rx * X(i, j + 1);
+    }
+  }
+  // West face.
+  if (kJump && js.w != nullptr && j == 1) {
+    sum += js.w->a[i];
+    b += js.w->ax[i];
+  } else if (!pm.solid(i, j - 1) && !(pm.pj == 0 && j == 1)) {
+    sum += rx;
+    b += rx * X(i, j - 1);
+  }
+  // North face.
+  if (kJump && js.n != nullptr && i == pm.ny) {
+    sum += js.n->a[j];
+    b += js.n->ax[j];
+  } else if (!pm.solid(i + 1, j) && !(pm.pi == npy - 1 && i == pm.ny)) {
+    sum += ry;
+    b += ry * X(i + 1, j);
+  }
+  // South face.
+  if (kJump && js.s != nullptr && i == 1) {
+    sum += js.s->a[j];
+    b += js.s->ax[j];
+  } else if (!pm.solid(i - 1, j) && !(pm.pi == 0 && i == 1)) {
+    sum += ry;
+    b += ry * X(i - 1, j);
+  }
+  *apc = sum;
+  *rhs = b;
+}
+
+/// Largest absolute flux mismatch over all patch interfaces of the
+/// stored face-velocity arrays: |a - b| on same-level faces, |coarse -
+/// mean(covered fine)| across level jumps. Zero (to the bit, see the
+/// corrector's face pass) after every reflux or matched face correction;
+/// the debug build asserts it, tests/test_solver_mg.cpp measures it.
+double interface_flux_mismatch(const mesh::CompositeMesh& mesh,
+                               const mesh::CompositeScalar& face_u,
+                               const mesh::CompositeScalar& face_v);
+
+}  // namespace adarnet::solver

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 #include <string>
+#include <vector>
 
+#include "solver/jump.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
 
@@ -75,53 +77,10 @@ inline DimW dim_weights(int fi, int cn, int ratio, bool open_lo,
   return d;
 }
 
-// Diagonal and right-hand side of the 5-point p' equation at one cell of
-// one level, assembled from the current iterate's neighbour values. The
-// boundary treatment mirrors the solver's SOR loop exactly: outlet east
-// face folds a_e into the diagonal with the ghost relation x_ghost = -x
-// (p' = 0 at the face), every other domain face carries zero correction
-// flux, solid faces carry none. `rhs` includes the outlet's -a_e * x
-// contribution, so the Gauss-Seidel value is rhs / apc and the residual
-// is rhs - apc * x.
-inline void assemble_cell(const PatchMesh& pm, const Grid2Dd& DP,
-                          const Grid2Dd& X, const Grid2Dd& B,
-                          bool outlet_right, int npx, int npy, int i, int j,
-                          double* apc, double* rhs) {
-  const double dcell = DP(i, j);
-  const double rx = dcell * pm.dy / pm.dx;
-  const double ry = dcell * pm.dx / pm.dy;
-  double sum = 0.0;
-  double b = B(i, j);
-  const bool domain_e = pm.pj == npx - 1 && j == pm.nx;
-  const bool domain_w = pm.pj == 0 && j == 1;
-  const bool domain_n = pm.pi == npy - 1 && i == pm.ny;
-  const bool domain_s = pm.pi == 0 && i == 1;
-  if (!pm.solid(i, j + 1)) {
-    if (domain_e) {
-      if (outlet_right) {
-        sum += rx;
-        b += rx * (-X(i, j));
-      }
-    } else {
-      sum += rx;
-      b += rx * X(i, j + 1);
-    }
-  }
-  if (!pm.solid(i, j - 1) && !domain_w) {
-    sum += rx;
-    b += rx * X(i, j - 1);
-  }
-  if (!pm.solid(i + 1, j) && !domain_n) {
-    sum += ry;
-    b += ry * X(i + 1, j);
-  }
-  if (!pm.solid(i - 1, j) && !domain_s) {
-    sum += ry;
-    b += ry * X(i - 1, j);
-  }
-  *apc = sum;
-  *rhs = b;
-}
+// The per-cell 5-point assembly lives in solver/jump.hpp
+// (assemble_pressure_cell): one kernel shared with the solver's SOR loop,
+// so the level operators and the fine p' equation can never drift apart —
+// including the flux-matched couplings at level-jump interface cells.
 
 void zero_scalar(CompositeScalar& s, bool parallel) {
   const int n = static_cast<int>(s.size());
@@ -138,7 +97,7 @@ void zero_scalar(CompositeScalar& s, bool parallel) {
 void mg_restrict_patch(const Grid2Dd& fine_r, int fny, int fnx,
                        Grid2Dd& coarse_b, int cny, int cnx, bool open_s,
                        bool open_n, bool open_w, bool open_e,
-                       bool dirichlet_e) {
+                       bool dirichlet_e, const Mask2D* coarse_solid) {
   const int ry = fny / cny;
   const int rx = fnx / cnx;
   assert(fny == ry * cny && fnx == rx * cnx);
@@ -171,13 +130,36 @@ void mg_restrict_patch(const Grid2Dd& fine_r, int fny, int fnx,
       const double wi[2] = {wy.wc, wy.ws};
       const int cj[2] = {wx.c, wx.s};
       const double wj[2] = {wx.wc, wx.ws};
+      if (!coarse_solid) {  // no mask: plain bounds-checked scatter
+        for (int a = 0; a < 2; ++a) {
+          if (wi[a] == 0.0 || ci[a] < 1 || ci[a] > cny) continue;
+          if (a == 1 && ci[1] == ci[0]) break;
+          for (int b = 0; b < 2; ++b) {
+            if (wj[b] == 0.0 || cj[b] < 1 || cj[b] > cnx) continue;
+            if (b == 1 && cj[1] == cj[0]) break;
+            coarse_b(ci[a], cj[b]) += wi[a] * wj[b] * v;
+          }
+        }
+        continue;
+      }
       for (int a = 0; a < 2; ++a) {
-        if (wi[a] == 0.0 || ci[a] < 1 || ci[a] > cny) continue;
+        if (wi[a] == 0.0) continue;
         if (a == 1 && ci[1] == ci[0]) break;
         for (int b = 0; b < 2; ++b) {
-          if (wj[b] == 0.0 || cj[b] < 1 || cj[b] > cnx) continue;
+          if (wj[b] == 0.0) continue;
           if (b == 1 && cj[1] == cj[0]) break;
-          coarse_b(ci[a], cj[b]) += wi[a] * wj[b] * v;
+          int I = ci[a], J = cj[b];
+          // Reflective fold at immersed solids: a side/diagonal target
+          // that the mask pins to zero hands its share to the parent
+          // (exactly like a closed zero-flux side). Scatter indices stay
+          // within the mask's ghost ring (0..cn+1) by construction.
+          if (coarse_solid && (a != 0 || b != 0) && (*coarse_solid)(I, J)) {
+            I = ci[0];
+            J = cj[0];
+          }
+          if (I < 1 || I > cny || J < 1 || J > cnx) continue;
+          if (coarse_solid && (*coarse_solid)(I, J)) continue;
+          coarse_b(I, J) += wi[a] * wj[b] * v;
         }
       }
     }
@@ -187,7 +169,8 @@ void mg_restrict_patch(const Grid2Dd& fine_r, int fny, int fnx,
 void mg_prolong_add_patch(const Grid2Dd& coarse_x, int cny, int cnx,
                           Grid2Dd& fine_x, int fny, int fnx,
                           const Mask2D* fine_solid, bool open_s, bool open_n,
-                          bool open_w, bool open_e, bool dirichlet_e) {
+                          bool open_w, bool open_e, bool dirichlet_e,
+                          const Mask2D* coarse_solid) {
   const int ry = fny / cny;
   const int rx = fnx / cnx;
   assert(fny == ry * cny && fnx == rx * cnx);
@@ -206,9 +189,40 @@ void mg_prolong_add_patch(const Grid2Dd& coarse_x, int cny, int cnx,
     for (int fj = 1; fj <= fnx; ++fj) {
       if (fine_solid && (*fine_solid)(fi, fj)) continue;
       const DimW wx = dim_weights(fj, cnx, rx, open_w, open_e, dirichlet_e);
-      fine_x(fi, fj) +=
-          wy.wc * (wx.wc * coarse_x(wy.c, wx.c) + wx.ws * coarse_x(wy.c, wx.s)) +
-          wy.ws * (wx.wc * coarse_x(wy.s, wx.c) + wx.ws * coarse_x(wy.s, wx.s));
+      if (!coarse_solid) {
+        fine_x(fi, fj) += wy.wc * (wx.wc * coarse_x(wy.c, wx.c) +
+                                   wx.ws * coarse_x(wy.c, wx.s)) +
+                          wy.ws * (wx.wc * coarse_x(wy.s, wx.c) +
+                                   wx.ws * coarse_x(wy.s, wx.s));
+        continue;
+      }
+      // Solid fold — the exact transpose of mg_restrict_patch's: a solid
+      // coarse neighbour's share reads the parent instead of the pinned
+      // zero (reflective, matching the operator's zero-flux solid
+      // faces). A fluid fine cell under a solid parent gets no
+      // correction; the smoother owns it.
+      if ((*coarse_solid)(wy.c, wx.c)) continue;
+      const int ci[2] = {wy.c, wy.s};
+      const double wi[2] = {wy.wc, wy.ws};
+      const int cj[2] = {wx.c, wx.s};
+      const double wj[2] = {wx.wc, wx.ws};
+      double add = 0.0;
+      double w_parent = 0.0;
+      for (int a = 0; a < 2; ++a) {
+        if (wi[a] == 0.0) continue;
+        if (a == 1 && ci[1] == ci[0]) break;
+        for (int b = 0; b < 2; ++b) {
+          if (wj[b] == 0.0) continue;
+          if (b == 1 && cj[1] == cj[0]) break;
+          const double w = wi[a] * wj[b];
+          if ((a != 0 || b != 0) && (*coarse_solid)(ci[a], cj[b])) {
+            w_parent += w;
+          } else {
+            add += w * coarse_x(ci[a], cj[b]);
+          }
+        }
+      }
+      fine_x(fi, fj) += add + w_parent * coarse_x(wy.c, wx.c);
     }
   }
 }
@@ -251,8 +265,28 @@ struct PressureMg::Level {
   // never damp. Scaling the sweep count by aspect^2 / 8 restores the
   // smoothing power a strong-direction line smoother would give — at
   // trivial cost, because only the tiny deep rungs of the ladder ever
-  // trigger it. Mesh-derived only (thread invariance).
+  // trigger it. Stays 1 on line-smoothed levels (the line solve IS the
+  // strong-direction smoother). Mesh-derived only (thread invariance).
   int smooth_mult = 1;
+  // Flux-matched level-jump couplings of this level's mesh (empty on
+  // jump-free levels). Subface coefficients re-derive per outer iteration
+  // from the coarsened d field (set_coefficients); the frozen value
+  // buffers follow the iterate's ghost exchanges (exchange_iterate).
+  JumpStencil stencil;
+  // Strong-direction zebra line smoothing replaces point relaxation when
+  // the level's refinement jumps cross strongly anisotropic cells. There
+  // the modes point relaxation cannot damp — oscillatory along the
+  // interface, constant across it, gain 1 - O(1/aspect^2) per sweep —
+  // are exactly the ones the jump stencil's coarse side samples at half
+  // the rate, so every coarse-grid correction is wrong for them and the
+  // V-cycle diverges (this used to be a constructor refusal). A
+  // tridiagonal solve along the strong direction is exact on those
+  // modes: for an along-line-constant error the zebra line solve reduces
+  // to 1D zebra Gauss-Seidel across the lines, which damps the
+  // oscillation the jump aliases. Mesh-derived only.
+  bool line_y = false;  // y-jumps, strong coupling y: column solves
+  bool line_x = false;  // x-jumps, strong coupling x: row solves
+  std::vector<sweep::RowRef> cols;  // (k, j) line items when line_y
 };
 
 PressureMg::PressureMg(const CompositeMesh& fine, const SolverConfig& config)
@@ -263,11 +297,21 @@ PressureMg::PressureMg(const CompositeMesh& fine, const SolverConfig& config)
     lv.b = mesh::make_scalar(*m);
     lv.r = mesh::make_scalar(*m);
     lv.dp = mesh::make_scalar(*m);
+    // Ladder levels anchor their jump-stencil resistances to the FINE
+    // mesh's cell sizes and keep sides at flattened historical interfaces
+    // (jump.hpp): the coarse d is a child average on the fine vol/aP
+    // scale, and the own-h form would halve the interface transmissibility
+    // per rung — enough to diverge the V-cycle across ratio-4+ jumps. At
+    // d == 0 the anchor is the mesh itself, i.e. the solver's own stencil.
+    lv.stencil = d == 0 ? JumpStencil(*m) : JumpStencil(*m, *levels_[0].mesh);
     const double aspect = (m->spec().lx / m->spec().base_nx) /
                           (m->spec().ly / m->spec().base_ny);
     if (aspect >= 2.0 || aspect <= 0.5) lv.half_exchange = true;
-    if ((aspect >= 2.0 && m->spec().ph % 2 != 0) ||
-        (aspect <= 0.5 && m->spec().pw % 2 != 0)) {
+    lv.line_y = m->map().has_jump_in_y() && aspect >= 2.0;
+    lv.line_x = m->map().has_jump_in_x() && aspect <= 0.5;
+    if (!lv.line_y && !lv.line_x &&
+        ((aspect >= 2.0 && m->spec().ph % 2 != 0) ||
+         (aspect <= 0.5 && m->spec().pw % 2 != 0))) {
       const double a = aspect >= 1.0 ? aspect : 1.0 / aspect;
       lv.smooth_mult = static_cast<int>(
           std::min(128.0, std::max(1.0, std::ceil(a * a / 8.0))));
@@ -275,6 +319,9 @@ PressureMg::PressureMg(const CompositeMesh& fine, const SolverConfig& config)
     for (int k = 0; k < m->patch_count(); ++k) {
       const PatchMesh& pm = m->patch_flat(k);
       for (int i = 1; i <= pm.ny; ++i) lv.rows.push_back({k, i});
+      if (lv.line_y) {
+        for (int j = 1; j <= pm.nx; ++j) lv.cols.push_back({k, j});
+      }
       if ((pm.ny == 1 && m->npy() > 1) || (pm.nx == 1 && m->npx() > 1)) {
         lv.half_exchange = true;
       }
@@ -288,42 +335,8 @@ PressureMg::PressureMg(const CompositeMesh& fine, const SolverConfig& config)
   levels_.emplace_back();
   init_level(levels_.back(), &fine, 0);
 
-  // Refuse to coarsen a mesh whose refinement jumps run perpendicular to
-  // strongly anisotropic cells. On such meshes (the row-refined channel:
-  // dx/dy up to 30, jumps between patch rows) the modes point relaxation
-  // cannot damp — x-oscillatory, y-constant, gain 1 - O(1/aspect^2) per
-  // sweep — are exactly the ones the cross-jump ghost interpolation
-  // aliases (the coarse neighbour samples the oscillation at half the
-  // rate), so every coarse level computes an interface correction that is
-  // wrong for the modes nothing can smooth, and the V-cycle amplifies
-  // ~1.5x per cycle however the ladder is shaped or how many sweeps are
-  // spent (measured: smoothing, coarse-solve depth and transfer gating
-  // all change the rate but not the sign). A jump parallel to the strong
-  // coupling is harmless — it aliases modes the smoother kills anyway —
-  // and near-isotropic jump meshes (the refined cylinder) converge
-  // through map lowering. Leaving depth() == 1 makes the caller fall
-  // back to flat SOR (rans.cpp checks depth() > 1). Mesh-derived only,
-  // so thread invariance holds.
-  {
-    const CaseSpec& fs = fine.spec();
-    const auto& fm = fine.map();
-    bool jump_y = false, jump_x = false;
-    for (int pi = 0; pi < fm.npy(); ++pi) {
-      for (int pj = 0; pj < fm.npx(); ++pj) {
-        if (pi + 1 < fm.npy() && fm.level(pi + 1, pj) != fm.level(pi, pj))
-          jump_y = true;
-        if (pj + 1 < fm.npx() && fm.level(pi, pj + 1) != fm.level(pi, pj))
-          jump_x = true;
-      }
-    }
-    const double aspect = (fs.lx / fs.base_nx) / (fs.ly / fs.base_ny);
-    if ((jump_y && aspect >= 2.0) || (jump_x && aspect <= 0.5)) {
-      util::metrics::gauge("solver.mg.levels").set(1.0);
-      return;
-    }
-  }
-
-  while (true) {
+  while (cfg_.mg_max_depth == 0 ||
+         static_cast<int>(levels_.size()) < cfg_.mg_max_depth) {
     const CompositeMesh& cur = *levels_.back().mesh;
     const CaseSpec& spec = cur.spec();
     // Cell aspect ratio dx / dy. Refinement scales both dimensions
@@ -366,28 +379,11 @@ PressureMg::PressureMg(const CompositeMesh& fine, const SolverConfig& config)
       next = std::make_unique<CompositeMesh>(cs, cur.map());
     } else if (cur.map().max_level() > 0) {
       // Lower every refinement level by one: refined patches coarsen by
-      // 2, level-0 patches stay put (ratio-1 identity transfer).
-      //
-      // ... unless this level's cells have (re)grown anisotropic with the
-      // jumps perpendicular to the strong coupling — the aliasing
-      // configuration the constructor refuses at the fine level (see the
-      // depth-1 bail-out above). The semicoarsening rungs keep the aspect
-      // near 1 on the way down, so this guard is normally dead; it is the
-      // invariant check that keeps a future ladder-shape change from
-      // silently re-introducing the divergence.
-      const auto& cm = cur.map();
-      bool jump_y = false, jump_x = false;
-      for (int pi = 0; pi < cm.npy(); ++pi) {
-        for (int pj = 0; pj < cm.npx(); ++pj) {
-          if (pi + 1 < cm.npy() && cm.level(pi + 1, pj) != cm.level(pi, pj))
-            jump_y = true;
-          if (pj + 1 < cm.npx() && cm.level(pi, pj + 1) != cm.level(pi, pj))
-            jump_x = true;
-        }
-      }
-      if ((jump_y && aspect >= 2.0) || (jump_x && aspect <= 0.5)) {
-        break;
-      }
+      // 2, level-0 patches stay put (ratio-1 identity transfer). The
+      // level operators couple through flux-matched jump stencils and the
+      // aliasing-prone anisotropic-jump levels run the zebra line
+      // smoother, so no ladder shape is refused here any more (the old
+      // depth-1 bail-out and its per-level recheck are gone).
       RefinementMap m = cur.map();
       for (int pi = 0; pi < m.npy(); ++pi) {
         for (int pj = 0; pj < m.npx(); ++pj) {
@@ -474,6 +470,12 @@ void PressureMg::set_coefficients(const CompositeScalar& ap_fine) {
       for (int k = 0; k < n; ++k) coarsen_patch(k);
     }
   }
+
+  // Every level's jump stencil re-derives its subface couplings from the
+  // freshly coarsened d field (a_s = 0 wherever a cell went solid).
+  for (Level& lv : levels_) {
+    if (!lv.stencil.empty()) lv.stencil.set_coefficients(lv.dp);
+  }
 }
 
 void PressureMg::exchange(const Level& lv, CompositeScalar& x,
@@ -482,9 +484,23 @@ void PressureMg::exchange(const Level& lv, CompositeScalar& x,
   exchange_ghosts(x, *lv.mesh, lv.parallel);
 }
 
+void PressureMg::exchange_iterate(Level& lv, CompositeScalar& x,
+                                  MgSolveInfo& info) const {
+  exchange(lv, x, info);
+  if (!lv.stencil.empty()) {
+    const util::ScopedAccum t(&info.ghost_seconds);
+    lv.stencil.refresh(x);
+  }
+}
+
 void PressureMg::smooth(Level& lv, CompositeScalar& x, int sweeps,
                         double omega, bool exchange_each_sweep,
                         MgSolveInfo& info) const {
+  const util::ScopedAccum tsm(&info.smooth_seconds);
+  if (lv.line_y || lv.line_x) {
+    smooth_lines(lv, x, sweeps, info);
+    return;
+  }
   const bool outlet_right =
       lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
   const int npx = lv.mesh->npx();
@@ -497,6 +513,7 @@ void PressureMg::smooth(Level& lv, CompositeScalar& x, int sweeps,
           Grid2Dd& X = x[k];
           const Grid2Dd& DP = lv.dp[k];
           const Grid2Dd& B = lv.b[k];
+          const JumpSides jsd = jump_sides(lv.stencil, k);
           // Globally consistent checkerboard: the parity base shifts the
           // (i + j) coloring by the patch's global cell offset. It is 0
           // whenever both patch dimensions are even (every fine level),
@@ -504,21 +521,28 @@ void PressureMg::smooth(Level& lv, CompositeScalar& x, int sweeps,
           // true checkerboard across interfaces of same-size patches.
           const int par = ((pm.pi * pm.ny) + (pm.pj * pm.nx)) & 1;
           const int js = sweep::color_jstep(color_);
-          for (int j = sweep::color_j0(i + par, color_); j <= pm.nx;
-               j += js) {
-            if (pm.solid(i, j)) {
-              X(i, j) = 0.0;
-              continue;
+          auto row = [&]<bool kJump>() {
+            for (int j = sweep::color_j0(i + par, color_); j <= pm.nx;
+                 j += js) {
+              if (pm.solid(i, j)) {
+                X(i, j) = 0.0;
+                continue;
+              }
+              double apc = 0.0;
+              double rhs = 0.0;
+              assemble_pressure_cell<kJump>(pm, DP, X, B(i, j), outlet_right,
+                                            npx, npy, jsd, i, j, &apc, &rhs);
+              if (apc <= 0.0) {
+                X(i, j) = 0.0;
+                continue;
+              }
+              X(i, j) += omega * (rhs / apc - X(i, j));
             }
-            double apc = 0.0;
-            double rhs = 0.0;
-            assemble_cell(pm, DP, X, B, outlet_right, npx, npy, i, j, &apc,
-                          &rhs);
-            if (apc <= 0.0) {
-              X(i, j) = 0.0;
-              continue;
-            }
-            X(i, j) += omega * (rhs / apc - X(i, j));
+          };
+          if (any_jump_side(jsd)) {
+            row.template operator()<true>();
+          } else {
+            row.template operator()<false>();
           }
         },
         lv.parallel);
@@ -526,16 +550,220 @@ void PressureMg::smooth(Level& lv, CompositeScalar& x, int sweeps,
   for (int s = 0; s < sweeps; ++s) {
     if (cfg_.ordering == SweepOrdering::kRedBlack) {
       half(0);
-      if (lv.half_exchange) exchange(lv, x, info);
+      if (lv.half_exchange) exchange_iterate(lv, x, info);
       half(1);
     } else {
       half(-1);
     }
-    if (exchange_each_sweep || lv.half_exchange) exchange(lv, x, info);
+    if (exchange_each_sweep || lv.half_exchange) {
+      exchange_iterate(lv, x, info);
+    }
   }
 }
 
-double PressureMg::compute_residual(Level& lv, CompositeScalar& x) const {
+// Zebra line smoothing: exact tridiagonal (Thomas) solves along the
+// strong direction, odd lines then even lines. In-line couplings are
+// implicit; cross-line couplings, interface ghosts, jump-stencil terms
+// and the outlet fold stay explicit at their frozen values, so lines of
+// one color only read the other color (plus frozen buffers) — race-free
+// and thread-count invariant like the point kernel. For an error mode
+// constant along the line — exactly the kind the jump aliasing feeds —
+// the solve reduces to 1D zebra Gauss-Seidel across the lines, which
+// point relaxation approaches only at O(aspect^2) sweep counts. The
+// implied linear operator is identical to assemble_pressure_cell's: the
+// outlet's rhs term -a_e * x moves to the diagonal (ext += 2 a_e), and
+// every other face keeps its coupling and rhs contribution verbatim.
+// Lines segment at solid / zero-diagonal cells (which pin to 0, as in
+// the point kernel); a segment with no explicit coupling anywhere is an
+// unanchored pure-Neumann tridiagonal — singular — and is skipped: the
+// coarse grid owns its constant mode.
+void PressureMg::smooth_lines(Level& lv, CompositeScalar& x, int sweeps,
+                              MgSolveInfo& info) const {
+  const bool outlet_right =
+      lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
+  const int npx = lv.mesh->npx();
+  const int npy = lv.mesh->npy();
+  const bool by_cols = lv.line_y;  // column solves; else row solves
+  const std::vector<sweep::RowRef>& items = by_cols ? lv.cols : lv.rows;
+
+  auto pass = [&](int color) {
+    sweep::run_scan(
+        items,
+        [&](int /*r*/, int k, int t) {
+          const PatchMesh& pm = lv.mesh->patch_flat(k);
+          // Global zebra parity, consistent across same-size neighbours
+          // exactly like the point kernel's checkerboard base.
+          const int gline = by_cols ? pm.pj * pm.nx + t : pm.pi * pm.ny + t;
+          if ((gline & 1) != color) return;
+          Grid2Dd& X = x[k];
+          const Grid2Dd& DP = lv.dp[k];
+          const Grid2Dd& B = lv.b[k];
+          const JumpSides jsd = jump_sides(lv.stencil, k);
+          // Faces seen from the line: "along" = in-line (tridiagonal),
+          // "perp" = cross-line (explicit).
+          const JumpStencil::Side* jlo = by_cols ? jsd.s : jsd.w;
+          const JumpStencil::Side* jhi = by_cols ? jsd.n : jsd.e;
+          const JumpStencil::Side* plo = by_cols ? jsd.w : jsd.s;
+          const JumpStencil::Side* phi = by_cols ? jsd.e : jsd.n;
+          const int n = by_cols ? pm.ny : pm.nx;
+          const bool dom_alo = by_cols ? pm.pi == 0 : pm.pj == 0;
+          const bool dom_ahi =
+              by_cols ? pm.pi == npy - 1 : pm.pj == npx - 1;
+          const bool dom_plo = by_cols ? pm.pj == 0 : pm.pi == 0;
+          const bool dom_phi =
+              by_cols ? pm.pj == npx - 1 : pm.pi == npy - 1;
+          const bool plo_edge = t == 1;
+          const bool phi_edge = t == (by_cols ? pm.nx : pm.ny);
+          const double h_al = by_cols ? pm.dy : pm.dx;
+          const double h_pe = by_cols ? pm.dx : pm.dy;
+          auto ci = [&](int p) { return by_cols ? p : t; };
+          auto cj = [&](int p) { return by_cols ? t : p; };
+          thread_local std::vector<double> lo, up, ex, dg, rh, cp, dv;
+          if (static_cast<int>(lo.size()) < n + 1) {
+            lo.resize(n + 1);
+            up.resize(n + 1);
+            ex.resize(n + 1);
+            dg.resize(n + 1);
+            rh.resize(n + 1);
+            cp.resize(n + 1);
+            dv.resize(n + 1);
+          }
+          for (int p = 1; p <= n; ++p) {
+            const int i = ci(p), j = cj(p);
+            if (pm.solid(i, j)) {
+              X(i, j) = 0.0;
+              dg[p] = 0.0;
+              continue;
+            }
+            const double dcell = DP(i, j);
+            const double ral = dcell * h_pe / h_al;  // in-line coupling
+            const double rpe = dcell * h_al / h_pe;  // cross-line coupling
+            double l = 0.0, u = 0.0, e = 0.0, b = B(i, j);
+            // Along-lo face (south for columns, west for rows).
+            if (jlo != nullptr && p == 1) {
+              e += jlo->a[t];
+              b += jlo->ax[t];
+            } else if (!pm.solid(ci(p - 1), cj(p - 1))) {
+              if (p == 1) {
+                if (!dom_alo) {  // interface ghost: explicit
+                  e += ral;
+                  b += ral * X(ci(0), cj(0));
+                }
+              } else {
+                l = ral;
+              }
+            }
+            // Along-hi face (north for columns, east for rows).
+            if (jhi != nullptr && p == n) {
+              e += jhi->a[t];
+              b += jhi->ax[t];
+            } else if (!pm.solid(ci(p + 1), cj(p + 1))) {
+              if (p == n) {
+                if (dom_ahi) {
+                  if (!by_cols && outlet_right) e += 2.0 * ral;
+                } else {
+                  e += ral;
+                  b += ral * X(ci(n + 1), cj(n + 1));
+                }
+              } else {
+                u = ral;
+              }
+            }
+            // Perp-lo face (west for columns, south for rows).
+            if (plo != nullptr && plo_edge) {
+              e += plo->a[p];
+              b += plo->ax[p];
+            } else {
+              const int qi = by_cols ? i : i - 1;
+              const int qj = by_cols ? j - 1 : j;
+              if (!pm.solid(qi, qj) && !(dom_plo && plo_edge)) {
+                e += rpe;
+                b += rpe * X(qi, qj);
+              }
+            }
+            // Perp-hi face (east for columns, north for rows).
+            if (phi != nullptr && phi_edge) {
+              e += phi->a[p];
+              b += phi->ax[p];
+            } else {
+              const int qi = by_cols ? i : i + 1;
+              const int qj = by_cols ? j + 1 : j;
+              if (!pm.solid(qi, qj)) {
+                if (dom_phi && phi_edge) {
+                  if (by_cols && outlet_right) e += 2.0 * rpe;
+                } else {
+                  e += rpe;
+                  b += rpe * X(qi, qj);
+                }
+              }
+            }
+            const double d = e + l + u;
+            if (d <= 0.0) {
+              X(i, j) = 0.0;
+              dg[p] = 0.0;
+              continue;
+            }
+            lo[p] = l;
+            up[p] = u;
+            ex[p] = e;
+            dg[p] = d;
+            rh[p] = b;
+          }
+          // Solve each alive segment: diag x_p - lo x_{p-1} - up x_{p+1}
+          // = rhs. With any ex > 0 the segment is irreducibly diagonally
+          // dominant, so the Thomas denominators stay positive.
+          int p0 = 1;
+          while (p0 <= n) {
+            if (dg[p0] == 0.0) {
+              ++p0;
+              continue;
+            }
+            int p1 = p0;
+            while (p1 + 1 <= n && dg[p1 + 1] != 0.0) ++p1;
+            bool anchored = false;
+            for (int p = p0; p <= p1; ++p) {
+              if (ex[p] > 0.0) {
+                anchored = true;
+                break;
+              }
+            }
+            if (anchored) {
+              double den = dg[p0];
+              cp[p0] = -up[p0] / den;
+              dv[p0] = rh[p0] / den;
+              for (int p = p0 + 1; p <= p1; ++p) {
+                den = dg[p] + lo[p] * cp[p - 1];
+                cp[p] = -up[p] / den;
+                dv[p] = (rh[p] + lo[p] * dv[p - 1]) / den;
+              }
+              double xp = dv[p1];
+              X(ci(p1), cj(p1)) = xp;
+              for (int p = p1 - 1; p >= p0; --p) {
+                xp = dv[p] - cp[p] * xp;
+                X(ci(p), cj(p)) = xp;
+              }
+            }
+            p0 = p1 + 1;
+          }
+        },
+        lv.parallel);
+  };
+
+  for (int s = 0; s < sweeps; ++s) {
+    // Exchange + stencil refresh between the colors and after each sweep:
+    // line-smoothed levels are by construction strongly anisotropic, the
+    // same regime that makes leg-frozen ghosts oscillate under the point
+    // kernel (see Level::half_exchange).
+    pass(0);
+    exchange_iterate(lv, x, info);
+    pass(1);
+    exchange_iterate(lv, x, info);
+  }
+}
+
+double PressureMg::compute_residual(Level& lv, CompositeScalar& x,
+                                    MgSolveInfo& info) const {
+  const util::ScopedAccum tre(&info.residual_seconds);
   const bool outlet_right =
       lv.mesh->spec().bc.right.type == mesh::BcType::kOutlet;
   const int npx = lv.mesh->npx();
@@ -549,23 +777,31 @@ double PressureMg::compute_residual(Level& lv, CompositeScalar& x) const {
         const Grid2Dd& DP = lv.dp[k];
         const Grid2Dd& B = lv.b[k];
         Grid2Dd& R = lv.r[k];
+        const JumpSides jsd = jump_sides(lv.stencil, k);
         double acc = 0.0;
-        for (int j = 1; j <= pm.nx; ++j) {
-          if (pm.solid(i, j)) {
-            R(i, j) = 0.0;
-            continue;
+        auto row = [&]<bool kJump>() {
+          for (int j = 1; j <= pm.nx; ++j) {
+            if (pm.solid(i, j)) {
+              R(i, j) = 0.0;
+              continue;
+            }
+            double apc = 0.0;
+            double rhs = 0.0;
+            assemble_pressure_cell<kJump>(pm, DP, X, B(i, j), outlet_right,
+                                          npx, npy, jsd, i, j, &apc, &rhs);
+            if (apc <= 0.0) {
+              R(i, j) = 0.0;
+              continue;
+            }
+            const double rr = rhs - apc * X(i, j);
+            R(i, j) = rr;
+            acc += std::abs(rr);
           }
-          double apc = 0.0;
-          double rhs = 0.0;
-          assemble_cell(pm, DP, X, B, outlet_right, npx, npy, i, j, &apc,
-                        &rhs);
-          if (apc <= 0.0) {
-            R(i, j) = 0.0;
-            continue;
-          }
-          const double rr = rhs - apc * X(i, j);
-          R(i, j) = rr;
-          acc += std::abs(rr);
+        };
+        if (any_jump_side(jsd)) {
+          row.template operator()<true>();
+        } else {
+          row.template operator()<false>();
         }
         lv.acc[r] = acc;
       },
@@ -592,9 +828,9 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
 
   smooth(lv, x, cfg_.mg_pre_smooth * lv.smooth_mult, 1.0,
          /*exchange_each_sweep=*/false, info);
-  exchange(lv, x, info);
+  exchange_iterate(lv, x, info);
 
-  const double rnorm = compute_residual(lv, x);
+  const double rnorm = compute_residual(lv, x, info);
   if (util::metrics::enabled() && lv.series) lv.series->append(series_x, rnorm);
 
   // Restrict the residual into the coarse RHS and descend from zero. The
@@ -615,6 +851,7 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
   // for which the jump-ghost interpolation is dimensionally sound.
   exchange(lv, lv.r, info);
   {
+    const util::ScopedAccum ttr(&info.transfer_seconds);
     const int n = lv.mesh->patch_count();
     const int npx = lv.mesh->npx();
     const int npy = lv.mesh->npy();
@@ -636,7 +873,10 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
           /*open_e=*/pj + 1 < npx && same_lvl(pi, pj, pi, pj + 1),
           // The anti-reflective fold is for the domain outlet only; an
           // east side closed because of a level jump folds reflectively.
-          /*dirichlet_e=*/outlet_right && pj + 1 == npx);
+          /*dirichlet_e=*/outlet_right && pj + 1 == npx,
+          // Solid fold only when the case has immersed geometry — cases
+          // without keep the unmasked fast path bit-for-bit.
+          lv.mesh->spec().geometry ? &cp.solid : nullptr);
     };
     if (lv.parallel) {
 #pragma omp parallel for schedule(static)
@@ -646,6 +886,7 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
     }
   }
   zero_scalar(lc.x, lc.parallel);
+  if (!lc.stencil.empty()) lc.stencil.refresh(lc.x);  // zero the buffers
   v_cycle(d + 1, lc.x, series_x, info);
 
   // Prolong the coarse correction back and re-smooth; each leg ends with
@@ -653,6 +894,7 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
   // coarse v_cycle leaves them exchanged), so the interpolation reads
   // neighbour-patch coarse cells through them at interface sides.
   {
+    const util::ScopedAccum ttr(&info.transfer_seconds);
     const int n = lv.mesh->patch_count();
     const int npx = lv.mesh->npx();
     const int npy = lv.mesh->npy();
@@ -661,11 +903,19 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
     auto prolong_patch = [&](int k) {
       const PatchMesh& fp = lv.mesh->patch_flat(k);
       const PatchMesh& cp = lc.mesh->patch_flat(k);
+      const int pi = fp.pi, pj = fp.pj;
+      // Unlike restriction, prolongation stays OPEN at jump sides (the
+      // correction is point-valued, the t_perp jump-ghost interpolation
+      // is sound for it) — folding there instead demonstrably hurts:
+      // ratio-2 deep ladders flip from rate 0.76 to divergence when the
+      // jump side is closed here. dirichlet_e only matters where the
+      // east side is closed, so gate it to the domain boundary.
       mg_prolong_add_patch(lc.x[k], cp.ny, cp.nx, x[k], fp.ny, fp.nx,
                            &fp.solid,
-                           /*open_s=*/fp.pi > 0, /*open_n=*/fp.pi + 1 < npy,
-                           /*open_w=*/fp.pj > 0, /*open_e=*/fp.pj + 1 < npx,
-                           /*dirichlet_e=*/outlet_right);
+                           /*open_s=*/pi > 0, /*open_n=*/pi + 1 < npy,
+                           /*open_w=*/pj > 0, /*open_e=*/pj + 1 < npx,
+                           /*dirichlet_e=*/outlet_right && pj + 1 == npx,
+                           lv.mesh->spec().geometry ? &cp.solid : nullptr);
     };
     if (lv.parallel) {
 #pragma omp parallel for schedule(static)
@@ -674,10 +924,10 @@ void PressureMg::v_cycle(int d, CompositeScalar& x, double series_x,
       for (int k = 0; k < n; ++k) prolong_patch(k);
     }
   }
-  exchange(lv, x, info);
+  exchange_iterate(lv, x, info);
   smooth(lv, x, cfg_.mg_post_smooth * lv.smooth_mult, 1.0,
          /*exchange_each_sweep=*/false, info);
-  exchange(lv, x, info);
+  exchange_iterate(lv, x, info);
 }
 
 MgSolveInfo PressureMg::solve(CompositeScalar& x, const CompositeScalar& imb) {
@@ -689,6 +939,7 @@ MgSolveInfo PressureMg::solve(CompositeScalar& x, const CompositeScalar& imb) {
   // b = -imb at fluid cells (the same sign convention as the SOR loop's
   // rhs), 0 at solids; |b| accumulates through fixed-order row partials.
   zero_scalar(x, l0.parallel);
+  if (!l0.stencil.empty()) l0.stencil.refresh(x);  // zero the buffers
   sweep::zero_rows(l0.acc);
   sweep::run_scan(
       l0.rows,
@@ -722,7 +973,7 @@ MgSolveInfo PressureMg::solve(CompositeScalar& x, const CompositeScalar& imb) {
     cycle_counter.add();
     v_cycle(0, x, static_cast<double>(cycle_counter.value()), info);
     info.cycles += 1;
-    rnorm = compute_residual(l0, x);
+    rnorm = compute_residual(l0, x, info);
     if (rnorm <= cfg_.mg_tol * bnorm) break;
   }
   info.final_ratio = rnorm / bnorm;

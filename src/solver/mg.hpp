@@ -15,18 +15,24 @@
 //     (the channel: dx/dy up to 30) are semicoarsened — only the strong
 //     coupling direction is halved until cells are near-isotropic — then
 //     both dimensions halve, and finally every RefinementMap level is
-//     lowered by one. Meshes whose refinement jumps run perpendicular to
-//     strongly anisotropic cells are refused outright (depth() == 1, the
-//     caller falls back to SOR): the cross-jump ghost interpolation
-//     aliases exactly the modes point relaxation cannot damp, and no
-//     ladder shape makes that cycle converge (solver/mg.cpp).
+//     lowered by one. Level-jump interfaces couple through the
+//     flux-matched subface stencils (solver/jump.hpp) in every level
+//     operator — the same assembly the solver's SOR loop uses — so map
+//     lowering no longer refuses any mesh shape.
 //   * Smoothing is the same red-black kernel as the solver's SOR path
 //     (sweep.hpp), thread-parallel over (patch, row) work items with
 //     fixed-order reductions: results are bitwise identical across thread
-//     counts. Coarse levels too small to amortise an OpenMP fork/join run
-//     the identical schedule serially, and rungs whose strong direction
-//     is exhausted scale their sweep count by aspect^2 (smooth_mult) —
-//     all mesh-derived decisions, never thread-count-derived ones.
+//     counts. Levels whose refinement jumps run perpendicular to strongly
+//     anisotropic cells (the row-refined channel: x-oscillatory modes
+//     alias across y-jumps faster than point relaxation damps them) swap
+//     the point kernel for a zebra line smoother in the strong direction:
+//     exact tridiagonal solves along odd then even lines, which kill the
+//     aliasing modes and keep a real ladder where the old code refused at
+//     depth 1. Coarse levels too small to amortise an OpenMP fork/join
+//     run the identical schedule serially, and point-smoothed rungs whose
+//     strong direction is exhausted scale their sweep count by aspect^2
+//     (smooth_mult) — all mesh-derived decisions, never
+//     thread-count-derived ones.
 //   * Ghost exchanges are fused per V-cycle leg: one exchange after each
 //     smoothing leg and after prolongation, not one per sweep. Sweeps
 //     within a leg see interface ghosts frozen at the leg boundary — a
@@ -60,6 +66,12 @@ struct MgSolveInfo {
   double final_ratio = 0.0;  ///< |r| / |b| at exit (0 for a zero RHS)
   double ghost_seconds = 0.0;///< wall time inside ghost exchanges, so the
                              ///< caller can book it under PhaseTimes.ghosts
+  // Per-component wall time, for locating where a cycle's cost moved.
+  // smooth_seconds includes the ghost exchanges the smoother runs (also
+  // booked in ghost_seconds); the three do not sum to the solve wall.
+  double smooth_seconds = 0.0;   ///< relaxation sweeps (point and line)
+  double residual_seconds = 0.0; ///< residual assembly + norms
+  double transfer_seconds = 0.0; ///< restriction + prolongation
 };
 
 /// Geometric V-cycle solver for the pressure-correction equation
@@ -105,11 +117,24 @@ class PressureMg {
 
   void smooth(Level& lv, mesh::CompositeScalar& x, int sweeps, double omega,
               bool exchange_each_sweep, MgSolveInfo& info) const;
+  /// Zebra (odd/even line) tridiagonal smoothing along the level's strong
+  /// direction; used instead of the point kernel on levels whose jumps
+  /// run perpendicular to strong anisotropy. One sweep = both colors.
+  void smooth_lines(Level& lv, mesh::CompositeScalar& x, int sweeps,
+                    MgSolveInfo& info) const;
   void exchange(const Level& lv, mesh::CompositeScalar& x,
                 MgSolveInfo& info) const;
+  /// exchange() plus a refresh of the level's jump-stencil value buffers
+  /// — the iterate's cross-patch couplings stay frozen-at-exchange-points
+  /// exactly like its ghost ring. Use for the iterate; plain exchange()
+  /// for the residual (its jump ghosts are never read: restriction gates
+  /// jump sides).
+  void exchange_iterate(Level& lv, mesh::CompositeScalar& x,
+                        MgSolveInfo& info) const;
   /// Fills lv.r with the residual of `x` (fresh ghosts expected) and
   /// returns its L1 norm via fixed-order per-row partials.
-  double compute_residual(Level& lv, mesh::CompositeScalar& x) const;
+  double compute_residual(Level& lv, mesh::CompositeScalar& x,
+                          MgSolveInfo& info) const;
   void v_cycle(int d, mesh::CompositeScalar& x, double series_x,
                MgSolveInfo& info);
 
@@ -128,13 +153,26 @@ class PressureMg {
 /// zero-flux boundary) everywhere except a closed east side with
 /// `dirichlet_e` (the outlet, p' = 0 at the face), which anti-reflects
 /// (weight 1/2). Interior coarse cells receive weight sum 4 at ratio 2
-/// (the FV sum-of-children scaling). Exposed for the adjointness test in
+/// (the FV sum-of-children scaling).
+///
+/// `coarse_solid` (optional, ghost ring included) folds reflectively at
+/// immersed solids exactly like a closed zero-flux side: weight that
+/// would land in a solid coarse cell moves to the parent instead of
+/// being discarded there, and weight whose parent is solid is dropped.
+/// Without it a fine residual row along a solid boundary loses its 1/4
+/// share every rung — and, transposed, prolongation reads the solid
+/// cell's pinned zero as if the boundary were Dirichlet. That mismatch
+/// against the operator's Neumann solid faces injects an O(1) boundary-
+/// layer error per rung: deep ladders over the cylinder diverge at
+/// V(1,1) (rate ~1.35 at depth 6, doubling per extra rung) without the
+/// fold and converge with it. Exposed for the adjointness test in
 /// tests/test_solver_mg.cpp.
 void mg_restrict_patch(const field::Grid2Dd& fine_r, int fny, int fnx,
                        field::Grid2Dd& coarse_b, int cny, int cnx,
                        bool open_s = false, bool open_n = false,
                        bool open_w = false, bool open_e = false,
-                       bool dirichlet_e = false);
+                       bool dirichlet_e = false,
+                       const field::Mask2D* coarse_solid = nullptr);
 
 /// Adds the prolonged coarse correction into the fine iterate:
 /// x_f += P x_c, cell-centred bilinear with per-dimension weights 3/4
@@ -144,11 +182,16 @@ void mg_restrict_patch(const field::Grid2Dd& fine_r, int fny, int fnx,
 /// them fresh). At closed sides the weight folds onto the parent
 /// (reflective; anti-reflective at a `dirichlet_e` east side, see
 /// mg_restrict_patch). `fine_solid` (optional) skips masked cells.
+/// `coarse_solid` (optional) folds solid coarse neighbours' weights onto
+/// the parent — the transpose of mg_restrict_patch's solid fold, so
+/// R = P^T holds with masks too; fine cells whose parent itself is solid
+/// receive no correction.
 void mg_prolong_add_patch(const field::Grid2Dd& coarse_x, int cny, int cnx,
                           field::Grid2Dd& fine_x, int fny, int fnx,
                           const field::Mask2D* fine_solid,
                           bool open_s = false, bool open_n = false,
                           bool open_w = false, bool open_e = false,
-                          bool dirichlet_e = false);
+                          bool dirichlet_e = false,
+                          const field::Mask2D* coarse_solid = nullptr);
 
 }  // namespace adarnet::solver

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "solver/jump.hpp"
 #include "solver/mg.hpp"
 #include "solver/sa_model.hpp"
 #include "util/fault.hpp"
@@ -243,6 +244,12 @@ struct RansSolver::Workspace {
   CompositeScalar nut;     // eddy viscosity nu_t (from nuTilda)
   CompositeScalar face_u;  // face_u(i,j): u at x-face between (i,j),(i,j+1)
   CompositeScalar face_v;  // face_v(i,j): v at y-face between (i,j),(i+1,j)
+  CompositeScalar dp;      // d = vol / aP per cell (0 in solids)
+
+  // Flux-matched level-jump couplings of the solver mesh (solver/jump.hpp):
+  // the SOR sweeps, the corrector gradients and the post-corrector face
+  // pass all read the same matched stencil. Empty on jump-free meshes.
+  JumpStencil stencil;
 
   std::vector<RowRef> rows;  // flattened (patch, interior row) work items
   // Per-row reduction partials (fixed-order summation: see sum_rows).
@@ -263,7 +270,9 @@ struct RansSolver::Workspace {
         imb(mesh::make_scalar(mesh)),
         nut(mesh::make_scalar(mesh)),
         face_u(mesh::make_scalar(mesh)),
-        face_v(mesh::make_scalar(mesh)) {
+        face_v(mesh::make_scalar(mesh)),
+        dp(mesh::make_scalar(mesh)),
+        stencil(mesh) {
     for (int k = 0; k < mesh.patch_count(); ++k) {
       const PatchMesh& pm = mesh.patch_flat(k);
       for (int i = 1; i <= pm.ny; ++i) rows.push_back({k, i});
@@ -279,43 +288,27 @@ RansSolver::RansSolver(const CompositeMesh& mesh, SolverConfig config)
 
 RansSolver::~RansSolver() = default;
 
-// True when any two edge-adjacent patches sit at different refinement
-// levels. On such meshes the SIMPLE loop keeps the flat SOR pressure path
-// even when multigrid is requested: the p' equation's two-point couplings
-// at a jump face are not the Schur complement of the corrector + refluxed
-// imbalance there (the fine side carries twice the coarse side's total
-// interface coupling, and both the corrector gradient and the Rhie-Chow
-// face velocities read interpolated jump ghosts the equation never
-// models). The outer loop's gain through that inconsistency is below one
-// only for WEAK p' solves — SOR's regime — and any MG-accuracy solve
-// diverges it within tens of iterations however few cycles run (measured
-// on the centrally-refined channel). The linear multigrid solver itself
-// converges on near-isotropic jump meshes and refuses the anisotropic
-// ones (tests/test_solver_mg.cpp, solver/mg.cpp); re-enabling it here
-// needs flux-matched jump stencils in the p' assembly and corrector,
-// mirroring the face-velocity reflux pass (ROADMAP).
-static bool has_level_jump(const CompositeMesh& mesh) {
-  const mesh::RefinementMap& map = mesh.map();
-  for (int pi = 0; pi < map.npy(); ++pi) {
-    for (int pj = 0; pj < map.npx(); ++pj) {
-      if (pi + 1 < map.npy() &&
-          map.level(pi + 1, pj) != map.level(pi, pj)) return true;
-      if (pj + 1 < map.npx() &&
-          map.level(pi, pj + 1) != map.level(pi, pj)) return true;
-    }
-  }
-  return false;
-}
-
 RansSolver::Workspace& RansSolver::workspace() const {
   if (!ws_) {
+    // Multigrid runs on level-jump meshes too: the p' assembly, corrector
+    // and every MG level couple across jump faces through the flux-matched
+    // stencils (solver/jump.hpp), so the old SOR pin on composite meshes
+    // is gone. The only remaining fallback is depth() == 1 (a mesh too
+    // small to admit any coarse level), handled at solve time.
     ws_ = std::make_unique<Workspace>(mesh_);
-    if (config_.pressure_solver == PressureSolver::kMultigrid &&
-        !has_level_jump(mesh_)) {
+    if (config_.pressure_solver == PressureSolver::kMultigrid) {
       ws_->mg = std::make_unique<PressureMg>(mesh_, config_);
     }
   }
   return *ws_;
+}
+
+const CompositeScalar& RansSolver::corrected_face_u() const {
+  return workspace().face_u;
+}
+
+const CompositeScalar& RansSolver::corrected_face_v() const {
+  return workspace().face_v;
 }
 
 void RansSolver::initialize_freestream(CompositeField& f) const {
@@ -531,6 +524,16 @@ double RansSolver::assemble_faces_imbalance(const CompositeField& f,
   // are averaged (their Rhie-Chow stencils differ slightly at the edge).
   // Each (pi, pj) iteration touches only its own east/north interface
   // columns/rows, so the collapsed loop is race-free.
+  //
+  // Corner audit: the i = 1..ny / j = 1..nx ranges cover every interface
+  // face, including where three or four patches meet. A vertical interface
+  // owns exactly the FU(1..ny, nx) | FU(1..ny, 0) column — there is no
+  // FU(0, *) entry anywhere (pass 1 writes FU rows 1..ny only, and the
+  // imbalance reads FU(i, j-1) only for i >= 1). The boundary-adjacent
+  // entries that do exist, FU(i, 0) and FV(0, j), belong to the WEST /
+  // SOUTH interface of the patch and are written by that neighbour's own
+  // east/north walk (or are domain faces no interface touches). The
+  // debug assertion below holds on every composite scenario mesh.
   const int npy = mesh_.npy();
   const int npx = mesh_.npx();
 #pragma omp parallel for collapse(2) schedule(static)
@@ -595,6 +598,11 @@ double RansSolver::assemble_faces_imbalance(const CompositeField& f,
     }
   }
 
+  // Every interface face now carries one authoritative value on both
+  // sides; the coarse mean is computed with the exact summation order the
+  // checker uses, so the mismatch is zero to the bit.
+  assert(interface_flux_mismatch(mesh_, ws.face_u, ws.face_v) == 0.0);
+
   // Per-cell mass imbalance from the synced faces. The continuity residual
   // is the mean relative imbalance: each cell's |imbalance| is scaled by
   // its own face-flux magnitude (u_ref * cell perimeter / 2), which makes
@@ -627,6 +635,131 @@ double RansSolver::assemble_faces_imbalance(const CompositeField& f,
   });
   const double fluid_cells = sum_rows(ws.acc_b);
   return fluid_cells > 0.0 ? sum_rows(ws.acc_a) / fluid_cells : 0.0;
+}
+
+// One authoritative p' face correction per patch-interface face, applied
+// after the cell corrector. Same-level faces get the symmetric
+// mean-mobility correction computed once and written to both sides; jump
+// faces get per-subface corrections on the FINE side from the exact
+// matched transmissibilities the p' equation was assembled with, and the
+// coarse face is then recomputed as the mean of the corrected fine faces
+// — the same summation order the reflux pass and the conservation checker
+// use, so the invariant holds to the bit. Race-free for the same reason
+// as the reflux pass: each (pi, pj) iteration owns its east/north
+// interface columns/rows exclusively.
+static void correct_interface_faces(const CompositeMesh& mesh,
+                                    const JumpStencil& st,
+                                    const CompositeScalar& pc,
+                                    const CompositeScalar& dp,
+                                    CompositeScalar& face_u,
+                                    CompositeScalar& face_v) {
+  const int npy = mesh.npy();
+  const int npx = mesh.npx();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int pi = 0; pi < npy; ++pi) {
+    for (int pj = 0; pj < npx; ++pj) {
+      const PatchMesh& pm = mesh.patch(pi, pj);
+      const int k = pi * npx + pj;
+      if (pj + 1 < npx) {  // vertical interface with east neighbour
+        const PatchMesh& nb = mesh.patch(pi, pj + 1);
+        const int kn = k + 1;
+        Grid2Dd& mine = face_u[k];
+        Grid2Dd& theirs = face_u[kn];
+        const Grid2Dd& pca = pc[k];
+        const Grid2Dd& pcb = pc[kn];
+        if (nb.ny == pm.ny) {
+          const Grid2Dd& dpa = dp[k];
+          const Grid2Dd& dpb = dp[kn];
+          const double dist = 0.5 * (pm.dx + nb.dx);
+          for (int i = 1; i <= pm.ny; ++i) {
+            const double da = dpa(i, pm.nx);
+            const double db = dpb(i, 1);
+            if (da <= 0.0 || db <= 0.0) continue;
+            const double v =
+                mine(i, pm.nx) -
+                0.5 * (da + db) * (pcb(i, 1) - pca(i, pm.nx)) / dist;
+            mine(i, pm.nx) = v;
+            theirs(i, 0) = v;
+          }
+        } else if (pm.ny > nb.ny) {  // mine fine, east neighbour coarse
+          const JumpStencil::Side* sd = st.side(k, JumpStencil::kE);
+          const int r = sd->ratio;
+          for (int ic = 1; ic <= nb.ny; ++ic) {
+            const double xc = pcb(ic, 1);
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) {
+              const int t = (ic - 1) * r + 1 + s;
+              mine(t, pm.nx) -= sd->a[t] / sd->area * (xc - pca(t, pm.nx));
+              acc += mine(t, pm.nx);
+            }
+            theirs(ic, 0) = acc / r;
+          }
+        } else {  // east neighbour fine, mine coarse
+          const JumpStencil::Side* sd = st.side(kn, JumpStencil::kW);
+          const int r = sd->ratio;
+          for (int ic = 1; ic <= pm.ny; ++ic) {
+            const double xc = pca(ic, pm.nx);
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) {
+              const int t = (ic - 1) * r + 1 + s;
+              theirs(t, 0) -= sd->a[t] / sd->area * (pcb(t, 1) - xc);
+              acc += theirs(t, 0);
+            }
+            mine(ic, pm.nx) = acc / r;
+          }
+        }
+      }
+      if (pi + 1 < npy) {  // horizontal interface with north neighbour
+        const PatchMesh& nb = mesh.patch(pi + 1, pj);
+        const int kn = k + npx;
+        Grid2Dd& mine = face_v[k];
+        Grid2Dd& theirs = face_v[kn];
+        const Grid2Dd& pca = pc[k];
+        const Grid2Dd& pcb = pc[kn];
+        if (nb.nx == pm.nx) {
+          const Grid2Dd& dpa = dp[k];
+          const Grid2Dd& dpb = dp[kn];
+          const double dist = 0.5 * (pm.dy + nb.dy);
+          for (int j = 1; j <= pm.nx; ++j) {
+            const double da = dpa(pm.ny, j);
+            const double db = dpb(1, j);
+            if (da <= 0.0 || db <= 0.0) continue;
+            const double v =
+                mine(pm.ny, j) -
+                0.5 * (da + db) * (pcb(1, j) - pca(pm.ny, j)) / dist;
+            mine(pm.ny, j) = v;
+            theirs(0, j) = v;
+          }
+        } else if (pm.nx > nb.nx) {  // mine fine, north neighbour coarse
+          const JumpStencil::Side* sd = st.side(k, JumpStencil::kN);
+          const int r = sd->ratio;
+          for (int jc = 1; jc <= nb.nx; ++jc) {
+            const double xc = pcb(1, jc);
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) {
+              const int t = (jc - 1) * r + 1 + s;
+              mine(pm.ny, t) -= sd->a[t] / sd->area * (xc - pca(pm.ny, t));
+              acc += mine(pm.ny, t);
+            }
+            theirs(0, jc) = acc / r;
+          }
+        } else {  // north neighbour fine, mine coarse
+          const JumpStencil::Side* sd = st.side(kn, JumpStencil::kS);
+          const int r = sd->ratio;
+          for (int jc = 1; jc <= pm.nx; ++jc) {
+            const double xc = pca(pm.ny, jc);
+            double acc = 0.0;
+            for (int s = 0; s < r; ++s) {
+              const int t = (jc - 1) * r + 1 + s;
+              theirs(0, t) -= sd->a[t] / sd->area * (pcb(1, t) - xc);
+              acc += theirs(0, t);
+            }
+            mine(pm.ny, jc) = acc / r;
+          }
+        }
+      }
+    }
+  }
 }
 
 Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
@@ -736,6 +869,28 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
 
   // --- pressure correction ---------------------------------------------------
   const bool outlet_right = spec.bc.right.type == BcType::kOutlet;
+
+  // d = vol / aP per cell: the shared mobility of the p' operator, the
+  // corrector and the post-corrector face pass (zero in solids, which is
+  // how the matched jump couplings see walls). The jump stencil's subface
+  // transmissibilities are rebuilt from it once per outer iteration.
+  {
+    util::ScopedAccum t(&ph.pressure);
+#pragma omp parallel for schedule(static)
+    for (int k = 0; k < mesh_.patch_count(); ++k) {
+      const PatchMesh& pm = mesh_.patch_flat(k);
+      const Grid2Dd& AP = ws.ap[k];
+      Grid2Dd& DP = ws.dp[k];
+      const double vol = pm.dx * pm.dy;
+      for (int i = 1; i <= pm.ny; ++i) {
+        for (int j = 1; j <= pm.nx; ++j) {
+          DP(i, j) = pm.solid(i, j) ? 0.0 : vol / AP(i, j);
+        }
+      }
+    }
+    ws.stencil.set_coefficients(ws.dp);
+  }
+
   const bool use_mg = cfg.pressure_solver == PressureSolver::kMultigrid &&
                       ws.mg && ws.mg->depth() > 1;
   if (use_mg) {
@@ -752,14 +907,14 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
     ph.ghosts += info.ghost_seconds;
     res.pressure_cycles = info.cycles;
   } else {
-    // Flat SOR reference path: pressure_solver == kSor, a mesh with level
-    // jumps (see has_level_jump above), or a mesh too small to admit even
-    // one coarse level.
+    // Flat SOR reference path: pressure_solver == kSor, or a mesh too
+    // small to admit even one coarse level.
     util::ScopedAccum t(&ph.pressure);
 #pragma omp parallel for schedule(static)
     for (int k = 0; k < mesh_.patch_count(); ++k) {
       ws.pc[k].fill(0.0);
     }
+    ws.stencil.refresh(ws.pc);  // all-zero snapshot before the first sweep
   }
   const int sor_sweeps = use_mg ? 0 : cfg.pressure_sweeps;
   double first_sweep_change = 0.0;
@@ -770,68 +925,39 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
       run_sweep(ws.rows, cfg.ordering, [&](int r, int k, int i, int color) {
         const PatchMesh& pm = mesh_.patch_flat(k);
         Grid2Dd& PC = ws.pc[k];
-        const Grid2Dd& AP = ws.ap[k];
+        const Grid2Dd& DP = ws.dp[k];
         const Grid2Dd& B = ws.imb[k];
-        const double dx = pm.dx;
-        const double dy = pm.dy;
-        const double vol = dx * dy;
-        const bool right_edge = (pm.pj == mesh_.npx() - 1);
+        // Shared 5-point operator (solver/jump.hpp): same assembly as
+        // every multigrid level, jump faces coupled through the matched
+        // stencil buffers frozen at the last exchange.
+        const JumpSides jsd = jump_sides(ws.stencil, k);
         double change = 0.0;
         const int js = color_jstep(color);
-        for (int j = color_j0(i, color); j <= pm.nx; j += js) {
-          if (pm.solid(i, j)) {
-            PC(i, j) = 0.0;
-            continue;
-          }
-          const double d_p = vol / AP(i, j);
-          // Neighbour d coefficients approximated with the cell's own d
-          // (first order at interfaces and boundaries).
-          double ae = 0.0, aw = 0.0, an = 0.0, as = 0.0;
-          double rhs = -B(i, j);
-          const bool domain_e = right_edge && j == pm.nx;
-          const bool domain_w = pm.pj == 0 && j == 1;
-          const bool domain_n = pm.pi == mesh_.npy() - 1 && i == pm.ny;
-          const bool domain_s = pm.pi == 0 && i == 1;
-
-          // East face.
-          if (!pm.solid(i, j + 1)) {
-            if (domain_e) {
-              if (outlet_right) {
-                // p' = 0 at the outlet face: ghost = -interior handled by
-                // adding the coefficient to the diagonal only.
-                ae = d_p * dy / dx;
-                rhs += ae * (-PC(i, j));
-              }
-              // Fixed-velocity boundaries: zero correction flux (ae = 0).
-            } else {
-              ae = d_p * dy / dx;
-              rhs += ae * PC(i, j + 1);
+        auto row = [&]<bool kJump>() {
+          for (int j = color_j0(i, color); j <= pm.nx; j += js) {
+            if (pm.solid(i, j)) {
+              PC(i, j) = 0.0;
+              continue;
             }
+            double apc = 0.0;
+            double rhs = 0.0;
+            assemble_pressure_cell<kJump>(pm, DP, PC, -B(i, j), outlet_right,
+                                          mesh_.npx(), mesh_.npy(), jsd, i, j,
+                                          &apc, &rhs);
+            if (apc <= 0.0) {
+              PC(i, j) = 0.0;
+              continue;
+            }
+            const double gs = rhs / apc;
+            const double delta = cfg.sor_omega * (gs - PC(i, j));
+            PC(i, j) += delta;
+            change += std::abs(delta);
           }
-          // West face.
-          if (!pm.solid(i, j - 1) && !domain_w) {
-            aw = d_p * dy / dx;
-            rhs += aw * PC(i, j - 1);
-          }
-          // North face.
-          if (!pm.solid(i + 1, j) && !domain_n) {
-            an = d_p * dx / dy;
-            rhs += an * PC(i + 1, j);
-          }
-          // South face.
-          if (!pm.solid(i - 1, j) && !domain_s) {
-            as = d_p * dx / dy;
-            rhs += as * PC(i - 1, j);
-          }
-          const double apc = ae + aw + an + as;
-          if (apc <= 0.0) {
-            PC(i, j) = 0.0;
-            continue;
-          }
-          const double gs = rhs / apc;
-          const double delta = cfg.sor_omega * (gs - PC(i, j));
-          PC(i, j) += delta;
-          change += std::abs(delta);
+        };
+        if (any_jump_side(jsd)) {
+          row.template operator()<true>();
+        } else {
+          row.template operator()<false>();
         }
         ws.acc_a[r] += change;
       });
@@ -839,6 +965,7 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
     {
       util::ScopedAccum t(&ph.ghosts);
       exchange_ghosts(ws.pc, mesh_);
+      ws.stencil.refresh(ws.pc);
     }
     // Early exit: once a sweep changes p' by under 5% of the first sweep,
     // further sweeps buy nothing this outer iteration.
@@ -853,6 +980,12 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
 
   {
     util::ScopedAccum t(&ph.pressure);
+    // The corrector reads the matched jump buffers; under the multigrid
+    // path ws.stencil has not seen the solution yet (the MG levels carry
+    // their own stencils), and under SOR this is an idempotent repeat of
+    // the last sweep's refresh.
+    ws.stencil.refresh(ws.pc);
+
     // Domain-boundary ghosts for p': zero-gradient everywhere except the
     // outlet, where p' = 0 at the face. Needed by the corrector's gradients.
 #pragma omp parallel for schedule(static)
@@ -883,29 +1016,74 @@ Residuals RansSolver::outer_iteration(CompositeField& f, Workspace& ws,
       Grid2Dd& V = f.V[k];
       Grid2Dd& P = f.p[k];
       const Grid2Dd& PC = ws.pc[k];
-      const Grid2Dd& AP = ws.ap[k];
-      const double vol = pm.dx * pm.dy;
-      for (int i = 1; i <= pm.ny; ++i) {
-        for (int j = 1; j <= pm.nx; ++j) {
-          if (pm.solid(i, j)) continue;
-          P(i, j) += cfg.alpha_p * PC(i, j);
-          const double d_p = vol / AP(i, j);
-          // Solid neighbours mirror the cell's own p' (zero correction
-          // flux through the wall, matching the p' equation). Reading the
-          // stored 0 instead would act like p' = 0 at the wall face and
-          // drive a spurious wall-normal correction proportional to |p'|
-          // — survivable when the p' solve is weak, but it feeds back
-          // into the imbalance and blows up SIMPLE once the multigrid
-          // path solves p' accurately.
-          const double pe = pm.solid(i, j + 1) ? PC(i, j) : PC(i, j + 1);
-          const double pw = pm.solid(i, j - 1) ? PC(i, j) : PC(i, j - 1);
-          const double pn = pm.solid(i + 1, j) ? PC(i, j) : PC(i + 1, j);
-          const double ps = pm.solid(i - 1, j) ? PC(i, j) : PC(i - 1, j);
-          U(i, j) -= d_p * (pe - pw) / (2.0 * pm.dx);
-          V(i, j) -= d_p * (pn - ps) / (2.0 * pm.dy);
+      const Grid2Dd& DP = ws.dp[k];
+      const JumpSides jsd = jump_sides(ws.stencil, k);
+      Grid2Dd& FU = ws.face_u[k];
+      Grid2Dd& FV = ws.face_v[k];
+      // The in-patch face pass rides in the cell loop (each interior face
+      // corrected once, from its low-side cell, with the symmetric mean
+      // mobility — fused because the PC/DP neighbourhood is already in
+      // cache here): the corrected faces must satisfy the reflux
+      // invariant (coarse face = mean of covered fine faces) to the bit,
+      // with ONE authoritative value per face — jump subfaces get the
+      // exact matched transmissibility in correct_interface_faces below.
+      // Next iteration's Rhie-Chow rebuilds faces from scratch, so the
+      // face pass only has to keep the invariant and make the corrected
+      // flux field the one the p' equation actually solved for.
+      auto cells = [&]<bool kJump>() {
+        for (int i = 1; i <= pm.ny; ++i) {
+          for (int j = 1; j <= pm.nx; ++j) {
+            if (pm.solid(i, j)) continue;
+            P(i, j) += cfg.alpha_p * PC(i, j);
+            const double d_p = DP(i, j);
+            // Solid neighbours mirror the cell's own p' (zero correction
+            // flux through the wall, matching the p' equation). Reading
+            // the stored 0 instead would act like p' = 0 at the wall face
+            // and drive a spurious wall-normal correction proportional to
+            // |p'| — survivable when the p' solve is weak, but it feeds
+            // back into the imbalance and blows up SIMPLE once the
+            // multigrid path solves p' accurately. Jump-side cells read
+            // the matched effective ghost — the value of the same linear
+            // profile the flux stencil discretises — instead of the
+            // clamped interpolated ghost the equation never models.
+            const double pe = (kJump && jsd.e != nullptr && j == pm.nx)
+                                  ? jsd.e->ghost[i]
+                                  : (pm.solid(i, j + 1) ? PC(i, j)
+                                                        : PC(i, j + 1));
+            const double pw = (kJump && jsd.w != nullptr && j == 1)
+                                  ? jsd.w->ghost[i]
+                                  : (pm.solid(i, j - 1) ? PC(i, j)
+                                                        : PC(i, j - 1));
+            const double pn = (kJump && jsd.n != nullptr && i == pm.ny)
+                                  ? jsd.n->ghost[j]
+                                  : (pm.solid(i + 1, j) ? PC(i, j)
+                                                        : PC(i + 1, j));
+            const double ps = (kJump && jsd.s != nullptr && i == 1)
+                                  ? jsd.s->ghost[j]
+                                  : (pm.solid(i - 1, j) ? PC(i, j)
+                                                        : PC(i - 1, j));
+            U(i, j) -= d_p * (pe - pw) / (2.0 * pm.dx);
+            V(i, j) -= d_p * (pn - ps) / (2.0 * pm.dy);
+            if (j < pm.nx && !pm.solid(i, j + 1)) {
+              const double dbar = 0.5 * (DP(i, j) + DP(i, j + 1));
+              FU(i, j) -= dbar * (PC(i, j + 1) - PC(i, j)) / pm.dx;
+            }
+            if (i < pm.ny && !pm.solid(i + 1, j)) {
+              const double dbar = 0.5 * (DP(i, j) + DP(i + 1, j));
+              FV(i, j) -= dbar * (PC(i + 1, j) - PC(i, j)) / pm.dy;
+            }
+          }
         }
+      };
+      if (any_jump_side(jsd)) {
+        cells.template operator()<true>();
+      } else {
+        cells.template operator()<false>();
       }
     }
+    correct_interface_faces(mesh_, ws.stencil, ws.pc, ws.dp, ws.face_u,
+                            ws.face_v);
+    assert(interface_flux_mismatch(mesh_, ws.face_u, ws.face_v) == 0.0);
   }
 
   // --- SA transport ----------------------------------------------------------
@@ -1117,12 +1295,18 @@ SolveStats RansSolver::solve(CompositeField& f) {
   SolverConfig cfg = config_;
   constexpr int kMaxAttempts = 3;
 
+  // Per-iteration residual history of the current attempt, for the
+  // iterations_to_tolerance back-scan below.
+  std::vector<double> res_history;
+  res_history.reserve(static_cast<std::size_t>(cfg.max_outer));
+
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     Residuals res;
     bool diverged = false;
     stats.attempts = attempt + 1;
     stats.final_pseudo_cfl = cfg.pseudo_cfl;
     stats.final_alpha_u = cfg.alpha_u;
+    res_history.clear();
     for (int it = 0; it < cfg.max_outer; ++it) {
       // Cooperative cancellation boundary: nothing in this iteration has
       // run yet, so the field is exactly the last completed iterate.
@@ -1136,6 +1320,7 @@ SolveStats RansSolver::solve(CompositeField& f) {
       record_residual_series(res);
       stats.iterations += 1;
       stats.cell_updates += cells;
+      res_history.push_back(res.combined());
       if (cfg.log_every > 0 && (it % cfg.log_every == 0)) {
         ADR_LOG_INFO << mesh_.spec().name << " iter " << it
                      << " continuity=" << res.continuity
@@ -1154,6 +1339,26 @@ SolveStats RansSolver::solve(CompositeField& f) {
     }
     stats.residual = res.combined();
     stats.diverged = diverged;
+    // Iterations-to-tolerance: the first iteration of this attempt whose
+    // residual reached max(tol, 1.1 x the final residual). A tolerance
+    // exit gives exactly stats.iterations; a solve that plateaus above
+    // tol and burns the cap gets the iteration where it arrived at the
+    // plateau, so `iterations - iterations_to_tolerance` is the tail an
+    // early-exit could trim. Earlier (diverged) attempts are charged in
+    // full — their work was really spent.
+    if (!diverged && !res_history.empty()) {
+      const double bar = std::max(cfg.tol, 1.1 * res_history.back());
+      std::size_t first = res_history.size() - 1;
+      for (std::size_t i = 0; i < res_history.size(); ++i) {
+        if (res_history[i] <= bar) {
+          first = i;
+          break;
+        }
+      }
+      const int prior =
+          stats.iterations - static_cast<int>(res_history.size());
+      stats.iterations_to_tolerance = prior + static_cast<int>(first) + 1;
+    }
     if (stats.cancelled) break;  // a cancelled solve never retries
     if (!diverged) break;
     cfg.pseudo_cfl *= 0.4;
@@ -1190,6 +1395,8 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   stats.final_alpha_u = config_.alpha_u;
   const long long cells = mesh_.active_cells();
   Residuals res;
+  std::vector<double> res_history;
+  res_history.reserve(static_cast<std::size_t>(n));
   for (int it = 0; it < n; ++it) {
     if (config_.cancel != nullptr && config_.cancel->expired()) {
       stats.cancelled = true;
@@ -1201,6 +1408,7 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
     record_residual_series(res);
     stats.iterations = it + 1;
     stats.cell_updates += cells;
+    res_history.push_back(res.combined());
     if (res.combined() >= 1e30) {
       // Non-finite residual: the state is already poisoned and further
       // iterations only churn NaNs — stop and report instead.
@@ -1219,6 +1427,17 @@ SolveStats RansSolver::iterate(CompositeField& f, int n) {
   stats.residual = res.combined();
   stats.converged = !stats.diverged && !stats.cancelled &&
                     res.combined() < config_.tol;
+  // Same arrival metric as solve(): first iteration whose residual
+  // reached max(tol, 1.1 x the final residual).
+  if (!stats.diverged && !res_history.empty()) {
+    const double bar = std::max(config_.tol, 1.1 * res_history.back());
+    for (std::size_t i = 0; i < res_history.size(); ++i) {
+      if (res_history[i] <= bar) {
+        stats.iterations_to_tolerance = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+  }
   stats.seconds = timer.seconds();
   bridge_stats_to_metrics(stats);
   return stats;

@@ -74,6 +74,9 @@ struct SolverConfig {
   int mg_coarse_sweeps = 40; ///< SOR iterations of the coarsest-level solve
   double mg_tol = 0.3;       ///< V-cycle exit: |r| / |r0| below this
   int mg_max_cycles = 2;     ///< cap on V-cycles per outer iteration
+  int mg_max_depth = 0;      ///< cap on ladder levels, 0 = unlimited; a
+                             ///< diagnostic knob (bisecting which rung
+                             ///< hurts a mesh), not a tuning knob
 
   /// Cooperative cancellation (DESIGN.md §13). When set, solve()/iterate()
   /// check it at every outer-iteration boundary (and the multigrid p'
@@ -109,6 +112,17 @@ struct PhaseTimes {
 /// pipeline's degradation ladder — see DESIGN.md §7.
 struct SolveStats {
   int iterations = 0;           ///< outer SIMPLE iterations performed (ITC)
+  int iterations_to_tolerance = 0;  ///< first outer iteration whose combined
+                                ///< residual reached max(tol, 1.1 x the
+                                ///< final residual) — i.e. where the solve
+                                ///< effectively arrived. Equals `iterations`
+                                ///< when the tolerance exit fired; on a
+                                ///< solve that plateaus above tol and burns
+                                ///< the cap, the gap `iterations - this` is
+                                ///< the post-plateau tail a future
+                                ///< early-exit could trim (ROADMAP item 2).
+                                ///< 0 only for a dead solve (diverged or
+                                ///< cancelled before any iteration).
   bool converged = false;       ///< residual target reached before the cap
   bool diverged = false;        ///< a non-finite residual ended the solve
                                 ///< (after all relaxation retries)
@@ -175,6 +189,14 @@ class RansSolver {
 
   [[nodiscard]] const SolverConfig& config() const { return config_; }
   [[nodiscard]] const mesh::CompositeMesh& mesh() const { return mesh_; }
+
+  /// Stored face velocities as of the last outer iteration's
+  /// post-corrector face pass. Diagnostic / test access: the jump-face
+  /// conservation invariant (coarse face = mean of covered fine faces on
+  /// every patch interface, to the bit) is measured on these; see
+  /// solver::interface_flux_mismatch.
+  [[nodiscard]] const mesh::CompositeScalar& corrected_face_u() const;
+  [[nodiscard]] const mesh::CompositeScalar& corrected_face_v() const;
 
  private:
   struct Workspace;
