@@ -13,6 +13,12 @@
 //             shed rate, admitted p50/p99, QPS, queue high-water, RSS
 //   deadline  solver.outer.stall + short deadline: degraded-but-finite
 //   chaos     serving.worker.crash / serving.queue.storm / stalled client
+//   observe   flight-recorder audit (DESIGN.md §15): every shed and every
+//             deadline-expired request is retained, a storm request's
+//             chrome://tracing doc is served via GET /trace/<id>.json, and
+//             per-request phase sums track the request wall within 5%;
+//             the recorder state is dumped next to BENCH_serving.json for
+//             CI artifact upload on failure
 //
 // Emits BENCH_serving.json with accept/* bits gated exactly by
 // bench_diff --portable-only (machine dependence folded in via same-run
@@ -40,8 +46,10 @@ int main() {
 #include <vector>
 
 #include "util/fault.hpp"
+#include "util/reqctx.hpp"
 #include "util/serving.hpp"
 #include "util/socket_io.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -132,6 +140,17 @@ bool body_has(const HttpReply& r, const std::string& needle) {
   return r.body.find(needle) != std::string::npos;
 }
 
+/// The value of a quoted string field in the reply body ("" if absent).
+std::string body_field(const HttpReply& r, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = r.body.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = r.body.find('"', start);
+  if (end == std::string::npos) return "";
+  return r.body.substr(start, end - start);
+}
+
 }  // namespace
 
 int main() {
@@ -151,6 +170,12 @@ int main() {
 
   util::metrics::reset();
   util::fault::reset();
+  util::reqctx::recorder().clear();
+  // The telemetry server is the contract surface for GET /trace/<id>.json:
+  // the overload-trace accept bit below fetches a storm request's span tree
+  // through it, exactly as an operator would.
+  if (!util::telemetry::running()) util::telemetry::start(0);
+  const int tport = util::telemetry::bound_port();
   util::WallTimer run_timer;
   Server server(cfg);
   if (!server.start()) {
@@ -185,6 +210,8 @@ int main() {
   std::mutex mu;
   std::vector<double> admitted_lat;
   std::vector<HttpReply> admitted;
+  std::vector<std::string> storm_ids;          // trace ids of 200 responses
+  std::vector<std::string> storm_expired_ids;  // ... that blew the deadline
   long long shed = 0, failed = 0, deadline_hits = 0;
   util::WallTimer storm_timer;
   {
@@ -201,6 +228,13 @@ int main() {
         } else if (r.status == 200) {
           admitted_lat.push_back(r.seconds);
           if (body_has(r, "\"deadline_hit\": true")) ++deadline_hits;
+          const std::string id = body_field(r, "trace_id");
+          if (!id.empty()) {
+            storm_ids.push_back(id);
+            if (body_has(r, "\"deadline_hit\": false")) {
+              storm_expired_ids.push_back(id);
+            }
+          }
           admitted.push_back(r);
         } else {
           ++failed;
@@ -214,6 +248,20 @@ int main() {
   const double adm_p99 = percentile(admitted_lat, 0.99);
   const double rss_after_mb = peak_rss_mb();
   const auto storm_stats = server.stats();
+
+  // --- observability: pull a storm request's trace through telemetry ------
+  // The contract the ISSUE gates: a request completed during the overload
+  // phase can be explained end to end via GET /trace/<id>.json as a
+  // chrome://tracing document (metadata + complete events).
+  bool overload_trace_ok = false;
+  for (const std::string& id : storm_ids) {
+    const HttpReply t = request(tport, "GET", "/trace/" + id + ".json", "");
+    if (t.ok && t.status == 200 && body_has(t, "\"traceEvents\"") &&
+        body_has(t, "\"ph\": \"X\"") && body_has(t, id)) {
+      overload_trace_ok = true;
+      break;
+    }
+  }
 
   // --- deadline: stall-injected solve against a short deadline ------------
   // Each outer iteration sleeps 20 ms; a 150 ms deadline expires a few
@@ -264,6 +312,74 @@ int main() {
   server.stop();
   const auto stats = server.stats();
 
+  // --- flight recorder + attribution verification --------------------------
+  auto& rec = util::reqctx::recorder();
+  const auto rec_sums = rec.summaries();
+  long long rec_shed = 0, rec_expired = 0, rec_expired_retained = 0;
+  for (const auto& s : rec_sums) {
+    if (s.shed) ++rec_shed;
+    if (s.deadline_expired && !s.shed) {
+      ++rec_expired;
+      if (rec.has_trace(s.trace_id)) ++rec_expired_retained;
+    }
+  }
+  // Every deadline-expired storm response the *clients* saw must still be
+  // retrievable as a full trace (tail retention, not sampling luck).
+  bool storm_expired_retained = true;
+  for (const std::string& id : storm_expired_ids) {
+    std::uint64_t tid64 = 0;
+    if (!util::reqctx::parse_trace_id(id, &tid64) || !rec.has_trace(tid64)) {
+      storm_expired_retained = false;
+    }
+  }
+  const HttpReply reqs_doc = request(tport, "GET", "/requests.json", "");
+  const bool requests_endpoint_ok =
+      reqs_doc.ok && reqs_doc.status == 200 &&
+      body_has(reqs_doc, "\"recorded\"") &&
+      body_has(reqs_doc, "\"requests\"");
+  const bool recorder_keeps_tail =
+      rec_shed >= shed && rec_expired == rec_expired_retained &&
+      storm_expired_retained && overload_trace_ok && requests_endpoint_ok;
+
+  // Attribution honesty: for every completed (200, non-shed) request the
+  // recorder saw, the per-phase sum — many independent on-thread timers —
+  // must land within 5% + 2 ms of the one outer admission-to-finish wall.
+  long long attr_checked = 0, attr_failed = 0;
+  double attr_max_rel = 0.0;
+  for (const auto& s : rec_sums) {
+    if (s.shed || s.http_status != 200 || s.wall_s <= 0.0) continue;
+    ++attr_checked;
+    const double err = std::abs(s.wall_s - s.attributed_seconds());
+    if (err > 0.05 * s.wall_s + 2e-3) ++attr_failed;
+    attr_max_rel = std::max(attr_max_rel, err / s.wall_s);
+  }
+  const bool attribution_ok = attr_checked > 0 && attr_failed == 0;
+
+  // Always drop the recorder state next to BENCH_serving.json: on an
+  // accept-bit failure CI uploads these as artifacts, so the worst requests
+  // arrive with the red build instead of needing a repro.
+  bench::write_json("serving_requests.json", rec.requests_json(512));
+  {
+    std::vector<util::reqctx::RequestSummary> by_wall(rec_sums.begin(),
+                                                      rec_sums.end());
+    std::sort(by_wall.begin(), by_wall.end(),
+              [](const util::reqctx::RequestSummary& a,
+                 const util::reqctx::RequestSummary& b) {
+                return a.wall_s > b.wall_s;
+              });
+    int written = 0;
+    for (const auto& s : by_wall) {
+      if (written >= 3) break;
+      std::string trace_doc;
+      if (rec.trace_json(s.trace_id, &trace_doc)) {
+        bench::write_json(
+            "serving_trace_worst" + std::to_string(written) + ".json",
+            trace_doc);
+        ++written;
+      }
+    }
+  }
+
   // --- accept bits ---------------------------------------------------------
   // no_deadlock: every phase completed, the final liveness probe answered,
   // and stop() returned (a wedged worker would hang the join above).
@@ -312,7 +428,9 @@ int main() {
       .add("deadline_degraded_finite", degraded_finite ? 1.0 : 0.0)
       .add("worker_crash_recovered", crash_recovered ? 1.0 : 0.0)
       .add("storm_shed", storm_sheds ? 1.0 : 0.0)
-      .add("stalled_client_timeout", stalled_timed_out ? 1.0 : 0.0);
+      .add("stalled_client_timeout", stalled_timed_out ? 1.0 : 0.0)
+      .add("recorder_keeps_tail", recorder_keeps_tail ? 1.0 : 0.0)
+      .add("attribution_sums_to_wall", attribution_ok ? 1.0 : 0.0);
 
   bench::JsonObject doc;
   doc.add("bench", "serving")
@@ -333,6 +451,30 @@ int main() {
       .add("worker_crashes", stats.worker_crashes)
       .add("stalled_reads", stats.stalled_reads)
       .add_raw("accept", accept.str());
+
+  // Machine-independent attribution contract (gated exactly by
+  // bench_diff --portable-only, like accept/): the phase partition size,
+  // the gate tolerances, and the two verdicts. Raw measurements stay in
+  // attribution_ms/ below, which bench_diff ignores.
+  bench::JsonObject attribution;
+  attribution
+      .add("phase_count", static_cast<long long>(util::reqctx::kPhaseCount))
+      .add("tolerance_rel", 0.05)
+      .add("tolerance_abs_ms", 2.0)
+      .add("sums_to_wall", attribution_ok ? 1.0 : 0.0)
+      .add("recorder_keeps_tail", recorder_keeps_tail ? 1.0 : 0.0);
+  doc.add_raw("serving.attribution", attribution.str());
+
+  bench::JsonObject attr_diag;
+  attr_diag.add("checked", attr_checked)
+      .add("failed", attr_failed)
+      .add("max_rel_err", attr_max_rel)
+      .add("recorded", rec.recorded())
+      .add("traces_retained", rec.traces_retained())
+      .add("traces_evicted", rec.traces_evicted())
+      .add("shed_recorded", rec_shed)
+      .add("deadline_expired_recorded", rec_expired);
+  doc.add_raw("attribution_ms", attr_diag.str());
   // No roofline section: how much NN work ran depends on how many requests
   // were admitted (nondeterministic under load), so its flop/byte counts
   // must not become exact-gated keys. The metrics/ snapshot is classified
@@ -343,7 +485,9 @@ int main() {
 
   const bool all_accept = no_deadlock && bounded_queue && shed_before_growth &&
                           p99_bounded && rss_bounded && degraded_finite &&
-                          crash_recovered && storm_sheds && stalled_timed_out;
+                          crash_recovered && storm_sheds &&
+                          stalled_timed_out && recorder_keeps_tail &&
+                          attribution_ok;
   std::printf("bench_serving: %s (shed %lld/%d, admitted p99 %.0f ms vs "
               "baseline p99 %.0f ms)\n",
               all_accept ? "all accept bits pass" : "ACCEPT BIT FAILED",

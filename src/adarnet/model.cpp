@@ -7,6 +7,7 @@
 #include "nn/gemm.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
+#include "util/reqctx.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -182,6 +183,12 @@ InferenceResult AdarNet::infer(const field::FlowField& lr) {
   result.seconds = timer.seconds();
   result.measured_peak_bytes = nn::memory::peak_bytes() - base_bytes;
   result.modeled_bytes = modeled;
+  // Per-request attribution (DESIGN.md §15): the forward pass runs on the
+  // thread the serving request is bound to.
+  if (util::reqctx::RequestContext* ctx = util::reqctx::current()) {
+    ctx->add_phase(util::reqctx::Phase::kInfer, result.seconds);
+    ctx->count("infer.calls", 1);
+  }
   return result;
 }
 

@@ -1,11 +1,13 @@
 #include "adarnet/pipeline.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "data/dataset.hpp"
 #include "field/interp.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/reqctx.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -150,6 +152,7 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
   metrics::Counter& m_solves = metrics::counter("pipeline.solves");
   metrics::Counter& m_attempts = metrics::counter("pipeline.solver.attempts");
   const util::trace::Span pipeline_span("pipeline");
+  util::WallTimer pipeline_timer;
   m_runs.add();
 
   PipelineResult result;
@@ -304,6 +307,20 @@ PipelineResult run_adarnet_pipeline(AdarNet& model, const mesh::CaseSpec& spec,
                 << "s inf=" << result.inf_seconds
                 << "s ps=" << result.ps_seconds << "s ("
                 << result.ps_iterations << " iters)";
+
+  // Per-request attribution (DESIGN.md §15): the ladder outcome plus the
+  // pipeline's own glue — mesh/field assembly, sanitization, map
+  // validation — as a measured remainder (this pipeline's wall minus the
+  // inference and solve walls, which attribute themselves).
+  if (util::reqctx::RequestContext* ctx = util::reqctx::current()) {
+    ctx->meta.fallback_stage = to_string(result.fallback_stage);
+    ctx->add_phase(util::reqctx::Phase::kPipelineGlue,
+                   std::max(0.0, pipeline_timer.seconds() -
+                                     result.inf_seconds - result.ps_seconds));
+    ctx->count("pipeline.runs", 1);
+    ctx->count("pipeline.solves", result.ps_solves);
+    ctx->count("pipeline.iterations", result.ps_iterations);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 
 #include "solver/jump.hpp"
 #include "util/metrics.hpp"
+#include "util/reqctx.hpp"
 #include "util/timer.hpp"
 
 namespace adarnet::solver {
@@ -978,6 +979,12 @@ MgSolveInfo PressureMg::solve(CompositeScalar& x, const CompositeScalar& imb) {
   }
   info.final_ratio = rnorm / bnorm;
 
+  // Per-request V-cycle attribution: the p' solve runs on the thread the
+  // serving request is bound to, so the context is lock-free to touch.
+  if (util::reqctx::RequestContext* ctx = util::reqctx::current()) {
+    ctx->count("solver.mg.cycles", info.cycles);
+    ctx->count("solver.mg.solves", 1);
+  }
 
   if (metrics::enabled()) {
     static metrics::Counter& solves = metrics::counter("solver.mg.solves");

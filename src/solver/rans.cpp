@@ -11,6 +11,7 @@
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/reqctx.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -1264,6 +1265,25 @@ void record_residual_series(const Residuals& res) {
 }
 
 void bridge_stats_to_metrics(const SolveStats& stats) {
+  // Per-request attribution first, independent of ADARNET_METRICS: when a
+  // serving request is bound to this thread (DESIGN.md §15), it learns
+  // which solver phase ate its budget plus the measured per-solve
+  // remainder (workspace setup, residual evaluation, retry overhead). The
+  // solve runs on the binding thread, so the context needs no locking.
+  namespace reqctx = util::reqctx;
+  if (reqctx::RequestContext* ctx = reqctx::current()) {
+    ctx->add_phase(reqctx::Phase::kMomentum, stats.phase_seconds.momentum);
+    ctx->add_phase(reqctx::Phase::kRhieChow, stats.phase_seconds.rhie_chow);
+    ctx->add_phase(reqctx::Phase::kPressure, stats.phase_seconds.pressure);
+    ctx->add_phase(reqctx::Phase::kSa, stats.phase_seconds.sa);
+    ctx->add_phase(reqctx::Phase::kGhosts, stats.phase_seconds.ghosts);
+    ctx->add_phase(
+        reqctx::Phase::kSolverGlue,
+        std::max(0.0, stats.seconds - stats.phase_seconds.total()));
+    ctx->count("solver.solves", 1);
+    ctx->count("solver.iterations", stats.iterations);
+    ctx->count("solver.cell_updates", stats.cell_updates);
+  }
   namespace metrics = util::metrics;
   if (!metrics::enabled()) return;
   metrics::counter("solver.solves").add();

@@ -220,6 +220,11 @@ KeyClass classify(const std::string& key) {
   // (slack, ratios of same-run timings): they gate exactly, like the
   // analytic flop/byte counts, even under --portable-only.
   if (contains(key, "accept/")) return KeyClass::kPortable;
+  // Per-request attribution contract (DESIGN.md §15): the bench emits only
+  // machine-independent values under serving.attribution/ (phase count,
+  // gate tolerances, 0/1 verdicts), so they gate exactly; its raw
+  // millisecond diagnostics live under attribution_ms/ (ignored below).
+  if (contains(key, "serving.attribution/")) return KeyClass::kPortable;
   // The autotuner's sweep diagnostics (tune/...: winning tiles, measured
   // ratios, geomean) are machine-specific by construction — the accept
   // bits above are their gateable summary. Classified before the

@@ -6,7 +6,8 @@
 //    machine- and load-dependent, so the gate is one-sided: only a drop
 //    beyond the tolerance (default 15%) is a regression; being faster than
 //    the baseline always passes.
-//  * portable — roofline model values (flops, bytes, arithmetic_intensity):
+//  * portable — roofline model values (flops, bytes, arithmetic_intensity),
+//    accept/* verdict bits, and the serving.attribution/* contract keys:
 //    deterministic functions of kernel shapes, identical on every machine.
 //    Any drift beyond rounding means the cost model or the benchmarked
 //    shapes changed silently, so they are gated both ways and tightly.

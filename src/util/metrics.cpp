@@ -71,6 +71,16 @@ void Histogram::observe(long long v) {
   }
 }
 
+void Histogram::observe(long long v, std::uint64_t exemplar_id) {
+  if (!enabled()) return;
+  observe(v);
+  if (exemplar_id != 0) {
+    const std::size_t b = static_cast<std::size_t>(bucket_of(v));
+    exemplar_value_[b].store(std::max(v, 0LL), std::memory_order_relaxed);
+    exemplar_id_[b].store(exemplar_id, std::memory_order_relaxed);
+  }
+}
+
 double Histogram::mean() const {
   const long long n = count();
   return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
@@ -90,6 +100,8 @@ long long Histogram::quantile(double q) const {
 
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_id_) e.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_value_) e.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
@@ -370,7 +382,19 @@ std::string prometheus_text() {
         cumulative += in_bucket;
         out += pname + "_bucket{name=\"" + prometheus_label_escape(name) +
                "\",le=\"" + std::to_string(Histogram::bucket_upper(b)) +
-               "\"} " + std::to_string(cumulative) + "\n";
+               "\"} " + std::to_string(cumulative);
+        // OpenMetrics exemplar: ties this bucket to a concrete request in
+        // the flight recorder (GET /trace/<id>.json).
+        const std::uint64_t ex = h.exemplar_id(b);
+        if (ex != 0) {
+          char hex[17];
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(ex));
+          out += " # {trace_id=\"";
+          out += hex;
+          out += "\"} " + std::to_string(h.exemplar_value(b));
+        }
+        out += "\n";
       }
       out += pname + "_bucket{name=\"" + prometheus_label_escape(name) +
              "\",le=\"+Inf\"} " + std::to_string(h.count()) + "\n";

@@ -90,6 +90,23 @@ class Histogram {
   static long long bucket_upper(int bucket);
 
   void observe(long long v);
+  /// Observes `v` and stamps its bucket's exemplar with `exemplar_id` (a
+  /// request trace id; 0 leaves the previous exemplar in place). Exemplars
+  /// are last-write-wins per bucket and surface in the Prometheus
+  /// exposition as OpenMetrics exemplars, linking a latency bucket to a
+  /// concrete request in the flight recorder (DESIGN.md §15). The id and
+  /// value stores are independent relaxed atomics: a scrape racing two
+  /// observers can pair an id with the other observation's value — both
+  /// are genuine exemplars of the same bucket, so the tear is benign.
+  void observe(long long v, std::uint64_t exemplar_id);
+  [[nodiscard]] std::uint64_t exemplar_id(int bucket) const {
+    return exemplar_id_[static_cast<std::size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] long long exemplar_value(int bucket) const {
+    return exemplar_value_[static_cast<std::size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
   [[nodiscard]] long long count() const {
     return count_.load(std::memory_order_relaxed);
   }
@@ -110,6 +127,8 @@ class Histogram {
 
  private:
   std::array<std::atomic<long long>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_id_{};
+  std::array<std::atomic<long long>, kBuckets> exemplar_value_{};
   std::atomic<long long> count_{0};
   std::atomic<long long> sum_{0};
   std::atomic<long long> max_{0};

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,9 +22,11 @@
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/reqctx.hpp"
 #include "util/rng.hpp"
 #include "util/socket_io.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 #ifdef ADARNET_SERVING_SOCKETS
 #include <arpa/inet.h>
@@ -158,9 +162,11 @@ Summary summarize(const core::PipelineResult& r) {
 
 std::string summary_json(const SolveRequest& req, ServiceStage stage,
                          const Summary& s, bool deadline_hit, bool from_cache,
-                         double queue_s, double solve_s) {
+                         double queue_s, double solve_s,
+                         const std::string& trace_id) {
   std::string out = "{";
   out += "\"case\": \"" + req.case_name + "\"";
+  if (!trace_id.empty()) out += ", \"trace_id\": \"" + trace_id + "\"";
   out += ", \"re\": " + json_number(req.re);
   out += ", \"service_stage\": \"" + std::string(to_string(stage)) + "\"";
   out += ", \"fallback_stage\": \"" + s.fallback + "\"";
@@ -264,6 +270,11 @@ struct Server::Impl {
   std::atomic<long long> n_stage[4] = {};
   std::atomic<int> max_depth{0};
 
+  // Trailing-60s window / SLO bookkeeping. start_tp anchors the window
+  // time axis; last_slo_us throttles gauge recomputation to ~1/s.
+  CancelToken::Clock::time_point start_tp{};
+  std::atomic<std::int64_t> last_slo_us{0};
+
   // EMA of full-solve wall seconds, driving the degradation decision.
   std::mutex ema_mu;
   double ema_full_s = 0.0;
@@ -363,6 +374,22 @@ struct Server::Impl {
                             retry_after));
       ::close(fd);
       n_responses.fetch_add(1, std::memory_order_relaxed);
+      // Shed requests are the tail the flight recorder exists for: record
+      // a summary (no context ever existed — the shed path must stay
+      // allocation-light) and a window point so the 60 s shed rate and the
+      // SLO burn see refused load.
+      if (cfg.recorder_depth > 0) {
+        reqctx::RequestSummary s;
+        s.trace_id = reqctx::next_trace_id();
+        s.http_status = 503;
+        s.service_stage = "shed";
+        s.shed = true;
+        s.start_us = trace::detail::now_us();
+        s.end_us = s.start_us;
+        reqctx::recorder().record_summary(s);
+      }
+      record_window_shed();
+      maybe_update_slo();
     }
   }
 
@@ -396,12 +423,36 @@ struct Server::Impl {
         metrics::gauge("serving.queue.depth")
             .set(static_cast<double>(queue.size()));
       }
+      // Request-scoped observability (DESIGN.md §15): the context is born
+      // here, charged the queue wait, and bound to this thread so every
+      // trace::Span and solver phase below lands in its tree.
+      // recorder_depth == 0 disarms the whole path (no context, and the
+      // span gate stays cold for this thread).
+      std::unique_ptr<reqctx::RequestContext> rctx;
+      if (cfg.recorder_depth > 0) {
+        rctx = std::make_unique<reqctx::RequestContext>(
+            reqctx::next_trace_id());
+        const double queue_s =
+            std::chrono::duration<double>(CancelToken::Clock::now() -
+                                          conn.accepted)
+                .count();
+        rctx->add_phase(reqctx::Phase::kQueue, queue_s);
+        // Anchor the trace at admission, not at worker pop, so the queue
+        // wait renders at the front of the timeline.
+        rctx->meta.start_us -=
+            std::llround(std::max(queue_s, 0.0) * 1e6);
+      }
+      reqctx::Scope scope(rctx.get());
+      ReqOutcome out;
+      bool crashed = false;
       // The worker guard: a crash mid-dispatch (fault-injected or real)
       // degrades this request to a 500 and the worker lives on. handle_conn
       // never throws after closing the fd, so the fd here is always live.
       try {
-        handle_conn(conn, ctx);
+        handle_conn(conn, ctx, rctx.get(), out);
       } catch (const std::exception& e) {
+        crashed = true;
+        out.status = 500;
         n_crashes.fetch_add(1, std::memory_order_relaxed);
         metrics::counter("serving.worker.crashes").add();
         ADR_LOG_WARN << "serving: worker crashed mid-request (" << e.what()
@@ -413,81 +464,134 @@ struct Server::Impl {
         ::close(conn.fd);
         n_responses.fetch_add(1, std::memory_order_relaxed);
       }
+      if (out.solve_path || crashed) {
+        finish_request(conn, out, crashed, rctx.get());
+      }
+      maybe_update_slo();
     }
   }
 
-  void handle_conn(const Conn& conn, WorkerCtx& ctx) {
-    std::string raw;
-    const auto read = socket_io::read_http_request(conn.fd, raw, 64 * 1024);
-    if (read != socket_io::ReadResult::kOk) {
-      if (read == socket_io::ReadResult::kTimeout) {
-        n_stalled.fetch_add(1, std::memory_order_relaxed);
-        metrics::counter("serving.stalled_reads").add();
-        socket_io::send_all(
-            conn.fd, http_response("408 Request Timeout",
-                                   "{\"error\": \"request read timed out\"}\n"));
-      } else if (read == socket_io::ReadResult::kTooLarge) {
-        socket_io::send_all(
-            conn.fd, http_response("413 Content Too Large",
-                                   "{\"error\": \"request too large\"}\n"));
-      }
-      ::close(conn.fd);
-      n_responses.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
+  // Per-request outcome channel between handle_conn/handle_solve and the
+  // finish/window bookkeeping in worker_loop.
+  struct ReqOutcome {
+    bool solve_path = false;      ///< routed to POST /solve
+    int status = 0;               ///< HTTP status written (0 = none)
+    bool deadline_expired = false;
+  };
 
-    std::string method, target;
-    {
-      const std::size_t sp1 = raw.find(' ');
-      const std::size_t sp2 =
-          sp1 == std::string::npos ? std::string::npos : raw.find(' ', sp1 + 1);
-      if (sp1 != std::string::npos && sp2 != std::string::npos) {
-        method = raw.substr(0, sp1);
-        target = raw.substr(sp1 + 1, sp2 - sp1 - 1);
-      }
-    }
-    const std::size_t query = target.find('?');
-    const std::string path =
-        query == std::string::npos ? target : target.substr(0, query);
-
+  void handle_conn(const Conn& conn, WorkerCtx& ctx,
+                   reqctx::RequestContext* rctx, ReqOutcome& out) {
     std::string response;
-    if (path == "/healthz" && (method == "GET" || method == "HEAD")) {
-      response = http_response("200 OK", "{\"status\": \"ok\"}\n");
-    } else if (path == "/stats.json" && (method == "GET" || method == "HEAD")) {
-      response = http_response("200 OK", stats_json());
-    } else if (path == "/solve" && method == "POST") {
-      std::size_t header_end = raw.find("\r\n\r\n");
-      std::size_t skip = 4;
-      if (header_end == std::string::npos) {
-        header_end = raw.find("\n\n");
-        skip = 2;
+    bool routed = false;
+    {
+      std::string raw;
+      socket_io::ReadResult read;
+      {
+        const trace::Span read_span("serving.read");
+        WallTimer read_timer;
+        read = socket_io::read_http_request(conn.fd, raw, 64 * 1024);
+        if (rctx != nullptr) {
+          rctx->add_phase(reqctx::Phase::kRead, read_timer.seconds());
+        }
       }
-      const std::string body =
-          header_end == std::string::npos ? "" : raw.substr(header_end + skip);
-      response = handle_solve(body, conn, ctx);
-    } else if (path == "/solve" || path == "/healthz" ||
-               path == "/stats.json") {
-      response = http_response("405 Method Not Allowed",
-                               "{\"error\": \"method not allowed\"}\n");
-    } else {
-      response = http_response("404 Not Found", "{\"error\": \"not found\"}\n");
+      if (read != socket_io::ReadResult::kOk) {
+        if (read == socket_io::ReadResult::kTimeout) {
+          n_stalled.fetch_add(1, std::memory_order_relaxed);
+          metrics::counter("serving.stalled_reads").add();
+          out.status = 408;
+          response = http_response(
+              "408 Request Timeout",
+              "{\"error\": \"request read timed out\"}\n");
+        } else if (read == socket_io::ReadResult::kTooLarge) {
+          out.status = 413;
+          response = http_response("413 Content Too Large",
+                                   "{\"error\": \"request too large\"}\n");
+        }
+      } else {
+        std::string method, target;
+        {
+          const std::size_t sp1 = raw.find(' ');
+          const std::size_t sp2 = sp1 == std::string::npos
+                                      ? std::string::npos
+                                      : raw.find(' ', sp1 + 1);
+          if (sp1 != std::string::npos && sp2 != std::string::npos) {
+            method = raw.substr(0, sp1);
+            target = raw.substr(sp1 + 1, sp2 - sp1 - 1);
+          }
+        }
+        const std::size_t query = target.find('?');
+        const std::string path =
+            query == std::string::npos ? target : target.substr(0, query);
+
+        routed = true;
+        if (path == "/healthz" && (method == "GET" || method == "HEAD")) {
+          out.status = 200;
+          response = http_response("200 OK", "{\"status\": \"ok\"}\n");
+        } else if (path == "/stats.json" &&
+                   (method == "GET" || method == "HEAD")) {
+          out.status = 200;
+          response = http_response("200 OK", stats_json());
+        } else if (path == "/solve" && method == "POST") {
+          out.solve_path = true;
+          std::size_t header_end = raw.find("\r\n\r\n");
+          std::size_t skip = 4;
+          if (header_end == std::string::npos) {
+            header_end = raw.find("\n\n");
+            skip = 2;
+          }
+          const std::string body = header_end == std::string::npos
+                                       ? ""
+                                       : raw.substr(header_end + skip);
+          const trace::Span solve_span("serving.solve");
+          response = handle_solve(body, conn, ctx, rctx, out);
+        } else if (path == "/solve" || path == "/healthz" ||
+                   path == "/stats.json") {
+          out.status = 405;
+          response = http_response("405 Method Not Allowed",
+                                   "{\"error\": \"method not allowed\"}\n");
+        } else {
+          out.status = 404;
+          response =
+              http_response("404 Not Found", "{\"error\": \"not found\"}\n");
+        }
+      }
     }
-    socket_io::send_all(conn.fd, response);
-    ::close(conn.fd);
+    {
+      const trace::Span respond_span("serving.respond");
+      WallTimer respond_timer;
+      if (!response.empty()) socket_io::send_all(conn.fd, response);
+      ::close(conn.fd);
+      if (rctx != nullptr) {
+        rctx->add_phase(reqctx::Phase::kRespond, respond_timer.seconds());
+      }
+    }
     n_responses.fetch_add(1, std::memory_order_relaxed);
-    metrics::counter("serving.requests").add();
+    if (routed) metrics::counter("serving.requests").add();
   }
 
   // Builds the /solve response. Throwing (the injected worker crash) is
   // only legal before any response bytes are written — the worker guard
   // turns it into a 500 on the still-open socket.
   std::string handle_solve(const std::string& body, const Conn& conn,
-                           WorkerCtx& ctx) {
+                           WorkerCtx& ctx, reqctx::RequestContext* rctx,
+                           ReqOutcome& out) {
+    WallTimer parse_timer;
     SolveRequest req;
     const std::string err = parse_solve_request(body, req);
     if (!err.empty()) {
+      out.status = 400;
+      if (rctx != nullptr) {
+        rctx->add_phase(reqctx::Phase::kParse, parse_timer.seconds());
+      }
       return http_response("400 Bad Request",
                            "{\"error\": \"" + err + "\"}\n");
+    }
+    const std::string tid =
+        rctx != nullptr ? reqctx::trace_id_hex(rctx->trace_id())
+                        : std::string();
+    if (rctx != nullptr) {
+      rctx->meta.case_name = req.case_name;
+      rctx->meta.re = req.re;
     }
 
     // The deadline runs from *admission*: queue wait spends the budget, so
@@ -521,6 +625,9 @@ struct Server::Impl {
     } else {
       spec = data::naca1412_case(req.re, cfg.body_preset);
     }
+    if (rctx != nullptr) {
+      rctx->add_phase(reqctx::Phase::kParse, parse_timer.seconds());
+    }
 
     // --- the service degradation ladder ------------------------------------
     const double remaining = token.remaining_seconds();
@@ -534,11 +641,13 @@ struct Server::Impl {
     if (remaining <= cfg.min_solve_s) {
       Summary cached;
       if (cache_get(cache_key(req), cached)) {
-        record_stage(ServiceStage::kCached);
-        record_deadline(token);
+        out.status = 200;
+        record_stage(ServiceStage::kCached, rctx);
+        record_deadline(token, out, rctx);
         return http_response(
             "200 OK", summary_json(req, ServiceStage::kCached, cached,
-                                   !token.expired(), true, queue_s, 0.0));
+                                   !token.expired(), true, queue_s, 0.0,
+                                   tid));
       }
       stage = ServiceStage::kFreestream;
     } else if (ema > 0.0 && remaining < cfg.full_headroom * ema) {
@@ -556,11 +665,13 @@ struct Server::Impl {
       s.residual = 1.0;
       s.umax = spec.u_ref;
       s.umean = spec.u_ref;
-      record_stage(stage);
-      record_deadline(token);
+      out.status = 200;
+      if (rctx != nullptr) rctx->meta.cancelled = s.cancelled;
+      record_stage(stage, rctx);
+      record_deadline(token, out, rctx);
       return http_response("200 OK",
                            summary_json(req, stage, s, !token.expired(),
-                                        false, queue_s, 0.0));
+                                        false, queue_s, 0.0, tid));
     }
 
     // --- DNN + physics solve (full or capped budget) ------------------------
@@ -595,6 +706,15 @@ struct Server::Impl {
     }
 
     n_solves.fetch_add(1, std::memory_order_relaxed);
+    // Measured-remainder glue: everything in this section that the
+    // solver/pipeline/inference layers do not attribute themselves (LR
+    // setup, normalisation fit, summarize, cache put) is the difference
+    // between the section wall and the attribution the section added — a
+    // measurement, not a guess, so the per-request phase sum keeps
+    // tracking the request wall (bench-gated at 5%).
+    const double attributed_before =
+        rctx != nullptr ? rctx->attributed_seconds() : 0.0;
+    WallTimer section_timer;
     WallTimer solve_timer;
     solver::SolveStats lr_stats;
     field::FlowField lr = data::solve_lr(spec, pcfg.lr_solver, &lr_stats);
@@ -622,22 +742,158 @@ struct Server::Impl {
     if (s.finite && s.iterations > 0) {
       cache_put(cache_key(req), s);
     }
-    record_stage(stage);
-    record_deadline(token);
+    out.status = 200;
+    if (rctx != nullptr) {
+      rctx->meta.cancelled = s.cancelled;
+      rctx->add_phase(reqctx::Phase::kPipelineGlue,
+                      std::max(0.0, section_timer.seconds() -
+                                        (rctx->attributed_seconds() -
+                                         attributed_before)));
+    }
+    record_stage(stage, rctx);
+    record_deadline(token, out, rctx);
     return http_response("200 OK",
                          summary_json(req, stage, s, !token.expired(), false,
-                                      queue_s, solve_s));
+                                      queue_s, solve_s, tid));
   }
 
-  void record_stage(ServiceStage stage) {
+  void record_stage(ServiceStage stage, reqctx::RequestContext* rctx) {
     n_stage[static_cast<int>(stage)].fetch_add(1, std::memory_order_relaxed);
     metrics::counter(std::string("serving.stage.") + to_string(stage)).add();
+    if (rctx != nullptr) rctx->meta.service_stage = to_string(stage);
   }
 
-  void record_deadline(const CancelToken& token) {
-    if (token.expired()) {
+  // NB: the /solve JSON reports "deadline_hit": true when the response made
+  // its deadline (call sites pass !token.expired()); the recorder summary
+  // stores the opposite-sense deadline_expired flag. Both come from here.
+  void record_deadline(const CancelToken& token, ReqOutcome& out,
+                       reqctx::RequestContext* rctx) {
+    const bool expired = token.expired();
+    out.deadline_expired = expired;
+    if (rctx != nullptr) rctx->meta.deadline_expired = expired;
+    if (expired) {
       n_deadline_miss.fetch_add(1, std::memory_order_relaxed);
       metrics::counter("serving.deadline_miss").add();
+    }
+  }
+
+  // --- windowed rates + SLO (DESIGN.md §15) --------------------------------
+  // Each finished /solve (and each shed) lands one point in a
+  // metrics::TimeSeries keyed by seconds-since-start; readers count the
+  // points inside the trailing 60 s. Under sustained overload the ring
+  // capacity degrades the window to "the most recent N events", which still
+  // orders the burn rate correctly.
+
+  double now_s() const {
+    return std::chrono::duration<double>(CancelToken::Clock::now() -
+                                         start_tp)
+        .count();
+  }
+
+  void record_window_request(double wall_s, bool good,
+                             bool deadline_expired) {
+    const double t = now_s();
+    metrics::series("serving.window.requests").append(t, wall_s);
+    metrics::series("serving.window.good").append(t, good ? 1.0 : 0.0);
+    if (deadline_expired) {
+      metrics::series("serving.window.deadline").append(t, 1.0);
+    }
+  }
+
+  void record_window_shed() {
+    metrics::series("serving.window.shed").append(now_s(), 1.0);
+  }
+
+  struct WindowStats {
+    double span_s = 0.0;      ///< min(uptime, 60 s)
+    long long requests = 0;   ///< /solve responses in the window
+    long long good = 0;       ///< ... that met the SLO
+    long long shed = 0;       ///< 503s at admission in the window
+    long long deadline_misses = 0;
+    double qps = 0.0;         ///< offered load: (requests + shed) / span
+    double shed_rate = 0.0;
+    double deadline_miss_rate = 0.0;
+    double good_rate = 1.0;   ///< good / offered (shed counts against it)
+    double burn_rate = 0.0;   ///< (1 - good_rate) / (1 - availability)
+  };
+
+  WindowStats window_stats() {
+    WindowStats w;
+    const double now = now_s();
+    const double lo = now - 60.0;
+    for (const auto& p :
+         metrics::series("serving.window.requests").snapshot()) {
+      if (p.x >= lo) ++w.requests;
+    }
+    for (const auto& p : metrics::series("serving.window.good").snapshot()) {
+      if (p.x >= lo && p.y > 0.5) ++w.good;
+    }
+    for (const auto& p : metrics::series("serving.window.shed").snapshot()) {
+      if (p.x >= lo) ++w.shed;
+    }
+    for (const auto& p :
+         metrics::series("serving.window.deadline").snapshot()) {
+      if (p.x >= lo) ++w.deadline_misses;
+    }
+    w.span_s = std::clamp(now, 1e-9, 60.0);
+    const long long offered = w.requests + w.shed;
+    w.qps = static_cast<double>(offered) / w.span_s;
+    if (offered > 0) {
+      w.shed_rate =
+          static_cast<double>(w.shed) / static_cast<double>(offered);
+      w.good_rate =
+          static_cast<double>(w.good) / static_cast<double>(offered);
+    }
+    if (w.requests > 0) {
+      w.deadline_miss_rate = static_cast<double>(w.deadline_misses) /
+                             static_cast<double>(w.requests);
+    }
+    w.burn_rate = (1.0 - w.good_rate) /
+                  std::max(1e-9, 1.0 - cfg.slo_availability);
+    return w;
+  }
+
+  void maybe_update_slo() {
+    const std::int64_t now_us = trace::detail::now_us();
+    std::int64_t last = last_slo_us.load(std::memory_order_relaxed);
+    if (now_us - last < 1000000 &&
+        last != 0) {  // at most ~1 recompute per second
+      return;
+    }
+    if (!last_slo_us.compare_exchange_strong(last, now_us,
+                                             std::memory_order_relaxed)) {
+      return;  // another thread is on it
+    }
+    const WindowStats w = window_stats();
+    metrics::gauge("serving.window.qps").set(w.qps);
+    metrics::gauge("serving.window.shed_rate").set(w.shed_rate);
+    metrics::gauge("serving.window.deadline_miss_rate")
+        .set(w.deadline_miss_rate);
+    metrics::gauge("serving.slo.good_rate").set(w.good_rate);
+    metrics::gauge("serving.slo.burn_rate").set(w.burn_rate);
+  }
+
+  // Request epilogue: latency histogram (with the trace id as an
+  // OpenMetrics exemplar), window point, and the flight-recorder hand-off.
+  // Runs for every /solve and every worker crash; plain GETs stay out of
+  // the request-flow accounting.
+  void finish_request(const Conn& conn, const ReqOutcome& out, bool crashed,
+                      reqctx::RequestContext* rctx) {
+    const double wall_s = std::chrono::duration<double>(
+                              CancelToken::Clock::now() - conn.accepted)
+                              .count();
+    const bool good = out.status == 200 && !out.deadline_expired &&
+                      wall_s * 1e3 <= cfg.slo_latency_ms;
+    metrics::histogram("serving.latency.ns")
+        .observe(std::llround(wall_s * 1e9),
+                 rctx != nullptr ? rctx->trace_id() : 0);
+    record_window_request(wall_s, good, out.deadline_expired);
+    if (rctx != nullptr) {
+      rctx->meta.wall_s = wall_s;
+      rctx->meta.http_status = out.status;
+      rctx->meta.worker_crash = crashed;
+      rctx->finalize(trace::detail::now_us());
+      reqctx::recorder().record(std::move(*rctx));
     }
   }
 
@@ -659,6 +915,18 @@ struct Server::Impl {
     out += ", \"capped\": " + std::to_string(s.stage_capped);
     out += ", \"cached\": " + std::to_string(s.stage_cached);
     out += ", \"freestream\": " + std::to_string(s.stage_freestream);
+    out += "}";
+    const WindowStats w = window_stats();
+    out += ", \"window_60s\": {";
+    out += "\"span_s\": " + json_number(w.span_s);
+    out += ", \"requests\": " + std::to_string(w.requests);
+    out += ", \"shed\": " + std::to_string(w.shed);
+    out += ", \"deadline_misses\": " + std::to_string(w.deadline_misses);
+    out += ", \"qps\": " + json_number(w.qps);
+    out += ", \"shed_rate\": " + json_number(w.shed_rate);
+    out += ", \"deadline_miss_rate\": " + json_number(w.deadline_miss_rate);
+    out += ", \"good_rate\": " + json_number(w.good_rate);
+    out += ", \"burn_rate\": " + json_number(w.burn_rate);
     out += "}}\n";
     return out;
   }
@@ -721,6 +989,20 @@ bool Server::start() {
                   std::memory_order_release);
   }
   im.listen_fd = fd;
+  im.start_tp = CancelToken::Clock::now();
+  im.last_slo_us.store(0, std::memory_order_relaxed);
+  if (im.cfg.recorder_depth > 0) {
+    reqctx::FlightRecorder::Config rc;
+    rc.summary_capacity = std::max(512, 2 * im.cfg.recorder_depth);
+    rc.trace_capacity = im.cfg.recorder_depth;
+    rc.slowest = im.cfg.recorder_slowest;
+    rc.sample_every = im.cfg.recorder_sample_every;
+    reqctx::recorder().configure(rc);
+  }
+  metrics::gauge("serving.slo.latency_objective_ms")
+      .set(im.cfg.slo_latency_ms);
+  metrics::gauge("serving.slo.availability_objective")
+      .set(im.cfg.slo_availability);
   im.shutting_down.store(false, std::memory_order_release);
   im.running.store(true, std::memory_order_release);
   im.acceptor = std::thread([&im] { im.acceptor_loop(); });

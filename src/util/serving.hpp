@@ -35,9 +35,13 @@
 // Endpoints (loopback only, like the telemetry server):
 //   POST /solve       {"case": "channel", "re": 2500, "deadline_ms": 500,
 //                      "max_outer": 400, "tol": 5e-4}  (all but case/re
-//                      optional) -> solution summary JSON
+//                      optional) -> solution summary JSON, including the
+//                      request's "trace_id" — feed it to the telemetry
+//                      server's GET /trace/<id>.json to explain the request
 //   GET  /healthz     liveness
-//   GET  /stats.json  admission/shed/stage counters + queue depth
+//   GET  /stats.json  admission/shed/stage counters + queue depth, plus
+//                     trailing-60s rates (QPS, shed, deadline hits) and
+//                     the SLO good/burn rates under "window_60s"
 #pragma once
 
 #if !defined(_WIN32)
@@ -83,6 +87,22 @@ struct ServingConfig {
                                ///< headroom * EMA(full-solve seconds)
   double assumed_full_solve_s = 0.0;  ///< seeds the EMA (0 = first full
                                       ///< solve measures it)
+
+  // Request-scoped observability (DESIGN.md §15). Every admitted /solve
+  // request gets a RequestContext (trace id, span tree, per-phase wall
+  // attribution) and lands in the process flight recorder, which the
+  // telemetry server exposes as GET /requests.json + /trace/<id>.json.
+  int recorder_depth = 256;        ///< retained full span trees; 0 disarms
+                                   ///< per-request tracing + recording
+  int recorder_slowest = 16;       ///< slowest-N traces always retained
+  int recorder_sample_every = 16;  ///< head-sample 1 in K boring requests
+
+  // SLO objective behind the serving.slo.* gauges: a response is "good"
+  // when it is 200, did not blow its deadline, and finished inside the
+  // latency objective; burn rate = (1 - good_rate) / (1 - availability)
+  // over the trailing 60 s window (1.0 = burning exactly the error budget).
+  double slo_latency_ms = 1000.0;  ///< latency objective per response
+  double slo_availability = 0.99;  ///< availability objective in (0, 1)
 
   data::GridPreset wall_preset = data::paper_wall_preset();
   data::GridPreset body_preset = data::paper_body_preset();

@@ -8,6 +8,7 @@
 
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/reqctx.hpp"
 #include "util/socket_io.hpp"
 #include "util/timer.hpp"
 
@@ -143,7 +144,8 @@ bool start(int port) {
   (void)atexit_once;
   ADR_LOG_INFO << "telemetry: serving http://127.0.0.1:"
                << g_port.load(std::memory_order_acquire)
-               << " (/healthz /metrics /snapshot.json /series.json)";
+               << " (/healthz /metrics /snapshot.json /series.json "
+                  "/requests.json /trace/<id>.json)";
   return true;
 #else
   (void)port;
@@ -217,6 +219,31 @@ std::string respond(const std::string& method, const std::string& path) {
   if (path == "/series.json") {
     return http_response("200 OK", "application/json",
                          metrics::series_json() + "\n");
+  }
+  if (path == "/requests.json") {
+    return http_response("200 OK", "application/json",
+                         reqctx::recorder().requests_json());
+  }
+  // GET /trace/<id>[.json]: a retained request's span tree as a
+  // chrome://tracing document (load via chrome://tracing or Perfetto).
+  if (path.rfind("/trace/", 0) == 0) {
+    std::string id_str = path.substr(7);
+    const std::size_t dot = id_str.rfind(".json");
+    if (dot != std::string::npos && dot + 5 == id_str.size()) {
+      id_str.resize(dot);
+    }
+    std::uint64_t id = 0;
+    if (!reqctx::parse_trace_id(id_str, &id)) {
+      return http_response("400 Bad Request", "application/json",
+                           "{\"error\": \"bad trace id\"}\n");
+    }
+    std::string doc;
+    if (!reqctx::recorder().trace_json(id, &doc)) {
+      return http_response(
+          "404 Not Found", "application/json",
+          "{\"error\": \"trace not retained (evicted or never recorded)\"}\n");
+    }
+    return http_response("200 OK", "application/json", doc);
   }
   return http_response("404 Not Found", "text/plain", "not found\n");
 }

@@ -1,13 +1,18 @@
 // Embedded telemetry HTTP server: watch a running train / infer / solve
 // job with nothing but curl.
 //
-// A single acceptor thread serves four read-only endpoints over plain
-// POSIX sockets (no dependencies, loopback only):
+// A single acceptor thread serves read-only endpoints over plain POSIX
+// sockets (no dependencies, loopback only):
 //
-//   /healthz        200 "ok" + uptime — liveness probe
-//   /metrics        util::metrics registry in Prometheus text exposition
-//   /snapshot.json  util::metrics::snapshot_json() (the BENCH_*.json shape)
-//   /series.json    util::metrics::series_json() (convergence time-series)
+//   /healthz          200 "ok" + uptime — liveness probe
+//   /metrics          util::metrics registry in Prometheus text exposition
+//                     (latency histogram buckets carry OpenMetrics
+//                     exemplars linking them to request trace ids)
+//   /snapshot.json    util::metrics::snapshot_json() (BENCH_*.json shape)
+//   /series.json      util::metrics::series_json() (convergence series)
+//   /requests.json    flight-recorder summaries, newest first (reqctx)
+//   /trace/<id>.json  a retained request's span tree as a chrome://tracing
+//                     document; 404 when the id was evicted/never retained
 //
 // Opt-in: the server only exists when ADARNET_TELEMETRY_PORT is set in the
 // environment (port number; 0 picks an ephemeral port, logged at startup)

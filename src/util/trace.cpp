@@ -8,9 +8,21 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace adarnet::util::trace {
 
 namespace {
+
+std::size_t env_max_events() {
+  const char* v = std::getenv("ADARNET_TRACE_MAX_EVENTS");
+  if (v == nullptr || v[0] == '\0') return 1u << 20;  // ~24 MB of events
+  const long long n = std::atoll(v);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;  // 0 / junk -> unbounded
+}
+
+std::atomic<std::size_t> g_max_events{env_max_events()};
+std::atomic<long long> g_dropped{0};
 
 struct Event {
   const char* name;
@@ -66,6 +78,7 @@ bool env_enabled() {
   }
   out_path() = (v[0] == '1' && v[1] == '\0') ? "adarnet_trace.json" : v;
   register_atexit();  // a trace-enabled run always produces the file
+  reqctx::detail::gate_trace_enabled(true);  // arm the shared span gate
   return true;
 }
 
@@ -78,9 +91,24 @@ std::int64_t now_us() {
 
 void record(const char* name, std::int64_t ts_us, std::int64_t dur_us) {
   const std::uint32_t tid = thread_tid();
-  std::lock_guard<std::mutex> lock(g_mutex);
-  events().push_back(Event{name, ts_us, dur_us, tid});
-  register_atexit();
+  const std::size_t cap = g_max_events.load(std::memory_order_relaxed);
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (cap != 0 && events().size() >= cap) {
+      dropped = true;
+    } else {
+      events().push_back(Event{name, ts_us, dur_us, tid});
+      register_atexit();
+    }
+  }
+  if (dropped) {
+    // Counted outside g_mutex: metrics has its own registry lock and must
+    // never nest inside the trace buffer lock.
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    static metrics::Counter& drops = metrics::counter("trace.dropped_events");
+    drops.add(1);
+  }
 }
 
 }  // namespace detail
@@ -90,8 +118,11 @@ void set_path(const std::string& path) {
     std::lock_guard<std::mutex> lock(g_mutex);
     out_path() = path;
   }
-  detail::g_enabled.store(!path.empty(), std::memory_order_relaxed);
-  if (!path.empty()) register_atexit();
+  const bool on = !path.empty();
+  const bool was =
+      detail::g_enabled.exchange(on, std::memory_order_relaxed);
+  if (on != was) reqctx::detail::gate_trace_enabled(on);
+  if (on) register_atexit();
 }
 
 std::string path() {
@@ -149,11 +180,24 @@ bool flush() {
 void clear() {
   std::lock_guard<std::mutex> lock(g_mutex);
   events().clear();
+  g_dropped.store(0, std::memory_order_relaxed);
 }
 
 std::size_t event_count() {
   std::lock_guard<std::mutex> lock(g_mutex);
   return events().size();
+}
+
+void set_max_events(std::size_t n) {
+  g_max_events.store(n, std::memory_order_relaxed);
+}
+
+std::size_t max_events() {
+  return g_max_events.load(std::memory_order_relaxed);
+}
+
+long long dropped_count() {
+  return g_dropped.load(std::memory_order_relaxed);
 }
 
 }  // namespace adarnet::util::trace

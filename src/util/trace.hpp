@@ -13,11 +13,20 @@
 // Span names reuse the metric naming scheme (DESIGN.md §9), so a trace
 // timeline and a metrics snapshot cross-reference by name. Events carry
 // the emitting thread id; nested spans on one thread render as a stack.
+//
+// Request attribution (DESIGN.md §15): when a reqctx::RequestContext is
+// bound to the constructing thread, the span additionally lands in that
+// request's span tree — so one serving request can be rendered in
+// isolation via GET /trace/<id>.json even when the global timeline is
+// disabled. Both sinks share a single relaxed-load gate (reqctx::armed());
+// a fully disarmed process pays exactly one relaxed atomic load per span.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "util/reqctx.hpp"
 
 namespace adarnet::util::trace {
 
@@ -56,24 +65,39 @@ void clear();
 /// Number of events recorded so far.
 std::size_t event_count();
 
+/// Caps the global event buffer: once `n` events are held, further spans
+/// are dropped (counted in `trace.dropped_events` and dropped_count())
+/// instead of growing the buffer for the life of a long-running server.
+/// 0 means unbounded. Defaults to ADARNET_TRACE_MAX_EVENTS (or 1M).
+void set_max_events(std::size_t n);
+std::size_t max_events();
+
+/// Events dropped at the cap since process start (clear() resets it).
+long long dropped_count();
+
 /// RAII span: one chrome://tracing complete event covering the enclosing
 /// scope. `name` must outlive the span (string literals in practice).
 class Span {
  public:
-  explicit Span(const char* name)
-      : name_(enabled() ? name : nullptr),
-        start_us_(name_ != nullptr ? detail::now_us() : 0) {}
+  explicit Span(const char* name) {
+    if (!reqctx::armed()) return;  // disarmed: this one relaxed load
+    name_ = name;
+    start_us_ = detail::now_us();
+    node_ = reqctx::detail::open_span(name, start_us_);
+  }
   ~Span() {
-    if (name_ != nullptr) {
-      detail::record(name_, start_us_, detail::now_us() - start_us_);
-    }
+    if (name_ == nullptr) return;
+    const std::int64_t end_us = detail::now_us();
+    if (enabled()) detail::record(name_, start_us_, end_us - start_us_);
+    if (node_ >= 0) reqctx::detail::close_span(node_, end_us);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
-  const char* name_;
-  std::int64_t start_us_;
+  const char* name_ = nullptr;
+  std::int64_t start_us_ = 0;
+  int node_ = -1;  ///< index in the bound request's span tree, -1 if none
 };
 
 }  // namespace adarnet::util::trace

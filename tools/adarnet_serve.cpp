@@ -2,10 +2,14 @@
 //
 //   adarnet_serve [--port N] [--workers N] [--queue N] [--deadline-ms N]
 //                 [--shrink K] [--max-outer N] [--tol X]
+//                 [--slo-latency-ms N] [--slo-availability X]
+//                 [--recorder-depth N] [--telemetry-port N]
 //
 // Binds 127.0.0.1 and serves POST /solve, GET /healthz, GET /stats.json
 // until SIGINT/SIGTERM. Every knob mirrors a ServingConfig field; --shrink
 // divides the paper presets so a laptop can exercise the full ladder.
+// --telemetry-port additionally starts the telemetry server (DESIGN.md §15)
+// so GET /requests.json and GET /trace/<id>.json can explain requests.
 //
 //   curl -s localhost:8080/solve -d '{"case": "channel", "re": 2500,
 //                                     "deadline_ms": 2000}'
@@ -17,6 +21,7 @@
 #include <thread>
 
 #include "util/serving.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -26,7 +31,9 @@ void on_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--workers N] [--queue N] "
-               "[--deadline-ms N] [--shrink K] [--max-outer N] [--tol X]\n",
+               "[--deadline-ms N] [--shrink K] [--max-outer N] [--tol X]\n"
+               "       [--slo-latency-ms N] [--slo-availability X]\n"
+               "       [--recorder-depth N] [--telemetry-port N]\n",
                argv0);
   return 2;
 }
@@ -39,6 +46,7 @@ int main(int argc, char** argv) {
   util::serving::ServingConfig cfg;
   cfg.port = 8080;
   int shrink = 0;
+  int telemetry_port = -1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -61,6 +69,14 @@ int main(int argc, char** argv) {
       cfg.solver.max_outer = std::atoi(val);
     } else if (std::strcmp(arg, "--tol") == 0) {
       cfg.solver.tol = std::atof(val);
+    } else if (std::strcmp(arg, "--slo-latency-ms") == 0) {
+      cfg.slo_latency_ms = std::atof(val);
+    } else if (std::strcmp(arg, "--slo-availability") == 0) {
+      cfg.slo_availability = std::atof(val);
+    } else if (std::strcmp(arg, "--recorder-depth") == 0) {
+      cfg.recorder_depth = std::atoi(val);
+    } else if (std::strcmp(arg, "--telemetry-port") == 0) {
+      telemetry_port = std::atoi(val);
     } else {
       return usage(argv[0]);
     }
@@ -70,7 +86,17 @@ int main(int argc, char** argv) {
     cfg.wall_preset = data::shrink(cfg.wall_preset, shrink);
     cfg.body_preset = data::shrink(cfg.body_preset, shrink);
   }
+  if (cfg.slo_availability <= 0.0 || cfg.slo_availability >= 1.0) {
+    std::fprintf(stderr,
+                 "adarnet_serve: --slo-availability must be in (0, 1)\n");
+    return 2;
+  }
 
+  if (telemetry_port >= 0 && !util::telemetry::start(telemetry_port)) {
+    std::fprintf(stderr, "adarnet_serve: could not bind telemetry port %d\n",
+                 telemetry_port);
+    return 1;
+  }
   util::serving::Server server(cfg);
   if (!server.start()) {
     std::fprintf(stderr, "adarnet_serve: could not bind port %d\n", cfg.port);
@@ -81,11 +107,17 @@ int main(int argc, char** argv) {
   std::printf("adarnet_serve: http://127.0.0.1:%d (POST /solve, "
               "GET /healthz, GET /stats.json); Ctrl-C to stop\n",
               server.bound_port());
+  if (util::telemetry::running()) {
+    std::printf("adarnet_serve: telemetry http://127.0.0.1:%d "
+                "(GET /requests.json, GET /trace/<id>.json)\n",
+                util::telemetry::bound_port());
+  }
   std::fflush(stdout);
   while (g_stop == 0 && server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   server.stop();
+  util::telemetry::stop();
   const auto stats = server.stats();
   std::printf("adarnet_serve: served %lld responses (%lld admitted, "
               "%lld shed, %lld deadline misses, %lld worker crashes)\n",
