@@ -358,7 +358,7 @@ std::string prometheus_label_escape(const std::string& s) {
 
 }  // namespace
 
-std::string prometheus_text() {
+std::string prometheus_text(bool openmetrics) {
   std::lock_guard<std::mutex> lock(g_mutex);
   std::string out;
   for (const auto& [name, ins] : registry()) {
@@ -384,8 +384,11 @@ std::string prometheus_text() {
                "\",le=\"" + std::to_string(Histogram::bucket_upper(b)) +
                "\"} " + std::to_string(cumulative);
         // OpenMetrics exemplar: ties this bucket to a concrete request in
-        // the flight recorder (GET /trace/<id>.json).
-        const std::uint64_t ex = h.exemplar_id(b);
+        // the flight recorder (GET /trace/<id>.json). Exemplars are
+        // illegal in the classic 0.0.4 text format — a '#' after the
+        // sample value aborts a standard Prometheus scrape — so they are
+        // emitted only when the scraper negotiated OpenMetrics.
+        const std::uint64_t ex = openmetrics ? h.exemplar_id(b) : 0;
         if (ex != 0) {
           char hex[17];
           std::snprintf(hex, sizeof(hex), "%016llx",
@@ -403,6 +406,7 @@ std::string prometheus_text() {
              "\n";
     }
   }
+  if (openmetrics) out += "# EOF\n";
   return out;
 }
 

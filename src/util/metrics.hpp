@@ -92,9 +92,10 @@ class Histogram {
   void observe(long long v);
   /// Observes `v` and stamps its bucket's exemplar with `exemplar_id` (a
   /// request trace id; 0 leaves the previous exemplar in place). Exemplars
-  /// are last-write-wins per bucket and surface in the Prometheus
-  /// exposition as OpenMetrics exemplars, linking a latency bucket to a
-  /// concrete request in the flight recorder (DESIGN.md §15). The id and
+  /// are last-write-wins per bucket and surface only in the OpenMetrics
+  /// flavour of the exposition (prometheus_text(true)), linking a latency
+  /// bucket to a concrete request in the flight recorder (DESIGN.md §15);
+  /// the classic 0.0.4 text format stays exemplar-free. The id and
   /// value stores are independent relaxed atomics: a scrape racing two
   /// observers can pair an id with the other observation's value — both
   /// are genuine exemplars of the same bucket, so the tear is benign.
@@ -216,13 +217,21 @@ std::string snapshot_json();
 /// ...}} — the payload of the telemetry server's /series.json.
 std::string series_json();
 
-/// The registry rendered in Prometheus text exposition format (version
-/// 0.0.4) — the payload of the telemetry server's /metrics. Metric names
-/// are sanitised ("solver.ns" -> adarnet_solver_ns) and the original
-/// dotted name is kept in a `name` label so Prometheus series
-/// cross-reference DESIGN.md's naming scheme verbatim. Histograms render
-/// as cumulative le-buckets at the log-scale bucket upper bounds.
-std::string prometheus_text();
+/// The registry rendered in Prometheus text exposition format — the
+/// payload of the telemetry server's /metrics. Metric names are sanitised
+/// ("solver.ns" -> adarnet_solver_ns) and the original dotted name is
+/// kept in a `name` label so Prometheus series cross-reference DESIGN.md's
+/// naming scheme verbatim. Histograms render as cumulative le-buckets at
+/// the log-scale bucket upper bounds.
+///
+/// With `openmetrics` false (the default) the output is the classic text
+/// format (version 0.0.4) and carries NO exemplars — they are illegal
+/// there and break standard Prometheus parsers. With `openmetrics` true
+/// the output is OpenMetrics 1.0: histogram buckets carry their
+/// `# {trace_id="..."} value` exemplars and the exposition ends with the
+/// mandatory `# EOF` marker. The telemetry server picks the flavour from
+/// the scrape's Accept header.
+std::string prometheus_text(bool openmetrics = false);
 
 /// RAII scope timer: adds the scope's duration in nanoseconds to a
 /// counter (conventionally named "*.ns"). Reads the clock only while

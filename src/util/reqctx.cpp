@@ -188,6 +188,27 @@ void FlightRecorder::configure(const Config& cfg) {
   cfg_.trace_capacity = std::max(1, cfg_.trace_capacity);
   cfg_.slowest = std::max(0, cfg_.slowest);
   cfg_.sample_every = std::max(1, cfg_.sample_every);
+  // Re-linearise the summary ring against the (possibly changed) capacity:
+  // push/summaries index modulo the capacity and the vector size
+  // respectively, so a wrapped ring under a different cap would scramble
+  // ordering and a shrunk cap would leave stale slots alive forever.
+  // Rebuild oldest-first, trim to the newest `cap` entries, reset the
+  // cursor.
+  const std::size_t cap = static_cast<std::size_t>(cfg_.summary_capacity);
+  if (!ring_.empty() && (ring_full_ || ring_.size() > cap)) {
+    std::vector<RequestSummary> linear;
+    linear.reserve(std::min(ring_.size(), cap));
+    const std::size_t n = ring_.size();
+    const std::size_t keep = std::min(n, cap);
+    const std::size_t oldest = ring_full_ ? ring_pos_ : 0;
+    for (std::size_t i = n - keep; i < n; ++i) {
+      linear.push_back(ring_[(oldest + i) % n]);
+    }
+    ring_.swap(linear);
+    ring_full_ = ring_.size() == cap;
+    ring_pos_ = ring_.size() % cap;
+  }
+  evict_excess_locked();
 }
 
 FlightRecorder::Config FlightRecorder::config() const {
@@ -247,6 +268,10 @@ void FlightRecorder::retain_locked(int klass, RequestSummary summary,
   r.spans = std::move(spans);
   r.counters = std::move(counters);
   traces_.push_back(std::move(r));
+  evict_excess_locked();
+}
+
+void FlightRecorder::evict_excess_locked() {
   while (traces_.size() > static_cast<std::size_t>(cfg_.trace_capacity)) {
     std::size_t victim = 0;
     for (std::size_t i = 1; i < traces_.size(); ++i) {
@@ -476,13 +501,16 @@ bool FlightRecorder::trace_json(std::uint64_t trace_id,
 
   // Synthetic queue-phase event: no span runs while the request waits in
   // the admission queue, but the wait is the first thing to see in a
-  // timeline.
+  // timeline. start_us is already rebased to admission time (serving
+  // charges the queue wait before binding the context), so the queue
+  // slice starts at start_us and the first worker span begins where it
+  // ends — all inside the root request event.
   const std::int64_t queue_us = static_cast<std::int64_t>(
       s.phase_s[static_cast<int>(Phase::kQueue)] * 1e6);
   if (queue_us > 0) {
     std::string e =
         "{\"name\": \"queue\", \"cat\": \"phase\", \"ph\": \"X\", \"ts\": ";
-    e += std::to_string(s.start_us - queue_us);
+    e += std::to_string(s.start_us);
     e += ", \"dur\": ";
     e += std::to_string(queue_us);
     e += ", \"pid\": 1, \"tid\": 1}";

@@ -239,6 +239,7 @@ class FlightRecorder {
   void retain_locked(int klass, RequestSummary summary,
                      std::vector<SpanNode> spans,
                      std::vector<CounterDelta> counters);
+  void evict_excess_locked();
   int classify_locked(const RequestSummary& summary);
 
   mutable std::mutex mu_;

@@ -83,7 +83,8 @@ void handle_client(int fd) {
       if (end != nullptr) path.assign(sp1 + 1, end);
     }
   }
-  const std::string response = detail::respond(method, path);
+  const std::string response =
+      detail::respond(method, path, detail::header_value(buf, "accept"));
   socket_io::send_all(fd, response);
   ::close(fd);
   g_requests.fetch_add(1, std::memory_order_relaxed);
@@ -196,7 +197,37 @@ void autostart_from_env() {
   (void)once;
 }
 
-std::string respond(const std::string& method, const std::string& path) {
+std::string header_value(const std::string& raw_request,
+                         const std::string& name) {
+  auto lower = [](char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  };
+  std::size_t pos = raw_request.find('\n');  // skip the request line
+  while (pos != std::string::npos) {
+    ++pos;
+    std::size_t i = 0;
+    while (i < name.size() && pos + i < raw_request.size() &&
+           lower(raw_request[pos + i]) == lower(name[i])) {
+      ++i;
+    }
+    if (i == name.size() && pos + i < raw_request.size() &&
+        raw_request[pos + i] == ':') {
+      std::size_t v = pos + i + 1;
+      while (v < raw_request.size() &&
+             (raw_request[v] == ' ' || raw_request[v] == '\t')) {
+        ++v;
+      }
+      std::size_t end = raw_request.find_first_of("\r\n", v);
+      if (end == std::string::npos) end = raw_request.size();
+      return raw_request.substr(v, end - v);
+    }
+    pos = raw_request.find('\n', pos);
+  }
+  return std::string();
+}
+
+std::string respond(const std::string& method, const std::string& path,
+                    const std::string& accept) {
   if (method != "GET" && method != "HEAD") {
     return http_response("405 Method Not Allowed", "text/plain",
                          "method not allowed\n");
@@ -209,6 +240,15 @@ std::string respond(const std::string& method, const std::string& path) {
     return http_response("200 OK", "application/json", body);
   }
   if (path == "/metrics") {
+    // Exemplars are only legal in OpenMetrics: scrapers that ask for it
+    // get the exemplar-bearing exposition (ending in "# EOF"); everyone
+    // else gets classic 0.0.4 text with no exemplars, which any
+    // Prometheus-compatible parser accepts.
+    if (accept.find("application/openmetrics-text") != std::string::npos) {
+      return http_response(
+          "200 OK", "application/openmetrics-text; version=1.0.0",
+          metrics::prometheus_text(/*openmetrics=*/true));
+    }
     return http_response("200 OK", "text/plain; version=0.0.4",
                          metrics::prometheus_text());
   }

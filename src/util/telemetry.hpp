@@ -5,9 +5,13 @@
 // sockets (no dependencies, loopback only):
 //
 //   /healthz          200 "ok" + uptime — liveness probe
-//   /metrics          util::metrics registry in Prometheus text exposition
-//                     (latency histogram buckets carry OpenMetrics
-//                     exemplars linking them to request trace ids)
+//   /metrics          util::metrics registry in Prometheus text exposition.
+//                     Content-negotiated: scrapers sending
+//                     "Accept: application/openmetrics-text" get the
+//                     OpenMetrics flavour, where latency histogram buckets
+//                     carry exemplars linking them to request trace ids;
+//                     everyone else gets classic 0.0.4 text, exemplar-free
+//                     (exemplars are illegal in that format)
 //   /snapshot.json    util::metrics::snapshot_json() (BENCH_*.json shape)
 //   /series.json      util::metrics::series_json() (convergence series)
 //   /requests.json    flight-recorder summaries, newest first (reqctx)
@@ -60,9 +64,18 @@ void set_io_timeout_ms(int ms);
 /// harmless to call again.
 void autostart_from_env();
 
+/// Case-insensitive lookup of an HTTP header's value in raw request bytes
+/// ("accept" -> "application/openmetrics-text"). Returns "" when absent.
+std::string header_value(const std::string& raw_request,
+                         const std::string& name);
+
 /// Routes one parsed request to its response (status line + headers +
-/// body). Exposed so tests can golden-test routing without a socket.
-std::string respond(const std::string& method, const std::string& path);
+/// body). `accept` is the request's Accept header value (empty when the
+/// client sent none); /metrics uses it to negotiate OpenMetrics vs the
+/// classic text format. Exposed so tests can golden-test routing without
+/// a socket.
+std::string respond(const std::string& method, const std::string& path,
+                    const std::string& accept = std::string());
 }  // namespace detail
 
 }  // namespace adarnet::util::telemetry

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <thread>
@@ -15,10 +16,23 @@ namespace adarnet::util::trace {
 namespace {
 
 std::size_t env_max_events() {
+  constexpr std::size_t kDefault = 1u << 20;  // ~24 MB of events
   const char* v = std::getenv("ADARNET_TRACE_MAX_EVENTS");
-  if (v == nullptr || v[0] == '\0') return 1u << 20;  // ~24 MB of events
-  const long long n = std::atoll(v);
-  return n > 0 ? static_cast<std::size_t>(n) : 0;  // 0 / junk -> unbounded
+  if (v == nullptr || v[0] == '\0') return kDefault;
+  // Unbounded is an explicit opt-in ("unlimited" or a literal "0"), never
+  // the result of a typo: an unparseable value fails closed to the default
+  // so a long-running server keeps its memory bound.
+  if (std::strcmp(v, "unlimited") == 0) return 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || n < 0) {
+    std::fprintf(stderr,
+                 "adarnet: unparseable ADARNET_TRACE_MAX_EVENTS=\"%s\"; "
+                 "using default %zu\n",
+                 v, kDefault);
+    return kDefault;
+  }
+  return static_cast<std::size_t>(n);  // 0 = explicit unbounded
 }
 
 std::atomic<std::size_t> g_max_events{env_max_events()};

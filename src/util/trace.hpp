@@ -68,7 +68,9 @@ std::size_t event_count();
 /// Caps the global event buffer: once `n` events are held, further spans
 /// are dropped (counted in `trace.dropped_events` and dropped_count())
 /// instead of growing the buffer for the life of a long-running server.
-/// 0 means unbounded. Defaults to ADARNET_TRACE_MAX_EVENTS (or 1M).
+/// 0 means unbounded. Defaults to ADARNET_TRACE_MAX_EVENTS (a number,
+/// "0", or "unlimited"; an unparseable value fails closed to the 1M
+/// default with a warning — a typo must not unbound the buffer).
 void set_max_events(std::size_t n);
 std::size_t max_events();
 

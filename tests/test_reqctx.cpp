@@ -239,6 +239,58 @@ TEST(FlightRecorderTest, SummaryRingWrapsOldestFirst) {
   }
 }
 
+TEST(FlightRecorderTest, ReconfigureShrinkKeepsNewestSummaries) {
+  reqctx::FlightRecorder rec;
+  rec.configure({8, 4, 0, 1000000});
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    rec.record_summary(make_summary(id));  // wrapped ring holds 3..10
+  }
+  rec.configure({4, 4, 0, 1000000});  // shrink 8 -> 4
+  auto out = rec.summaries();
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].trace_id, i + 7) << "newest four, oldest first";
+  }
+  // Pushes after the shrink wrap modulo the new capacity, in order.
+  rec.record_summary(make_summary(11));
+  rec.record_summary(make_summary(12));
+  out = rec.summaries();
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].trace_id, i + 9);
+  }
+}
+
+TEST(FlightRecorderTest, ReconfigureGrowKeepsOrder) {
+  reqctx::FlightRecorder rec;
+  rec.configure({4, 4, 0, 1000000});
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    rec.record_summary(make_summary(id));  // wrapped: holds 3..6
+  }
+  rec.configure({8, 4, 0, 1000000});  // grow 4 -> 8
+  rec.record_summary(make_summary(7));
+  const auto out = rec.summaries();
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].trace_id, i + 3) << "3..7, oldest first";
+  }
+}
+
+TEST(FlightRecorderTest, ReconfigureShrinkEvictsBoringTracesFirst) {
+  reqctx::FlightRecorder rec;
+  rec.configure({16, 8, 0, 1});  // retain everything
+  reqctx::RequestSummary shed = make_summary(99);
+  shed.shed = true;
+  rec.record_summary(shed);
+  for (std::uint64_t id = 1; id <= 5; ++id) rec.record_summary(make_summary(id));
+  EXPECT_EQ(rec.traces_retained(), 6);
+  rec.configure({16, 2, 0, 1});  // shrink the trace store 8 -> 2
+  EXPECT_EQ(rec.traces_retained(), 2);
+  EXPECT_TRUE(rec.has_trace(99)) << "interesting trace survives the shrink";
+  EXPECT_TRUE(rec.has_trace(5)) << "newest boring trace survives";
+  EXPECT_EQ(rec.traces_evicted(), 4);
+}
+
 TEST(FlightRecorderTest, InterestingRequestsSurviveEviction) {
   reqctx::FlightRecorder rec;
   rec.configure({8, 2, 0, 1});  // retain everything, capacity 2
@@ -325,6 +377,27 @@ TEST(FlightRecorderTest, JsonDocumentsRenderTheTrace) {
   EXPECT_TRUE(contains(listing, "\"retained\": true"));
 
   EXPECT_FALSE(rec.trace_json(0x1234u, &doc)) << "unknown id must 404";
+}
+
+TEST(FlightRecorderTest, QueueEventStartsAtAdmission) {
+  reqctx::FlightRecorder rec;
+  rec.configure({16, 16, 0, 1});
+  reqctx::RequestSummary s = make_summary(7);
+  // serving rebases start_us back to admission time before recording, so
+  // the synthetic queue slice must start AT start_us (inside the root
+  // request event), not another queue-width before it.
+  s.start_us = 1000000;
+  s.end_us = 1005000;
+  s.wall_s = 0.005;
+  s.phase_s[static_cast<int>(Phase::kQueue)] = 0.002;
+  rec.record_summary(s);
+  std::string doc;
+  ASSERT_TRUE(rec.trace_json(7, &doc));
+  EXPECT_TRUE(contains(doc,
+                       "\"name\": \"queue\", \"cat\": \"phase\", "
+                       "\"ph\": \"X\", \"ts\": 1000000, \"dur\": 2000"));
+  EXPECT_FALSE(contains(doc, "\"ts\": 998000"))
+      << "queue slice must not render before admission";
 }
 
 TEST(FlightRecorderTest, ShedSummaryIsRetainedWithoutSpans) {

@@ -184,6 +184,23 @@ TEST(Prometheus, GoldenRendering) {
   }
 }
 
+TEST(Prometheus, ExemplarsOnlyInOpenMetrics) {
+  metrics::histogram("test.prom.exemplar").observe(5, 0xabcdef12u);
+
+  // Classic 0.0.4 text: exemplars are illegal there and would abort a
+  // standard Prometheus scrape, so none may appear (and no "# EOF").
+  const std::string classic = metrics::prometheus_text();
+  EXPECT_TRUE(contains(classic, "adarnet_test_prom_exemplar_bucket"));
+  EXPECT_FALSE(contains(classic, " # {"));
+  EXPECT_FALSE(contains(classic, "# EOF"));
+
+  const std::string om = metrics::prometheus_text(/*openmetrics=*/true);
+  EXPECT_TRUE(contains(om, " # {trace_id=\"00000000abcdef12\"} 5"));
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.compare(om.size() - 6, 6, "# EOF\n"), 0)
+      << "OpenMetrics exposition must end with # EOF";
+}
+
 // --- HTTP server ------------------------------------------------------------
 
 #ifdef ADARNET_TEST_SOCKETS
@@ -333,6 +350,39 @@ TEST(TelemetryRoutes, RespondHandlesMethodsAndPaths) {
   EXPECT_TRUE(contains(metrics_rsp, "Content-Length: "));
   EXPECT_TRUE(contains(telemetry::detail::respond("HEAD", "/healthz"),
                        "200 OK"));
+}
+
+TEST(TelemetryRoutes, MetricsContentNegotiatesOpenMetrics) {
+  metrics::histogram("test.route.exemplar").observe(9, 0x77u);
+
+  const std::string classic = telemetry::detail::respond("GET", "/metrics");
+  EXPECT_TRUE(contains(classic, "text/plain; version=0.0.4"));
+  EXPECT_FALSE(contains(classic, " # {trace_id"));
+
+  const std::string om = telemetry::detail::respond(
+      "GET", "/metrics", "application/openmetrics-text; version=1.0.0");
+  EXPECT_TRUE(contains(om, "Content-Type: application/openmetrics-text"));
+  EXPECT_TRUE(contains(om, " # {trace_id=\"0000000000000077\"} 9"));
+  EXPECT_TRUE(contains(om, "# EOF"));
+
+  // Accept negotiation only affects /metrics; JSON endpoints ignore it.
+  EXPECT_TRUE(contains(telemetry::detail::respond(
+                           "GET", "/healthz", "application/openmetrics-text"),
+                       "application/json"));
+}
+
+TEST(TelemetryRoutes, HeaderValueLookupIsCaseInsensitive) {
+  const std::string req =
+      "GET /metrics HTTP/1.1\r\nHost: x\r\n"
+      "ACCEPT: \t application/openmetrics-text\r\n\r\n";
+  EXPECT_EQ(telemetry::detail::header_value(req, "accept"),
+            "application/openmetrics-text");
+  EXPECT_EQ(telemetry::detail::header_value(req, "Accept"),
+            "application/openmetrics-text");
+  EXPECT_EQ(telemetry::detail::header_value(req, "user-agent"), "");
+  EXPECT_EQ(telemetry::detail::header_value("GET / HTTP/1.1", "accept"), "");
+  // A header name that prefixes another must not match it.
+  EXPECT_EQ(telemetry::detail::header_value(req, "acc"), "");
 }
 
 // --- bench_compare (the bench_diff gate) ------------------------------------
